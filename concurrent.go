@@ -1,0 +1,57 @@
+package oreo
+
+import "sync"
+
+// ConcurrentOptimizer wraps an Optimizer for use from multiple
+// goroutines. OREO's decision path is inherently sequential (counters
+// advance one query at a time, in order), so the wrapper serializes
+// ProcessQuery calls with a mutex rather than attempting lock-free
+// trickery; the cost model work per query is microseconds, far below
+// any real query's execution time, so the lock is not a bottleneck in
+// the serving path it models.
+type ConcurrentOptimizer struct {
+	mu  sync.Mutex
+	opt *Optimizer
+}
+
+// NewConcurrent wraps an optimizer for concurrent use. The wrapped
+// optimizer must not be used directly afterwards.
+func NewConcurrent(opt *Optimizer) *ConcurrentOptimizer {
+	return &ConcurrentOptimizer{opt: opt}
+}
+
+// ProcessQuery is the concurrent-safe equivalent of
+// Optimizer.ProcessQuery.
+func (c *ConcurrentOptimizer) ProcessQuery(q Query) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opt.ProcessQuery(q)
+}
+
+// CurrentLayout returns the serving layout.
+func (c *ConcurrentOptimizer) CurrentLayout() *Layout {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opt.CurrentLayout()
+}
+
+// PendingLayout returns the in-flight background reorganization target.
+func (c *ConcurrentOptimizer) PendingLayout() *Layout {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opt.PendingLayout()
+}
+
+// Stats returns cumulative counters.
+func (c *ConcurrentOptimizer) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opt.Stats()
+}
+
+// Events returns the retained trace events.
+func (c *ConcurrentOptimizer) Events() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opt.Events()
+}

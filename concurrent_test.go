@@ -1,0 +1,61 @@
+package oreo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentOptimizer(t *testing.T) {
+	ds := buildEventsTable(t, 2000)
+	opt, err := New(ds, Config{
+		Alpha: 15, Partitions: 8, WindowSize: 40, Period: 40,
+		InitialSort: []string{"ts"}, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(opt)
+
+	const workers = 8
+	const perWorker = 250
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				var q Query
+				if rng.Intn(2) == 0 {
+					lo := rng.Int63n(1900)
+					q = Query{ID: w*perWorker + i, Preds: []Predicate{IntRange("ts", lo, lo+100)}}
+				} else {
+					q = Query{ID: w*perWorker + i, Preds: []Predicate{StrEq("user", "alice")}}
+				}
+				dec := c.ProcessQuery(q)
+				if dec.Cost < 0 || dec.Cost > 1 || dec.Layout == nil {
+					errs <- "bad decision"
+					return
+				}
+				if i%50 == 0 {
+					_ = c.CurrentLayout()
+					_ = c.Stats()
+					_ = c.PendingLayout()
+					_ = c.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := c.Stats()
+	if st.Queries != workers*perWorker {
+		t.Errorf("Queries = %d, want %d", st.Queries, workers*perWorker)
+	}
+}

@@ -1,0 +1,80 @@
+package oreo
+
+import "testing"
+
+func TestInitialTakesPrecedenceOverInitialSort(t *testing.T) {
+	ds := buildEventsTable(t, 300)
+	init := NewSortGenerator("user").Generate(ds, nil, 8)
+	opt, err := New(ds, Config{
+		Initial:     init,
+		InitialSort: []string{"ts"}, // must be ignored
+		Partitions:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CurrentLayout() != init {
+		t.Errorf("Initial not preferred: serving %q", opt.CurrentLayout().Name)
+	}
+}
+
+func TestPartitionsDerivationClamps(t *testing.T) {
+	small := buildEventsTable(t, 100) // 100/1500 -> clamped up to 8
+	opt, err := New(small, Config{InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.cfg.Partitions != 8 {
+		t.Errorf("small table partitions = %d, want 8", opt.cfg.Partitions)
+	}
+
+	big := buildEventsTable(t, 300000) // 300000/1500 = 200 -> clamped to 128
+	opt2, err := New(big, Config{InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2.cfg.Partitions != 128 {
+		t.Errorf("big table partitions = %d, want 128", opt2.cfg.Partitions)
+	}
+}
+
+func TestGammaZeroExplicit(t *testing.T) {
+	ds := buildEventsTable(t, 200)
+	// Gamma explicitly nonzero is preserved.
+	opt, err := New(ds, Config{InitialSort: []string{"ts"}, Gamma: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.cfg.Gamma != 2.5 {
+		t.Errorf("Gamma = %g", opt.cfg.Gamma)
+	}
+}
+
+func TestAlphaAccessor(t *testing.T) {
+	ds := buildEventsTable(t, 200)
+	opt, err := New(ds, Config{InitialSort: []string{"ts"}, Alpha: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Alpha() != 123 {
+		t.Errorf("Alpha() = %g", opt.Alpha())
+	}
+}
+
+func TestStatsZeroBeforeQueries(t *testing.T) {
+	ds := buildEventsTable(t, 200)
+	opt, err := New(ds, Config{InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := opt.Stats()
+	if st.Queries != 0 || st.QueryCost != 0 || st.Reorganizations != 0 {
+		t.Errorf("fresh stats = %+v", st)
+	}
+	if st.States != 1 {
+		t.Errorf("fresh |S| = %d, want 1 (the initial layout)", st.States)
+	}
+	if opt.PendingLayout() != nil {
+		t.Error("fresh optimizer has a pending layout")
+	}
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a small table, stream queries through OREO, and
+// watch it admit candidate layouts and reorganize as the workload
+// drifts — all through the public oreo package.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oreo"
+)
+
+func main() {
+	// A small "orders" table: arrival-ordered, with a status dimension.
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	const rows = 20000
+	rng := rand.New(rand.NewSource(1))
+	b := oreo.NewDatasetBuilder(schema, rows)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	for i := 0; i < rows; i++ {
+		b.AppendRow(
+			oreo.Int(int64(i)), // arrival-ordered timestamp
+			oreo.Str(statuses[rng.Intn(len(statuses))]),
+			oreo.Float(rng.Float64()*500),
+		)
+	}
+	ds := b.Build()
+
+	// OREO with the paper's defaults: alpha=80, gamma=1, epsilon=0.08.
+	// The initial layout partitions by arrival time — the layout every
+	// ingest pipeline starts with.
+	opt, err := oreo.New(ds, oreo.Config{
+		Partitions:  16,
+		WindowSize:  100,
+		Alpha:       40, // reorganization ≈ 40 full scans on this setup
+		InitialSort: []string{"order_ts"},
+		Seed:        7,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Phase 1: a dashboard scans recent time windows. The default
+	// layout already skips almost everything; OREO should hold still.
+	fmt.Println("phase 1: time-range queries (default layout is ideal)")
+	for i := 0; i < 600; i++ {
+		lo := rng.Int63n(rows - 1000)
+		dec := opt.ProcessQuery(oreo.Query{ID: i, Preds: []oreo.Predicate{
+			oreo.IntRange("order_ts", lo, lo+1000),
+		}})
+		if dec.Reorganized {
+			fmt.Printf("  query %4d: switched to %s\n", i, dec.Layout.Name)
+		}
+	}
+	report(opt)
+
+	// Phase 2: the workload drifts to status investigations, which the
+	// time layout cannot skip for. OREO generates a status-aware layout
+	// from its sliding window and switches once the counters say the
+	// move pays for itself.
+	fmt.Println("phase 2: status-filter queries (workload drift)")
+	for i := 600; i < 2000; i++ {
+		dec := opt.ProcessQuery(oreo.Query{ID: i, Preds: []oreo.Predicate{
+			oreo.StrEq("status", statuses[i%2]), // cancelled / delivered
+		}})
+		if dec.Reorganized {
+			fmt.Printf("  query %4d: switched to %s\n", i, dec.Layout.Name)
+		}
+	}
+	report(opt)
+}
+
+func report(opt *oreo.Optimizer) {
+	st := opt.Stats()
+	fmt.Printf("  stats: %d queries, query cost %.1f, %d reorgs (cost %.0f), |S|=%d, bound 2H(|Smax|)=%.2f\n\n",
+		st.Queries, st.QueryCost, st.Reorganizations, st.ReorgCost, st.States, st.CompetitiveBound)
+}

@@ -1,0 +1,126 @@
+// Telemetry operations: the paper's production motivation (VMware's
+// SuperCollider ingestion-log table). An append-only log serves two
+// kinds of queries: time-range scans (hours to months wide) and
+// collector-name filters. Overnight, an incident shifts the workload
+// from dashboards (time ranges) to per-collector triage; OREO notices
+// and reorganizes, then returns to the time layout when the incident
+// ends. The example also demonstrates MaxStates pruning: the dynamic
+// state space is capped, so stale layouts get evicted.
+//
+// Run with:
+//
+//	go run ./examples/telemetryops
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oreo"
+)
+
+const (
+	rows       = 40000
+	spanSec    = 30 * 24 * 3600 // one month of log
+	collectors = 30
+)
+
+func buildLog() *oreo.Dataset {
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "arrival_time", Type: oreo.Int64},
+		oreo.Column{Name: "collector", Type: oreo.String},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "bytes", Type: oreo.Int64},
+	)
+	rng := rand.New(rand.NewSource(5))
+	b := oreo.NewDatasetBuilder(schema, rows)
+	collector := 0
+	for i := 0; i < rows; i++ {
+		if rng.Float64() < 0.01 { // bursty: collectors report in runs
+			collector = rng.Intn(collectors)
+		}
+		status := "OK"
+		if rng.Float64() < 0.03 {
+			status = "FAILED"
+		}
+		b.AppendRow(
+			oreo.Int(int64(float64(i)/rows*spanSec)),
+			oreo.Str(fmt.Sprintf("collector-%02d", collector)),
+			oreo.Str(status),
+			oreo.Int(rng.Int63n(1<<30)),
+		)
+	}
+	return b.Build()
+}
+
+func main() {
+	ds := buildLog()
+	opt, err := oreo.New(ds, oreo.Config{
+		Alpha:       60,
+		Partitions:  32,
+		WindowSize:  120,
+		MaxStates:   4, // cap the state space; prune redundant layouts
+		InitialSort: []string{"arrival_time"},
+		Seed:        6,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	day := int64(24 * 3600)
+
+	phase := func(name string, n int, make func(id int) oreo.Query) {
+		var cost float64
+		reorgs := 0
+		for i := 0; i < n; i++ {
+			dec := opt.ProcessQuery(make(i))
+			cost += dec.Cost
+			if dec.Reorganized {
+				reorgs++
+				fmt.Printf("  reorganized to %s\n", dec.Layout.Name)
+			}
+		}
+		st := opt.Stats()
+		fmt.Printf("%-22s avg scan %.3f of table, %d reorgs this phase, |S|=%d\n\n",
+			name, cost/float64(n), reorgs, st.States)
+	}
+
+	id := 0
+	next := func() int { id++; return id - 1 }
+
+	fmt.Println("business as usual: dashboard time ranges")
+	phase("dashboards", 900, func(int) oreo.Query {
+		width := day * int64(1+rng.Intn(3))
+		lo := rng.Int63n(spanSec - width)
+		return oreo.Query{ID: next(), Preds: []oreo.Predicate{
+			oreo.IntRange("arrival_time", lo, lo+width)}}
+	})
+
+	fmt.Println("incident: per-collector triage")
+	phase("triage", 1500, func(int) oreo.Query {
+		c := fmt.Sprintf("collector-%02d", rng.Intn(collectors))
+		return oreo.Query{ID: next(), Preds: []oreo.Predicate{
+			oreo.StrEq("collector", c)}}
+	})
+
+	fmt.Println("failure sweep: status + recent window")
+	phase("failure sweep", 1200, func(int) oreo.Query {
+		lo := spanSec - day*int64(2+rng.Intn(5))
+		return oreo.Query{ID: next(), Preds: []oreo.Predicate{
+			oreo.StrEq("status", "FAILED"),
+			oreo.IntGE("arrival_time", lo)}}
+	})
+
+	fmt.Println("back to normal: dashboards again")
+	phase("dashboards (again)", 900, func(int) oreo.Query {
+		width := day * int64(1+rng.Intn(3))
+		lo := rng.Int63n(spanSec - width)
+		return oreo.Query{ID: next(), Preds: []oreo.Predicate{
+			oreo.IntRange("arrival_time", lo, lo+width)}}
+	})
+
+	st := opt.Stats()
+	fmt.Printf("month total: %d queries, query cost %.0f, %d reorgs (cost %.0f), |Smax|=%d, bound %.2fx\n",
+		st.Queries, st.QueryCost, st.Reorganizations, st.ReorgCost, st.MaxStates, st.CompetitiveBound)
+}

@@ -1,0 +1,237 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"oreo/internal/table"
+)
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	if _, err := Generate("nope", 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := Generate(name, 500, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		if ds.NumRows() != 500 {
+			t.Errorf("%s: NumRows = %d, want 500", name, ds.NumRows())
+		}
+		if ds.Schema().NumCols() < 10 {
+			t.Errorf("%s: suspiciously narrow schema (%d cols)", name, ds.Schema().NumCols())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Generate(name, 300, rand.New(rand.NewSource(42)))
+		b, _ := Generate(name, 300, rand.New(rand.NewSource(42)))
+		for c := 0; c < a.Schema().NumCols(); c++ {
+			for r := 0; r < 300; r += 37 {
+				if !a.ValueAt(c, r).Equal(b.ValueAt(c, r)) {
+					t.Fatalf("%s: value (%d,%d) differs across identical seeds", name, c, r)
+				}
+			}
+		}
+	}
+}
+
+func TestTPCHInvariants(t *testing.T) {
+	ds := GenerateTPCH(2000, rand.New(rand.NewSource(7)))
+	s := ds.Schema()
+	ship := s.MustIndex("l_shipdate")
+	order := s.MustIndex("o_orderdate")
+	receipt := s.MustIndex("l_receiptdate")
+	cNation := s.MustIndex("c_nationkey")
+	cRegion := s.MustIndex("c_regionkey")
+	qty := s.MustIndex("l_quantity")
+	disc := s.MustIndex("l_discount")
+	flag := s.MustIndex("l_returnflag")
+
+	for r := 0; r < ds.NumRows(); r++ {
+		od, sd, rd := ds.Int64At(order, r), ds.Int64At(ship, r), ds.Int64At(receipt, r)
+		if od < TPCHOrderDateMin || od > TPCHOrderDateMax {
+			t.Fatalf("row %d: orderdate %d out of range", r, od)
+		}
+		if sd <= od || sd > od+121 {
+			t.Fatalf("row %d: shipdate %d not in (orderdate, orderdate+121]", r, sd)
+		}
+		if rd <= sd {
+			t.Fatalf("row %d: receiptdate %d <= shipdate %d", r, rd, sd)
+		}
+		if n, reg := ds.Int64At(cNation, r), ds.Int64At(cRegion, r); reg != n/5 {
+			t.Fatalf("row %d: regionkey %d != nationkey %d / 5", r, reg, n)
+		}
+		if q := ds.Int64At(qty, r); q < 1 || q > 50 {
+			t.Fatalf("row %d: quantity %d out of [1,50]", r, q)
+		}
+		if d := ds.Float64At(disc, r); d < 0 || d > 0.10+1e-9 {
+			t.Fatalf("row %d: discount %g out of [0,0.1]", r, d)
+		}
+		// Returns only happen for early receipts.
+		if f := ds.StringAt(flag, r); (f == "R" || f == "A") && rd > 9298 {
+			t.Fatalf("row %d: return flag %q for late receipt %d", r, f, rd)
+		}
+	}
+}
+
+func TestTPCHArrivalOrderCorrelation(t *testing.T) {
+	ds := GenerateTPCH(5000, rand.New(rand.NewSource(9)))
+	order := ds.Schema().MustIndex("o_orderdate")
+	// First decile should have much earlier dates than the last decile.
+	avg := func(lo, hi int) float64 {
+		sum := 0.0
+		for r := lo; r < hi; r++ {
+			sum += float64(ds.Int64At(order, r))
+		}
+		return sum / float64(hi-lo)
+	}
+	early, late := avg(0, 500), avg(4500, 5000)
+	if late-early < float64(TPCHOrderDateMax-TPCHOrderDateMin)/2 {
+		t.Errorf("arrival order weakly correlated with order date: early=%g late=%g", early, late)
+	}
+}
+
+func TestTPCDSInvariants(t *testing.T) {
+	ds := GenerateTPCDS(2000, rand.New(rand.NewSource(7)))
+	s := ds.Schema()
+	date := s.MustIndex("ss_sold_date")
+	year := s.MustIndex("d_year")
+	moy := s.MustIndex("d_moy")
+	dom := s.MustIndex("d_dom")
+	sales := s.MustIndex("ss_sales_price")
+	list := s.MustIndex("ss_list_price")
+	whole := s.MustIndex("ss_wholesale_cost")
+
+	for r := 0; r < ds.NumRows(); r++ {
+		d := ds.Int64At(date, r)
+		if d < TPCDSDateMin || d > TPCDSDateMax {
+			t.Fatalf("row %d: sold date %d out of range", r, d)
+		}
+		if y := ds.Int64At(year, r); y < TPCDSYearMin || y > TPCDSYearMax {
+			t.Fatalf("row %d: year %d out of range", r, y)
+		}
+		if m := ds.Int64At(moy, r); m < 1 || m > 12 {
+			t.Fatalf("row %d: moy %d", r, m)
+		}
+		if dm := ds.Int64At(dom, r); dm < 1 || dm > 30 {
+			t.Fatalf("row %d: dom %d", r, dm)
+		}
+		if ds.Float64At(sales, r) > ds.Float64At(list, r) {
+			t.Fatalf("row %d: sales price above list price", r)
+		}
+		if ds.Float64At(whole, r) <= 0 {
+			t.Fatalf("row %d: nonpositive wholesale cost", r)
+		}
+	}
+}
+
+func TestTPCDSCalendarConsistency(t *testing.T) {
+	ds := GenerateTPCDS(3000, rand.New(rand.NewSource(5)))
+	s := ds.Schema()
+	date := s.MustIndex("ss_sold_date")
+	year := s.MustIndex("d_year")
+	for r := 0; r < ds.NumRows(); r++ {
+		d := ds.Int64At(date, r)
+		y := ds.Int64At(year, r)
+		wantYear := TPCDSYearMin + (d-TPCDSDateMin)/365
+		if wantYear > TPCDSYearMax {
+			wantYear = TPCDSYearMax
+		}
+		if y != wantYear {
+			t.Fatalf("row %d: d_year %d inconsistent with date %d (want %d)", r, y, d, wantYear)
+		}
+	}
+}
+
+func TestTelemetryInvariants(t *testing.T) {
+	ds := GenerateTelemetry(2000, rand.New(rand.NewSource(7)))
+	s := ds.Schema()
+	at := s.MustIndex("arrival_time")
+	status := s.MustIndex("status")
+	errc := s.MustIndex("error_code")
+
+	prev := int64(-1)
+	for r := 0; r < ds.NumRows(); r++ {
+		v := ds.Int64At(at, r)
+		if v < prev {
+			t.Fatalf("row %d: arrival_time decreases (%d < %d) — log must be append-ordered", r, v, prev)
+		}
+		prev = v
+		if v < TelemetryTimeMin || v > TelemetryTimeMax {
+			t.Fatalf("row %d: arrival_time %d out of range", r, v)
+		}
+		st := ds.StringAt(status, r)
+		ec := ds.Int64At(errc, r)
+		if st == "OK" && ec != 0 {
+			t.Fatalf("row %d: OK with error code %d", r, ec)
+		}
+		if st == "FAILED" && ec == 0 {
+			t.Fatalf("row %d: FAILED without error code", r)
+		}
+	}
+}
+
+func TestTelemetryCollectorStickiness(t *testing.T) {
+	ds := GenerateTelemetry(5000, rand.New(rand.NewSource(3)))
+	col := ds.Schema().MustIndex("collector")
+	changes := 0
+	for r := 1; r < ds.NumRows(); r++ {
+		if ds.StringAt(col, r) != ds.StringAt(col, r-1) {
+			changes++
+		}
+	}
+	// With switching probability 1/200 we expect ~25 changes, far fewer
+	// than uniform assignment (~4900).
+	if changes > 200 {
+		t.Errorf("collector changes %d times in 5000 rows; bursts not sticky", changes)
+	}
+	if changes == 0 {
+		t.Error("collector never changes; no burst structure at all")
+	}
+}
+
+func TestSeqHelper(t *testing.T) {
+	got := seq("x#", 3)
+	want := []string{"x#01", "x#02", "x#03"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestZipfStringsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := seq("v", 10)
+	counts := make(map[string]int)
+	for i := 0; i < 10000; i++ {
+		counts[zipfStrings(rng, vals)]++
+	}
+	if counts["v01"] <= counts["v10"] {
+		t.Errorf("zipf skew inverted: first=%d last=%d", counts["v01"], counts["v10"])
+	}
+	for _, v := range vals {
+		if counts[v] == 0 {
+			t.Errorf("value %s never drawn", v)
+		}
+	}
+}
+
+// Type-check the generated schemas against their accessors.
+func TestSchemasWellFormed(t *testing.T) {
+	for _, sch := range []*table.Schema{TPCHSchema(), TPCDSSchema(), TelemetrySchema()} {
+		for i := 0; i < sch.NumCols(); i++ {
+			c := sch.Col(i)
+			if c.Type != table.Int64 && c.Type != table.Float64 && c.Type != table.String {
+				t.Errorf("column %s has invalid type %v", c.Name, c.Type)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"oreo/internal/table"
+)
+
+// Telemetry models the SuperCollider ingestion-monitoring table the
+// paper studies: six months of per-job log records, where the dominant
+// predicates are ranges on the record arrival time (hours to months
+// wide) and filters on the collector that sent the data.
+//
+// Times are encoded as int64 seconds since an arbitrary epoch start.
+const (
+	// TelemetryTimeMin is the start of the six-month window (seconds).
+	TelemetryTimeMin int64 = 0
+	// TelemetryTimeMax is ~183 days later (seconds).
+	TelemetryTimeMax int64 = 183 * 24 * 3600
+	// TelemetryNumCollectors is the collector-name cardinality.
+	TelemetryNumCollectors = 50
+)
+
+// Telemetry dimension vocabularies.
+var (
+	TelemetryCollectors = seq("collector-", TelemetryNumCollectors)
+	TelemetryTeams      = seq("team-", 20)
+	TelemetryStatuses   = []string{"FAILED", "OK", "RETRIED", "TIMEOUT"}
+	TelemetryRegions    = []string{"ap-south", "eu-central", "eu-west", "us-east", "us-west"}
+)
+
+// TelemetrySchema returns the ingestion-log schema.
+func TelemetrySchema() *table.Schema {
+	return table.NewSchema(
+		table.Column{Name: "arrival_time", Type: table.Int64},
+		table.Column{Name: "collector", Type: table.String},
+		table.Column{Name: "team", Type: table.String},
+		table.Column{Name: "job_id", Type: table.Int64},
+		table.Column{Name: "status", Type: table.String},
+		table.Column{Name: "region", Type: table.String},
+		table.Column{Name: "duration_ms", Type: table.Int64},
+		table.Column{Name: "bytes_ingested", Type: table.Int64},
+		table.Column{Name: "record_count", Type: table.Int64},
+		table.Column{Name: "error_code", Type: table.Int64},
+		table.Column{Name: "retry_count", Type: table.Int64},
+		table.Column{Name: "lag_seconds", Type: table.Float64},
+	)
+}
+
+// GenerateTelemetry builds the ingestion-log table with `rows` rows.
+// Rows are strictly arrival-time ordered (it is an append-only log), so
+// the default time layout skips perfectly for time-range queries — the
+// realistic starting point the paper's default layout represents.
+// Collectors are sticky: each collector reports in bursts, so collector
+// values cluster in time, which gives workload-aware layouts something
+// to exploit.
+func GenerateTelemetry(rows int, rng *rand.Rand) *table.Dataset {
+	schema := TelemetrySchema()
+	b := table.NewBuilder(schema, rows)
+
+	span := TelemetryTimeMax - TelemetryTimeMin
+	// Sticky collector state: switch collectors every ~200 rows.
+	collector := uniformStrings(rng, TelemetryCollectors)
+	team := uniformStrings(rng, TelemetryTeams)
+	for i := 0; i < rows; i++ {
+		if rng.Float64() < 1.0/200 {
+			collector = zipfStrings(rng, TelemetryCollectors)
+			team = uniformStrings(rng, TelemetryTeams)
+		}
+		t := TelemetryTimeMin + int64(float64(i)/float64(rows)*float64(span))
+
+		status := "OK"
+		errCode := int64(0)
+		retries := int64(0)
+		r := rng.Float64()
+		switch {
+		case r < 0.02:
+			status = "FAILED"
+			errCode = int64(400 + rng.Intn(200))
+			retries = int64(rng.Intn(5))
+		case r < 0.05:
+			status = "RETRIED"
+			retries = int64(1 + rng.Intn(4))
+		case r < 0.06:
+			status = "TIMEOUT"
+			errCode = 504
+		}
+
+		recs := int64(100 + rng.Intn(1_000_000))
+		b.AppendRow(
+			table.Int(t),
+			table.Str(collector),
+			table.Str(team),
+			table.Int(int64(i)),
+			table.Str(status),
+			table.Str(zipfStrings(rng, TelemetryRegions)),
+			table.Int(int64(50+rng.Intn(600_000))),
+			table.Int(recs*int64(80+rng.Intn(200))),
+			table.Int(recs),
+			table.Int(errCode),
+			table.Int(retries),
+			table.Float(rng.Float64()*3600),
+		)
+	}
+	return b.Build()
+}

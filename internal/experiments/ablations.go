@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oreo/internal/layout"
+	"oreo/internal/manager"
+	"oreo/internal/mts"
+)
+
+// AblationRow is one variant of a design-choice ablation.
+type AblationRow struct {
+	// Ablation names the design choice ("stay-in-place", "multi-copy").
+	Ablation string
+	// Variant labels the setting.
+	Variant string
+	// Default marks the configuration the paper (and this repo) ships.
+	Default bool
+
+	QueryCost float64
+	ReorgCost float64
+	Switches  int
+}
+
+// AblationStayInPlace quantifies the paper's §IV-A optimization: at a
+// phase start, keep the current state rather than jumping to a random
+// one (the original BLS behaviour). The paper reports the optimization
+// "significantly improves the reorganization cost"; this ablation
+// regenerates that comparison on a scenario.
+func AblationStayInPlace(s *Scenario, p RunParams) []AblationRow {
+	gen := s.Generator(GenQdTree)
+	var rows []AblationRow
+	for _, disable := range []bool{false, true} {
+		pp := p
+		pp.DisableStayInPlace = disable
+		r := s.Run(s.NewOREO(gen, pp), pp)
+		variant := "stay-in-place"
+		if disable {
+			variant = "random-restart"
+		}
+		rows = append(rows, AblationRow{
+			Ablation:  "stay-in-place",
+			Variant:   variant,
+			Default:   !disable,
+			QueryCost: r.QueryCost,
+			ReorgCost: r.ReorgCost,
+			Switches:  r.Switches,
+		})
+	}
+	return rows
+}
+
+// AblationMultiCopy evaluates the Appendix D variant: keeping up to B
+// materialized copies of the dataset under different layouts, serving
+// every query on the cheapest resident copy, and paying α only to
+// materialize a non-resident layout. B = 1 approximates the single-copy
+// algorithm; larger budgets trade storage for reorganization cost.
+func AblationMultiCopy(s *Scenario, p RunParams, budgets []int) []AblationRow {
+	if budgets == nil {
+		budgets = []int{1, 2, 4}
+	}
+	gen := s.Generator(GenQdTree)
+	rows := make([]AblationRow, 0, len(budgets))
+	for _, b := range budgets {
+		q, r, mats := runMultiCopy(s, gen, b, p)
+		rows = append(rows, AblationRow{
+			Ablation:  "multi-copy",
+			Variant:   fmt.Sprintf("B=%d", b),
+			Default:   b == 1,
+			QueryCost: q,
+			ReorgCost: r,
+			Switches:  mats,
+		})
+	}
+	return rows
+}
+
+// runMultiCopy drives the multi-copy decision maker over the scenario
+// stream with the same candidate feed and ε-admission as OREO.
+func runMultiCopy(s *Scenario, gen layout.Generator, budget int, p RunParams) (queryCost, reorgCost float64, materializations int) {
+	feedRng := rand.New(rand.NewSource(p.Seed))
+	mtsRng := rand.New(rand.NewSource(p.Seed + 1))
+	feed := manager.NewFeed(s.Data, gen, p.feedConfig(s.Partitions), feedRng)
+	mc := mts.NewMultiCopy(mts.Config{Alpha: p.Alpha, Gamma: p.Gamma}, budget, mtsRng)
+
+	states := map[mts.StateID]*layout.Layout{0: s.Default}
+	nextID := mts.StateID(1)
+	mc.AddState(0)
+	mc.MakeResident(0)
+
+	hasName := func(name string) bool {
+		for _, l := range states {
+			if l.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	incumbents := func() []*layout.Layout {
+		out := make([]*layout.Layout, 0, len(states))
+		for _, l := range states {
+			out = append(out, l)
+		}
+		return out
+	}
+
+	for _, q := range s.Stream.Queries {
+		for _, c := range feed.Observe(q) {
+			if hasName(c.Layout.Name) {
+				continue
+			}
+			if !manager.Admit(c.Layout, incumbents(), feed.ReservoirQueries(), p.Epsilon) {
+				continue
+			}
+			states[nextID] = c.Layout
+			mc.AddState(nextID)
+			nextID++
+		}
+		serveIn, materialized := mc.Observe(func(id mts.StateID) float64 {
+			return states[id].Cost(q)
+		})
+		if materialized {
+			reorgCost += p.Alpha
+			materializations++
+		}
+		queryCost += states[serveIn].Cost(q)
+	}
+	return queryCost, reorgCost, materializations
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"oreo/internal/manager"
+	"oreo/internal/policy"
+	"oreo/internal/sim"
+	"oreo/internal/workload"
+)
+
+// AppendixARow is one segment of the static-degradation study: how a
+// layout optimized for the *first* workload segment performs as the
+// workload drifts away from it (the technical report's Appendix A
+// example, which motivates the whole paper: "a static layout results in
+// almost no savings under changing workloads").
+type AppendixARow struct {
+	Segment  int
+	Template string
+	// StaticCost is the avg fraction scanned by the layout built for
+	// segment 0; OwnCost by a layout built for this segment's template;
+	// DefaultCost by the arrival-time layout.
+	StaticCost  float64
+	OwnCost     float64
+	DefaultCost float64
+}
+
+// AppendixA reproduces the degradation study on a scenario: build a
+// Qd-tree layout from the first segment's queries, then measure it (and
+// the oracle per-segment layouts) on every segment.
+func AppendixA(s *Scenario) []AppendixARow {
+	gen := s.Generator(GenQdTree)
+	if len(s.Stream.Segments) == 0 {
+		return nil
+	}
+	first := s.Stream.Segments[0]
+	firstQs := s.Stream.Queries[first.Start : first.Start+first.Length]
+	static := gen.Generate(s.Data, workloadSample(firstQs, 300), s.Partitions)
+
+	perTemplate := s.PerTemplateLayouts(gen)
+
+	rows := make([]AppendixARow, 0, len(s.Stream.Segments))
+	for i, seg := range s.Stream.Segments {
+		qs := s.Stream.Queries[seg.Start : seg.Start+seg.Length]
+		probe := workloadSample(qs, 200)
+		row := AppendixARow{
+			Segment:     i,
+			Template:    s.Stream.Templates[seg.Template].Name,
+			StaticCost:  static.AvgCost(probe),
+			DefaultCost: s.Default.AvgCost(probe),
+		}
+		if own, ok := perTemplate[seg.Template]; ok {
+			row.OwnCost = own.AvgCost(probe)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ColumnSweepComparison runs the §V-A column-sweep workload under
+// sliding-window and reservoir-sample candidate generation, reproducing
+// the argument for the SW default: on a workload that visits one column
+// at a time, reservoir-sourced layouts are blends over multiple columns
+// and lose to per-column specialists.
+type ColumnSweepResult struct {
+	Source    string
+	QueryCost float64
+	ReorgCost float64
+	Switches  int
+}
+
+// ColumnSweep builds the sweep workload over the scenario's dataset
+// (queriesPerCol per column) and runs OREO once per candidate source.
+func ColumnSweep(s *Scenario, p RunParams, queriesPerCol int) []ColumnSweepResult {
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 17))
+	stream := workload.GenerateColumnSweep(s.Data, queriesPerCol, rng)
+
+	var out []ColumnSweepResult
+	for _, src := range []manager.Source{manager.SourceWindow, manager.SourceReservoir} {
+		pp := p
+		pp.Source = src
+		pol := s.newOREOOverStream(pp)
+		res := sim.Run(stream.Queries, pol, pp.simConfig())
+		out = append(out, ColumnSweepResult{
+			Source:    src.String(),
+			QueryCost: res.QueryCost,
+			ReorgCost: res.ReorgCost,
+			Switches:  res.Switches,
+		})
+	}
+	return out
+}
+
+// newOREOOverStream builds an OREO policy bound to the scenario's
+// dataset but independent of its synthetic stream (used by workloads
+// generated outside the scenario, like the column sweep).
+func (s *Scenario) newOREOOverStream(p RunParams) policy.Policy {
+	return s.NewOREO(s.Generator(GenQdTree), p)
+}

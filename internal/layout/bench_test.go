@@ -1,0 +1,59 @@
+package layout
+
+import (
+	"testing"
+
+	"oreo/internal/query"
+)
+
+func BenchmarkQdTreeGenerate(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	qs := qdWorkload(200, 100)
+	g := NewQdTreeGenerator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generate(d, qs, 32)
+	}
+}
+
+func BenchmarkZOrderGenerate(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	qs := qdWorkload(200, 100)
+	g := NewZOrderGenerator(3, "ts")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generate(d, qs, 32)
+	}
+}
+
+func BenchmarkBottomUpGenerate(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	qs := qdWorkload(200, 100)
+	g := NewBottomUpGenerator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generate(d, qs, 32)
+	}
+}
+
+func BenchmarkLayoutCost(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	qs := qdWorkload(64, 100)
+	l := NewQdTreeGenerator().Generate(d, qs, 64)
+	q := query.Query{Preds: []query.Predicate{query.IntRange("ts", 100, 5000)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Cost(q)
+	}
+}
+
+func BenchmarkCostVectorDistance(b *testing.B) {
+	d := testDataset(b, 10000, 99)
+	qs := qdWorkload(100, 100)
+	l1 := NewQdTreeGenerator().Generate(d, qs, 32)
+	l2 := NewSortGenerator("ts").Generate(d, nil, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(l1.CostVector(qs), l2.CostVector(qs))
+	}
+}

@@ -1,0 +1,141 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// BottomUpGenerator implements the feature-based bottom-up row grouping
+// of Sun et al. (SIGMOD 2014, "Fine-grained partitioning for aggressive
+// data skipping"), which the paper lists alongside Qd-tree as a
+// workload-aware generate_layout mechanism. The idea:
+//
+//  1. extract the most frequent predicates ("features") from the
+//     workload;
+//  2. give every row its feature vector — the set of features the row
+//     satisfies;
+//  3. group rows with identical vectors into fine-grained blocks, so a
+//     feature either matches all rows of a block or none;
+//  4. merge blocks bottom-up (most similar vectors first) until the
+//     target partition count is reached.
+//
+// Partitions built this way can be skipped exactly for any query that
+// implies one of the features.
+type BottomUpGenerator struct {
+	// MaxFeatures bounds how many workload predicates become features
+	// (the vector is one bit per feature). Zero means 16.
+	MaxFeatures int
+}
+
+// NewBottomUpGenerator returns a bottom-up grouping generator.
+func NewBottomUpGenerator() *BottomUpGenerator { return &BottomUpGenerator{} }
+
+// Name implements Generator.
+func (g *BottomUpGenerator) Name() string { return "bottomup" }
+
+// feature is one workload predicate plus its frequency.
+type feature struct {
+	pred  query.Predicate
+	count int
+	key   string
+}
+
+// topFeatures extracts the MaxFeatures most frequent distinct
+// predicates from the workload.
+func topFeatures(qs []query.Query, max int) []feature {
+	byKey := make(map[string]*feature)
+	for _, q := range qs {
+		for _, p := range q.Preds {
+			key := p.String()
+			if f, ok := byKey[key]; ok {
+				f.count++
+			} else {
+				byKey[key] = &feature{pred: p, count: 1, key: key}
+			}
+		}
+	}
+	feats := make([]feature, 0, len(byKey))
+	for _, f := range byKey {
+		feats = append(feats, *f)
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		if feats[i].count != feats[j].count {
+			return feats[i].count > feats[j].count
+		}
+		return feats[i].key < feats[j].key
+	})
+	if len(feats) > max {
+		feats = feats[:max]
+	}
+	return feats
+}
+
+// Generate implements Generator.
+func (g *BottomUpGenerator) Generate(d *table.Dataset, qs []query.Query, k int) *Layout {
+	maxF := g.MaxFeatures
+	if maxF <= 0 {
+		maxF = 16
+	}
+	if k < 1 {
+		k = 1
+	}
+	feats := topFeatures(qs, maxF)
+
+	// Compute each row's feature vector as a bitmask.
+	vectors := make([]uint32, d.NumRows())
+	for fi, f := range feats {
+		bit := uint32(1) << uint(fi)
+		for r := 0; r < d.NumRows(); r++ {
+			if f.pred.MatchRow(d, r) {
+				vectors[r] |= bit
+			}
+		}
+	}
+
+	// Group rows by identical vectors (fine-grained blocks).
+	blocks := make(map[uint32][]int)
+	for r, v := range vectors {
+		blocks[v] = append(blocks[v], r)
+	}
+	sigs := make([]uint32, 0, len(blocks))
+	for v := range blocks {
+		sigs = append(sigs, v)
+	}
+	// Sorting signatures numerically places vectors sharing high-order
+	// (most frequent) features adjacently; merging neighbours is the
+	// bottom-up step, approximating similarity-first merging in one
+	// linear pass.
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+
+	// Merge adjacent blocks until at most k groups remain, keeping
+	// group sizes balanced (merge the smallest adjacent pair first).
+	groups := make([][]int, len(sigs))
+	for i, v := range sigs {
+		groups[i] = blocks[v]
+	}
+	for len(groups) > k {
+		// Find the adjacent pair with the smallest combined size.
+		best, bestSize := 0, len(groups[0])+len(groups[1])
+		for i := 1; i+1 <= len(groups)-1; i++ {
+			if s := len(groups[i]) + len(groups[i+1]); s < bestSize {
+				best, bestSize = i, s
+			}
+		}
+		merged := append(groups[best], groups[best+1]...)
+		groups = append(groups[:best], groups[best+1:]...)
+		groups[best] = merged
+	}
+
+	assign := make([]int, d.NumRows())
+	for pid, rows := range groups {
+		for _, r := range rows {
+			assign[r] = pid
+		}
+	}
+	part := table.MustBuildPartitioning(d, assign, len(groups))
+	name := fmt.Sprintf("bottomup(features=%d,groups=%d,w=%s)", len(feats), len(groups), workloadTag(qs))
+	return New(name, d.Schema(), part)
+}

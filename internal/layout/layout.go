@@ -1,0 +1,98 @@
+// Package layout defines the data-layout abstraction OREO switches
+// between and implements the three layout generation mechanisms the
+// paper evaluates: default sort/range partitioning, workload-aware
+// Z-ordering (on the most queried columns), and greedy Qd-trees.
+//
+// A Layout is a materialized mapping of a dataset's rows to partitions
+// plus the partition metadata needed for skipping. A Generator produces
+// a Layout from a dataset sample, a target query workload, and a target
+// partition count — the paper's generate_layout(D, Q, k) interface. The
+// companion eval_skipped(s, Q) is EvalSkipped, which works from
+// metadata alone.
+package layout
+
+import (
+	"fmt"
+
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// Layout is a candidate data layout: one state of the D-UMTS system.
+type Layout struct {
+	// Name describes how the layout was produced, e.g.
+	// "zorder(l_shipdate,l_discount,l_quantity)" or "qdtree(w=200@1400)".
+	Name string
+	// Part is the materialized partitioning of the full dataset.
+	Part *table.Partitioning
+	// schema is retained for metadata evaluation.
+	schema *table.Schema
+}
+
+// New wraps a partitioning as a named layout.
+func New(name string, schema *table.Schema, part *table.Partitioning) *Layout {
+	return &Layout{Name: name, Part: part, schema: schema}
+}
+
+// Schema returns the schema the layout was built over.
+func (l *Layout) Schema() *table.Schema { return l.schema }
+
+// Cost returns the paper's service cost c(s, q): the fraction of rows in
+// partitions that cannot be skipped for q, judged from metadata only.
+func (l *Layout) Cost(q query.Query) float64 {
+	return query.FractionScanned(l.schema, l.Part, q)
+}
+
+// EvalSkipped estimates the average fraction of data *skipped* on the
+// workload: 1 - mean cost. This is the paper's eval_skipped(s, Q).
+func (l *Layout) EvalSkipped(qs []query.Query) float64 {
+	return 1 - query.AvgFractionScanned(l.schema, l.Part, qs)
+}
+
+// AvgCost returns the mean service cost over a workload.
+func (l *Layout) AvgCost(qs []query.Query) float64 {
+	return query.AvgFractionScanned(l.schema, l.Part, qs)
+}
+
+// CostVector evaluates the layout on each query of a sample, producing
+// the vector that Algorithm 5's layout-distance works on.
+func (l *Layout) CostVector(qs []query.Query) []float64 {
+	v := make([]float64, len(qs))
+	for i, q := range qs {
+		v[i] = l.Cost(q)
+	}
+	return v
+}
+
+// Distance returns the normalized L1 distance between two cost vectors,
+// the layout-similarity measure of Algorithm 5. Vectors must have equal
+// length. The result is in [0, 1] because each component is in [0, 1].
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("layout: cost vectors of different lengths %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(a))
+}
+
+// Generator produces layouts for (dataset, workload, partition count).
+// Implementations must be deterministic given their inputs so that
+// experiment runs are reproducible.
+type Generator interface {
+	// Name identifies the generation mechanism ("qdtree", "zorder", ...).
+	Name() string
+	// Generate builds a layout of about k partitions for the dataset,
+	// tuned to the query workload qs (which may be empty for
+	// workload-oblivious generators).
+	Generate(d *table.Dataset, qs []query.Query, k int) *Layout
+}

@@ -1,0 +1,234 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oreo/internal/query"
+)
+
+func qdWorkload(n int, seed int64) []query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			lo := rng.Int63n(800)
+			qs = append(qs, query.Query{ID: i, Preds: []query.Predicate{
+				query.IntRange("ts", lo, lo+100)}})
+		case 1:
+			qs = append(qs, query.Query{ID: i, Preds: []query.Predicate{
+				query.StrEq("cat", []string{"a", "b", "c", "d"}[rng.Intn(4)])}})
+		default:
+			lo := rng.Float64() * 800
+			qs = append(qs, query.Query{ID: i, Preds: []query.Predicate{
+				query.FloatRange("amount", lo, lo+150)}})
+		}
+	}
+	return qs
+}
+
+func TestQdTreePartitionValidity(t *testing.T) {
+	d := testDataset(t, 1000, 10)
+	qs := qdWorkload(60, 11)
+	l := NewQdTreeGenerator().Generate(d, qs, 16)
+
+	if got := len(l.Part.Assign); got != 1000 {
+		t.Fatalf("assignment covers %d rows", got)
+	}
+	counts := make([]int, l.Part.NumPartitions)
+	for _, pid := range l.Part.Assign {
+		if pid < 0 || pid >= l.Part.NumPartitions {
+			t.Fatalf("invalid partition ID %d", pid)
+		}
+		counts[pid]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("rows lost: %d", total)
+	}
+	if l.Part.NumPartitions > 16 {
+		t.Errorf("tree grew %d leaves, cap was 16", l.Part.NumPartitions)
+	}
+}
+
+func TestQdTreeRespectsLeafCap(t *testing.T) {
+	d := testDataset(t, 500, 12)
+	qs := qdWorkload(100, 13)
+	for _, k := range []int{1, 2, 4, 64} {
+		l := NewQdTreeGenerator().Generate(d, qs, k)
+		if l.Part.NumPartitions > k {
+			t.Errorf("k=%d produced %d leaves", k, l.Part.NumPartitions)
+		}
+	}
+}
+
+func TestQdTreeEmptyWorkloadSinglePartition(t *testing.T) {
+	d := testDataset(t, 100, 14)
+	l := NewQdTreeGenerator().Generate(d, nil, 8)
+	// No cuts can be harvested: the tree stays a single leaf.
+	if l.Part.NumPartitions != 1 {
+		t.Errorf("empty workload produced %d partitions, want 1", l.Part.NumPartitions)
+	}
+}
+
+func TestQdTreeBeatsTimeSortOnItsWorkload(t *testing.T) {
+	d := testDataset(t, 3000, 15)
+	// Workload dominated by categorical filters, which a time sort
+	// cannot skip for.
+	qs := make([]query.Query, 0, 80)
+	rng := rand.New(rand.NewSource(16))
+	for i := 0; i < 80; i++ {
+		qs = append(qs, query.Query{ID: i, Preds: []query.Predicate{
+			query.StrEq("cat", []string{"a", "b", "c", "d"}[rng.Intn(4)])}})
+	}
+	qd := NewQdTreeGenerator().Generate(d, qs, 16)
+	ts := NewSortGenerator("ts").Generate(d, nil, 16)
+	if qc, tc := qd.AvgCost(qs), ts.AvgCost(qs); qc >= tc {
+		t.Errorf("qd-tree avg cost %g not better than time sort %g on its workload", qc, tc)
+	}
+}
+
+// The skipping-soundness property applied to Qd-tree layouts: no
+// partition containing a matching row is ever skipped.
+func TestQdTreeSkippingSound(t *testing.T) {
+	f := func(seed int64) bool {
+		d := testDataset(t, 400, seed)
+		qs := qdWorkload(40, seed+1)
+		l := NewQdTreeGenerator().Generate(d, qs, 8)
+		for _, q := range qs[:10] {
+			for r := 0; r < d.NumRows(); r++ {
+				if q.MatchRow(d, r) {
+					pid := l.Part.Assign[r]
+					if !q.MayMatch(d.Schema(), l.Part.Meta[pid]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQdTreeDeterministic(t *testing.T) {
+	d := testDataset(t, 600, 17)
+	qs := qdWorkload(50, 18)
+	a := NewQdTreeGenerator().Generate(d, qs, 8)
+	b := NewQdTreeGenerator().Generate(d, qs, 8)
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	for r := range a.Part.Assign {
+		if a.Part.Assign[r] != b.Part.Assign[r] {
+			t.Fatal("assignments differ across identical inputs")
+		}
+	}
+}
+
+func TestHarvestCutsDedup(t *testing.T) {
+	schema := testSchema()
+	qs := []query.Query{
+		{Preds: []query.Predicate{query.IntRange("ts", 10, 20)}},
+		{Preds: []query.Predicate{query.IntRange("ts", 10, 20)}}, // duplicate
+		{Preds: []query.Predicate{query.StrIn("cat", "a", "b")}},
+		{Preds: []query.Predicate{query.StrIn("cat", "b", "a")}}, // same set, different order
+	}
+	cuts := harvestCuts(schema, qs)
+	// ts lo, ts hi+1, one string set = 3 distinct cuts.
+	if len(cuts) != 3 {
+		t.Fatalf("harvested %d cuts, want 3: %+v", len(cuts), cuts)
+	}
+}
+
+func TestCutQueryAvoids(t *testing.T) {
+	schema := testSchema()
+	ci := schema.MustIndex("ts")
+	c := &cut{col: ci, kind: cutIntLT, i: 100}
+
+	q := query.Query{Preds: []query.Predicate{query.IntGE("ts", 100)}}
+	aL, aR := c.queryAvoids(schema, q)
+	if !aL || aR {
+		t.Errorf("q[ts>=100] vs cut ts<100: avoids = (%v,%v), want (true,false)", aL, aR)
+	}
+	q2 := query.Query{Preds: []query.Predicate{query.IntLE("ts", 99)}}
+	aL, aR = c.queryAvoids(schema, q2)
+	if aL || !aR {
+		t.Errorf("q[ts<=99] vs cut ts<100: avoids = (%v,%v), want (false,true)", aL, aR)
+	}
+	q3 := query.Query{Preds: []query.Predicate{query.IntRange("ts", 50, 150)}}
+	aL, aR = c.queryAvoids(schema, q3)
+	if aL || aR {
+		t.Errorf("straddling query avoids = (%v,%v), want (false,false)", aL, aR)
+	}
+}
+
+func TestCutStrInAvoids(t *testing.T) {
+	schema := testSchema()
+	ci := schema.MustIndex("cat")
+	c := &cut{col: ci, kind: cutStrIn, set: map[string]bool{"a": true, "b": true}}
+
+	q := query.Query{Preds: []query.Predicate{query.StrEq("cat", "c")}}
+	aL, aR := c.queryAvoids(schema, q)
+	if !aL || aR {
+		t.Errorf("cat=c vs IN(a,b) cut: (%v,%v), want (true,false)", aL, aR)
+	}
+	q2 := query.Query{Preds: []query.Predicate{query.StrEq("cat", "a")}}
+	aL, aR = c.queryAvoids(schema, q2)
+	if aL || !aR {
+		t.Errorf("cat=a vs IN(a,b) cut: (%v,%v), want (false,true)", aL, aR)
+	}
+	q3 := query.Query{Preds: []query.Predicate{query.StrIn("cat", "a", "c")}}
+	aL, aR = c.queryAvoids(schema, q3)
+	if aL || aR {
+		t.Errorf("cat IN (a,c) vs IN(a,b) cut: (%v,%v), want (false,false)", aL, aR)
+	}
+}
+
+func TestStrideSample(t *testing.T) {
+	s := strideSample(10, 20)
+	if len(s) != 10 {
+		t.Errorf("oversized request returned %d rows", len(s))
+	}
+	s = strideSample(100, 10)
+	if len(s) != 10 {
+		t.Fatalf("got %d rows, want 10", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatal("stride sample not strictly increasing")
+		}
+	}
+	if s[0] != 0 || s[9] != 90 {
+		t.Errorf("stride sample = %v", s)
+	}
+}
+
+func TestWorkloadTag(t *testing.T) {
+	if got := workloadTag(nil); got != "empty" {
+		t.Errorf("empty tag = %q", got)
+	}
+	qs := []query.Query{{ID: 5}, {ID: 2}, {ID: 9}}
+	if got := workloadTag(qs); got != "q2..9" {
+		t.Errorf("tag = %q, want q2..9", got)
+	}
+}
+
+func TestQdTreeSampleSizeOption(t *testing.T) {
+	d := testDataset(t, 2000, 19)
+	qs := qdWorkload(40, 20)
+	g := &QdTreeGenerator{SampleSize: 100, MinLeafRows: 4}
+	l := g.Generate(d, qs, 8)
+	if l.Part.NumPartitions < 1 || l.Part.NumPartitions > 8 {
+		t.Errorf("partitions = %d", l.Part.NumPartitions)
+	}
+	if l.Part.TotalRows != 2000 {
+		t.Errorf("total rows = %d", l.Part.TotalRows)
+	}
+}

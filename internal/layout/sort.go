@@ -1,0 +1,77 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// SortGenerator produces the default layout: sort the dataset by one or
+// more predefined columns (typically the arrival-time column) and chop
+// it into k equal-sized partitions. This is the "partition by arrival
+// time" baseline every system starts from and the initial state of
+// OREO's dynamic state space.
+type SortGenerator struct {
+	// Columns are the sort keys in major-to-minor order.
+	Columns []string
+}
+
+// NewSortGenerator returns a generator sorting by the given columns.
+func NewSortGenerator(columns ...string) *SortGenerator {
+	if len(columns) == 0 {
+		panic("layout: SortGenerator needs at least one column")
+	}
+	return &SortGenerator{Columns: columns}
+}
+
+// Name implements Generator.
+func (g *SortGenerator) Name() string { return "sort" }
+
+// Generate implements Generator. The workload argument is ignored: sort
+// layouts are workload-oblivious.
+func (g *SortGenerator) Generate(d *table.Dataset, _ []query.Query, k int) *Layout {
+	cols := make([]int, 0, len(g.Columns))
+	for _, name := range g.Columns {
+		ci, ok := d.Schema().Index(name)
+		if !ok {
+			panic(fmt.Sprintf("layout: sort column %q not in schema", name))
+		}
+		cols = append(cols, ci)
+	}
+
+	order := make([]int, d.NumRows())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		for _, c := range cols {
+			cmp := d.ValueAt(c, ra).Compare(d.ValueAt(c, rb))
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+
+	assign := chopSorted(order, d.NumRows(), k)
+	part := table.MustBuildPartitioning(d, assign, k)
+	return New(fmt.Sprintf("sort(%s)", strings.Join(g.Columns, ",")), d.Schema(), part)
+}
+
+// chopSorted assigns the rows (listed in sorted order) to k contiguous
+// equal-sized partitions and returns the row→partition vector.
+func chopSorted(order []int, numRows, k int) []int {
+	assign := make([]int, numRows)
+	for pos, row := range order {
+		pid := pos * k / numRows
+		if pid >= k {
+			pid = k - 1
+		}
+		assign[row] = pid
+	}
+	return assign
+}

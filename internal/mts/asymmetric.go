@@ -1,0 +1,65 @@
+package mts
+
+import "fmt"
+
+// TwoStateAsymmetric implements the special case the paper's Appendix C
+// analyzes: a two-state task system with asymmetric movement costs
+// (the index-tuning regime, where creating an index is expensive but
+// dropping it is nearly free). The algorithm is the classic
+// counter-based scheme: while in state s, accumulate the *excess* cost
+// of s over the other state; move when the excess reaches the cost of
+// moving away from s. This is the deterministic 3-competitive strategy
+// of Bruno & Chaudhuri (ICDE 2007) generalized to arbitrary asymmetric
+// costs, included here as an ablation substrate for comparing uniform
+// vs. asymmetric regimes.
+type TwoStateAsymmetric struct {
+	// cost01 is the movement cost from state 0 to 1; cost10 from 1 to 0.
+	cost01, cost10 float64
+	current        int
+	excess         float64
+	switches       int
+}
+
+// NewTwoStateAsymmetric returns the decision maker starting in state
+// start (0 or 1) with the given directional movement costs.
+func NewTwoStateAsymmetric(cost01, cost10 float64, start int) *TwoStateAsymmetric {
+	if cost01 <= 0 || cost10 <= 0 {
+		panic("mts: movement costs must be positive")
+	}
+	if start != 0 && start != 1 {
+		panic(fmt.Sprintf("mts: start state must be 0 or 1, got %d", start))
+	}
+	return &TwoStateAsymmetric{cost01: cost01, cost10: cost10, current: start}
+}
+
+// Observe processes one task with the given per-state service costs and
+// reports whether the system moved.
+func (a *TwoStateAsymmetric) Observe(cost0, cost1 float64) (switched bool) {
+	var here, there float64
+	if a.current == 0 {
+		here, there = cost0, cost1
+	} else {
+		here, there = cost1, cost0
+	}
+	a.excess += here - there
+	if a.excess < 0 {
+		a.excess = 0 // the current state is winning; no debt carried
+	}
+	moveCost := a.cost01
+	if a.current == 1 {
+		moveCost = a.cost10
+	}
+	if a.excess >= moveCost {
+		a.current = 1 - a.current
+		a.excess = 0
+		a.switches++
+		return true
+	}
+	return false
+}
+
+// Current returns the current state (0 or 1).
+func (a *TwoStateAsymmetric) Current() int { return a.current }
+
+// Switches returns the number of moves made.
+func (a *TwoStateAsymmetric) Switches() int { return a.switches }

@@ -1,0 +1,53 @@
+package mts
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkObserve(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(benchName("states", n), func(b *testing.B) {
+			r := New(Config{Alpha: 80, Gamma: 1}, rand.New(rand.NewSource(1)))
+			for s := 0; s < n; s++ {
+				r.AddState(StateID(s))
+			}
+			r.SetInitial(0)
+			rng := rand.New(rand.NewSource(2))
+			costs := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := range costs {
+					costs[s] = rng.Float64()
+				}
+				r.Observe(func(id StateID) float64 { return costs[id] })
+			}
+		})
+	}
+}
+
+func BenchmarkOfflineOptimal(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	costs := randomInstance(rng, 10000, 16, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OfflineOptimal(costs, 80, 0)
+	}
+}
+
+func BenchmarkMultiCopyObserve(b *testing.B) {
+	m := NewMultiCopy(Config{Alpha: 80}, 4, rand.New(rand.NewSource(4)))
+	for s := 0; s < 16; s++ {
+		m.AddState(StateID(s))
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(func(id StateID) float64 { return rng.Float64() })
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return fmt.Sprintf("%s=%d", prefix, n)
+}

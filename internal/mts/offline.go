@@ -1,0 +1,68 @@
+package mts
+
+// OfflineOptimal computes the exact optimal offline cost of a uniform
+// MTS instance via dynamic programming: costs[t][s] is the service cost
+// of query t in state s, alpha the uniform movement cost, start the
+// mandatory initial state (-1 for a free choice). It returns the
+// minimal total cost and the number of moves an optimal schedule makes.
+//
+// This is the benchmark the competitive ratio is measured against. The
+// DP is O(T·n) using the standard trick: the best predecessor is either
+// the same state or the globally cheapest previous state plus alpha.
+func OfflineOptimal(costs [][]float64, alpha float64, start int) (total float64, moves int) {
+	if len(costs) == 0 {
+		return 0, 0
+	}
+	n := len(costs[0])
+	const inf = 1e308
+
+	cur := make([]float64, n)
+	curMoves := make([]int, n)
+	for s := 0; s < n; s++ {
+		base := 0.0
+		m := 0
+		if start >= 0 && s != start {
+			base = alpha
+			m = 1
+		}
+		cur[s] = base + costs[0][s]
+		curMoves[s] = m
+	}
+
+	next := make([]float64, n)
+	nextMoves := make([]int, n)
+	for t := 1; t < len(costs); t++ {
+		// Globally cheapest previous state (for a move), tie-broken by
+		// fewer moves.
+		bestPrev := inf
+		bestPrevMoves := 0
+		for s := 0; s < n; s++ {
+			if cur[s] < bestPrev || (cur[s] == bestPrev && curMoves[s] < bestPrevMoves) {
+				bestPrev = cur[s]
+				bestPrevMoves = curMoves[s]
+			}
+		}
+		for s := 0; s < n; s++ {
+			stay := cur[s]
+			move := bestPrev + alpha
+			if stay <= move {
+				next[s] = stay + costs[t][s]
+				nextMoves[s] = curMoves[s]
+			} else {
+				next[s] = move + costs[t][s]
+				nextMoves[s] = bestPrevMoves + 1
+			}
+		}
+		cur, next = next, cur
+		curMoves, nextMoves = nextMoves, curMoves
+	}
+
+	total = inf
+	for s := 0; s < n; s++ {
+		if cur[s] < total || (cur[s] == total && curMoves[s] < moves) {
+			total = cur[s]
+			moves = curMoves[s]
+		}
+	}
+	return total, moves
+}

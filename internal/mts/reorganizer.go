@@ -1,0 +1,422 @@
+// Package mts implements the paper's core theoretical contribution: a
+// metrical-task-system reorganizer for D-UMTS, the dynamic variant of
+// uniform metrical task systems in which states (data layouts) may be
+// added and removed while the query stream is being processed.
+//
+// The algorithm extends Borodin–Linial–Saks (JACM 1992): each state
+// carries a counter that accumulates its would-have-been service cost;
+// a state "saturates" when its counter reaches α (the uniform movement
+// cost); when the current state saturates the system jumps to a random
+// unsaturated state; when every state is saturated, a new *phase* begins
+// with all counters reset. Theorem IV.1 of the paper shows the dynamic
+// extension below is 2·H(|Smax|)-competitive, which is asymptotically
+// optimal.
+//
+// Two paper refinements are included:
+//
+//   - stay-in-place: a new phase keeps the current state instead of
+//     forcing a random move (saves the initial transition cost without
+//     changing the asymptotic ratio);
+//   - predictor-biased transitions (Theorem IV.2): jumps select a state
+//     with probability proportional to w(s)^γ, where w(s) is the average
+//     fraction of data the state skipped in the previous phase; γ = 0
+//     recovers the classic uniform choice.
+package mts
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// StateID identifies a state (data layout) in the D-UMTS state space.
+// IDs are assigned by the caller and never reused.
+type StateID int
+
+// Config parameterizes the reorganizer.
+type Config struct {
+	// Alpha is the uniform movement (reorganization) cost, expressed in
+	// the same unit as per-query service costs (which are in [0,1]).
+	// Must be > 1, as in the paper's formulation.
+	Alpha float64
+	// Gamma biases transitions toward states that performed well in the
+	// previous phase: probability ∝ w^Gamma. Zero selects uniformly.
+	Gamma float64
+	// DisableStayInPlace reverts to the original BLS behaviour of
+	// jumping to a random state at every phase start. The paper's
+	// empirical optimization (§IV-A) keeps the current state instead;
+	// this flag exists for the ablation.
+	DisableStayInPlace bool
+}
+
+// Reorganizer is the D-UMTS decision maker. It is not safe for
+// concurrent use. All randomness comes from the rng passed at
+// construction, so runs are reproducible.
+type Reorganizer struct {
+	cfg Config
+	rng *rand.Rand
+
+	// states is the full state space S; value is true while the state is
+	// active (member of SA, counter below alpha).
+	states map[StateID]bool
+	// counter is C(s) for s in S (present for active and saturated).
+	counter map[StateID]float64
+	// pending are states added mid-phase, deferred to the next phase.
+	pending map[StateID]bool
+
+	current     StateID
+	haveCurrent bool
+	started     bool
+
+	// Predictor bookkeeping. phaseCost accumulates this phase's service
+	// cost per state; weight holds last phase's average skipped fraction.
+	phaseCost    map[StateID]float64
+	phaseQueries int
+	weight       map[StateID]float64
+
+	// Stats.
+	switches int
+	phases   int
+	maxSpace int // |Smax|: largest state space seen (for bound reporting)
+}
+
+// New returns a reorganizer. It panics if cfg.Alpha <= 1, because the
+// competitive analysis (and the phase structure itself) requires the
+// movement cost to exceed any single query's service cost.
+func New(cfg Config, rng *rand.Rand) *Reorganizer {
+	if cfg.Alpha <= 1 {
+		panic(fmt.Sprintf("mts: Alpha must be > 1, got %g", cfg.Alpha))
+	}
+	if cfg.Gamma < 0 {
+		panic(fmt.Sprintf("mts: Gamma must be >= 0, got %g", cfg.Gamma))
+	}
+	return &Reorganizer{
+		cfg:       cfg,
+		rng:       rng,
+		states:    make(map[StateID]bool),
+		counter:   make(map[StateID]float64),
+		pending:   make(map[StateID]bool),
+		phaseCost: make(map[StateID]float64),
+		weight:    make(map[StateID]float64),
+	}
+}
+
+// AddState introduces a state into the state space S. Before processing
+// starts, the state joins the active set immediately; mid-stream it is
+// deferred to the start of the next phase, exactly as Algorithm 4
+// prescribes. Adding an existing state is a no-op.
+func (r *Reorganizer) AddState(id StateID) {
+	if _, ok := r.states[id]; ok {
+		return
+	}
+	if r.pending[id] {
+		return
+	}
+	if !r.started {
+		r.states[id] = true
+		r.counter[id] = 0
+	} else {
+		r.pending[id] = true
+	}
+	r.trackSpace()
+}
+
+// RemoveState deletes a state from the state space. Its counter is set
+// to α (it can no longer be switched to this phase); if that saturates
+// the whole active set, a new phase starts with the updated state set;
+// if the current state was removed, the system jumps to a random
+// available state. The returned flag reports whether the current state
+// changed (which costs a reorganization).
+func (r *Reorganizer) RemoveState(id StateID) (switched bool) {
+	if r.pending[id] {
+		delete(r.pending, id)
+		return false
+	}
+	if _, ok := r.states[id]; !ok {
+		return false
+	}
+	delete(r.states, id)
+	delete(r.counter, id)
+	delete(r.phaseCost, id)
+	delete(r.weight, id)
+
+	if !r.started {
+		if r.haveCurrent && r.current == id {
+			r.haveCurrent = false
+		}
+		return false
+	}
+
+	if r.activeCount() == 0 {
+		r.resetPhase()
+	}
+	if r.haveCurrent && r.current == id {
+		r.current = r.pickNext()
+		r.switches++
+		return true
+	}
+	return false
+}
+
+// SetInitial pins the starting state. It must be called before the
+// first Observe; otherwise the initial state is drawn uniformly from
+// the active set (Algorithm 1 line 2).
+func (r *Reorganizer) SetInitial(id StateID) {
+	if r.started {
+		panic("mts: SetInitial after processing started")
+	}
+	if _, ok := r.states[id]; !ok {
+		panic(fmt.Sprintf("mts: SetInitial of unknown state %d", id))
+	}
+	r.current = id
+	r.haveCurrent = true
+}
+
+// Observe processes one service query. cost must return c(s, q) in
+// [0, 1] for any state in the space. It returns whether the system
+// switched states (incurring one reorganization of cost α) and the
+// state the query should be served in.
+func (r *Reorganizer) Observe(cost func(StateID) float64) (switched bool, serveIn StateID) {
+	r.start()
+
+	// Update counters for all active states (Algorithm 3 line 1).
+	for id, active := range r.states {
+		if !active {
+			continue
+		}
+		c := cost(id)
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			panic(fmt.Sprintf("mts: service cost %g for state %d outside [0,1]", c, id))
+		}
+		r.counter[id] += c
+		r.phaseCost[id] += c
+		if r.counter[id] >= r.cfg.Alpha {
+			r.states[id] = false // saturated: drops out of SA
+		}
+	}
+	r.phaseQueries++
+
+	// If the current state saturated, move (Algorithm 3 lines 3-6).
+	if r.haveCurrent && !r.states[r.current] {
+		if r.activeCount() == 0 {
+			// All counters full: new phase. By default the stay-in-place
+			// optimization keeps the current state; the original BLS
+			// algorithm instead transitions to a random state.
+			r.resetPhase()
+			if r.cfg.DisableStayInPlace {
+				prev := r.current
+				r.current = r.pickNext()
+				if r.current != prev {
+					r.switches++
+					return true, r.current
+				}
+			}
+			return false, r.current
+		}
+		r.current = r.pickNext()
+		r.switches++
+		return true, r.current
+	}
+	return false, r.current
+}
+
+// start lazily performs Algorithm 1's initialization on first use.
+func (r *Reorganizer) start() {
+	if r.started {
+		return
+	}
+	if len(r.states) == 0 {
+		panic("mts: Observe with empty state space")
+	}
+	r.started = true
+	r.phases = 1
+	if !r.haveCurrent {
+		r.current = r.pickUniform()
+		r.haveCurrent = true
+	}
+}
+
+// resetPhase implements ResetStates for the dynamic setting: pending
+// additions join S, every state becomes active with a zero counter, and
+// predictor weights are refreshed from the finished phase's costs.
+func (r *Reorganizer) resetPhase() {
+	// Refresh predictor weights: w(s) = avg fraction skipped last phase.
+	if r.phaseQueries > 0 {
+		fresh := make(map[StateID]float64, len(r.states))
+		var known []float64
+		for id := range r.states {
+			if c, ok := r.phaseCost[id]; ok {
+				w := 1 - c/float64(r.phaseQueries)
+				if w < 1e-6 {
+					w = 1e-6
+				}
+				fresh[id] = w
+				known = append(known, w)
+			}
+		}
+		med := median(known)
+		for id := range r.pending {
+			fresh[id] = med
+		}
+		r.weight = fresh
+	}
+
+	for id := range r.pending {
+		r.states[id] = true
+		delete(r.pending, id)
+	}
+	for id := range r.states {
+		r.states[id] = true
+		r.counter[id] = 0
+	}
+	r.phaseCost = make(map[StateID]float64, len(r.states))
+	r.phaseQueries = 0
+	r.phases++
+	r.trackSpace()
+}
+
+// pickNext draws the next state from the active set using the
+// γ-biased predictor distribution (uniform when γ = 0 or no weights).
+func (r *Reorganizer) pickNext() StateID {
+	if r.cfg.Gamma == 0 {
+		return r.pickUniform()
+	}
+	ids := r.activeIDs()
+	if len(ids) == 0 {
+		panic("mts: pickNext with empty active set")
+	}
+	med := median(r.knownWeights(ids))
+	if med == 0 {
+		med = 0.5
+	}
+	total := 0.0
+	probs := make([]float64, len(ids))
+	for i, id := range ids {
+		w, ok := r.weight[id]
+		if !ok {
+			w = med // unseen state: median weight, per the paper
+		}
+		p := math.Pow(w, r.cfg.Gamma)
+		probs[i] = p
+		total += p
+	}
+	if total <= 0 {
+		return ids[r.rng.Intn(len(ids))]
+	}
+	x := r.rng.Float64() * total
+	for i, p := range probs {
+		x -= p
+		if x <= 0 {
+			return ids[i]
+		}
+	}
+	return ids[len(ids)-1]
+}
+
+func (r *Reorganizer) pickUniform() StateID {
+	ids := r.activeIDs()
+	if len(ids) == 0 {
+		panic("mts: pickUniform with empty active set")
+	}
+	return ids[r.rng.Intn(len(ids))]
+}
+
+// activeIDs returns the active states in sorted order, so that random
+// selection consumes rng deterministically across map iteration orders.
+func (r *Reorganizer) activeIDs() []StateID {
+	ids := make([]StateID, 0, len(r.states))
+	for id, active := range r.states {
+		if active {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (r *Reorganizer) knownWeights(ids []StateID) []float64 {
+	var ws []float64
+	for _, id := range ids {
+		if w, ok := r.weight[id]; ok {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+func (r *Reorganizer) activeCount() int {
+	n := 0
+	for _, active := range r.states {
+		if active {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Reorganizer) trackSpace() {
+	if n := len(r.states) + len(r.pending); n > r.maxSpace {
+		r.maxSpace = n
+	}
+}
+
+// median of a float slice; 0 for empty input.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Current returns the current state. Valid once processing started or
+// SetInitial was called.
+func (r *Reorganizer) Current() StateID { return r.current }
+
+// Has reports whether the state is in the state space (active,
+// saturated, or pending).
+func (r *Reorganizer) Has(id StateID) bool {
+	if _, ok := r.states[id]; ok {
+		return true
+	}
+	return r.pending[id]
+}
+
+// NumStates returns |S| including pending additions.
+func (r *Reorganizer) NumStates() int { return len(r.states) + len(r.pending) }
+
+// NumActive returns |SA|.
+func (r *Reorganizer) NumActive() int { return r.activeCount() }
+
+// Counter returns C(s) for diagnostics and tests.
+func (r *Reorganizer) Counter(id StateID) float64 { return r.counter[id] }
+
+// Switches returns the number of state transitions made so far.
+func (r *Reorganizer) Switches() int { return r.switches }
+
+// Phases returns the number of phases started so far.
+func (r *Reorganizer) Phases() int { return r.phases }
+
+// MaxSpace returns |Smax|, the largest state-space size observed, which
+// governs the 2(1+log|Smax|) competitive bound of Theorem IV.1.
+func (r *Reorganizer) MaxSpace() int { return r.maxSpace }
+
+// CompetitiveBound returns the worst-case guarantee 2·H(|Smax|) from
+// Theorem IV.1 for the state space seen so far.
+func (r *Reorganizer) CompetitiveBound() float64 {
+	return 2 * Harmonic(r.maxSpace)
+}
+
+// Harmonic returns the n-th harmonic number H(n).
+func Harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}

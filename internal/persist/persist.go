@@ -1,0 +1,125 @@
+// Package persist serializes data layouts so that a chosen layout (and
+// OREO's candidate set) survives process restarts — the operational
+// requirement for any system that maintains layouts alongside the data
+// it partitions. The format is versioned JSON: the row→partition
+// assignment is stored run-length encoded (layouts assign long runs of
+// adjacent rows to the same partition, so RLE is compact), and the
+// partition metadata is *recomputed* from the dataset at load time
+// rather than trusted from disk, so stale or tampered files can never
+// produce unsound skipping.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oreo/internal/layout"
+	"oreo/internal/table"
+)
+
+// FormatVersion identifies the on-disk layout encoding.
+const FormatVersion = 1
+
+// layoutFile is the serialized form.
+type layoutFile struct {
+	Version       int      `json:"version"`
+	Name          string   `json:"name"`
+	NumPartitions int      `json:"num_partitions"`
+	NumRows       int      `json:"num_rows"`
+	Columns       []string `json:"columns"`
+	// RLE is the run-length-encoded assignment: pairs of
+	// (partitionID, runLength), flattened.
+	RLE []int `json:"rle"`
+}
+
+// SaveLayout writes the layout to w.
+func SaveLayout(w io.Writer, l *layout.Layout) error {
+	if l == nil || l.Part == nil {
+		return fmt.Errorf("persist: nil layout")
+	}
+	f := layoutFile{
+		Version:       FormatVersion,
+		Name:          l.Name,
+		NumPartitions: l.Part.NumPartitions,
+		NumRows:       len(l.Part.Assign),
+		Columns:       l.Schema().Names(),
+		RLE:           encodeRLE(l.Part.Assign),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// LoadLayout reads a layout written by SaveLayout and rebinds it to the
+// dataset, recomputing all partition metadata. The dataset must have
+// the same schema (column names, in order) and row count as the one the
+// layout was saved against.
+func LoadLayout(r io.Reader, ds *table.Dataset) (*layout.Layout, error) {
+	var f layoutFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("persist: decoding layout: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", f.Version, FormatVersion)
+	}
+	if f.NumRows != ds.NumRows() {
+		return nil, fmt.Errorf("persist: layout covers %d rows, dataset has %d", f.NumRows, ds.NumRows())
+	}
+	names := ds.Schema().Names()
+	if len(names) != len(f.Columns) {
+		return nil, fmt.Errorf("persist: schema has %d columns, layout was saved with %d", len(names), len(f.Columns))
+	}
+	for i := range names {
+		if names[i] != f.Columns[i] {
+			return nil, fmt.Errorf("persist: column %d is %q, layout was saved with %q", i, names[i], f.Columns[i])
+		}
+	}
+	assign, err := decodeRLE(f.RLE, f.NumRows)
+	if err != nil {
+		return nil, err
+	}
+	part, err := table.BuildPartitioning(ds, assign, f.NumPartitions)
+	if err != nil {
+		return nil, fmt.Errorf("persist: rebuilding partitioning: %w", err)
+	}
+	return layout.New(f.Name, ds.Schema(), part), nil
+}
+
+// encodeRLE run-length encodes the assignment as (value, length) pairs.
+func encodeRLE(assign []int) []int {
+	var out []int
+	for i := 0; i < len(assign); {
+		j := i
+		for j < len(assign) && assign[j] == assign[i] {
+			j++
+		}
+		out = append(out, assign[i], j-i)
+		i = j
+	}
+	return out
+}
+
+// decodeRLE inverts encodeRLE, validating total length.
+func decodeRLE(rle []int, wantLen int) ([]int, error) {
+	if len(rle)%2 != 0 {
+		return nil, fmt.Errorf("persist: malformed RLE (odd length %d)", len(rle))
+	}
+	out := make([]int, 0, wantLen)
+	for i := 0; i < len(rle); i += 2 {
+		val, n := rle[i], rle[i+1]
+		if n <= 0 {
+			return nil, fmt.Errorf("persist: malformed RLE run length %d", n)
+		}
+		if len(out)+n > wantLen {
+			return nil, fmt.Errorf("persist: RLE overflows declared row count %d", wantLen)
+		}
+		for j := 0; j < n; j++ {
+			out = append(out, val)
+		}
+	}
+	if len(out) != wantLen {
+		return nil, fmt.Errorf("persist: RLE decodes to %d rows, want %d", len(out), wantLen)
+	}
+	return out, nil
+}

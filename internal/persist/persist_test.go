@@ -1,0 +1,144 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oreo/internal/layout"
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+func testDataset(n int, seed int64) *table.Dataset {
+	schema := table.NewSchema(
+		table.Column{Name: "ts", Type: table.Int64},
+		table.Column{Name: "cat", Type: table.String},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	b := table.NewBuilder(schema, n)
+	cats := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		b.AppendRow(table.Int(int64(i)), table.Str(cats[rng.Intn(3)]))
+	}
+	return b.Build()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := testDataset(500, 1)
+	orig := layout.NewSortGenerator("cat").Generate(ds, nil, 8)
+
+	var buf bytes.Buffer
+	if err := SaveLayout(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLayout(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != orig.Name {
+		t.Errorf("name %q, want %q", loaded.Name, orig.Name)
+	}
+	if loaded.Part.NumPartitions != orig.Part.NumPartitions {
+		t.Errorf("partitions %d, want %d", loaded.Part.NumPartitions, orig.Part.NumPartitions)
+	}
+	for r := range orig.Part.Assign {
+		if loaded.Part.Assign[r] != orig.Part.Assign[r] {
+			t.Fatalf("row %d assignment differs", r)
+		}
+	}
+	// Recomputed metadata must give identical costs.
+	q := query.Query{Preds: []query.Predicate{query.StrEq("cat", "b")}}
+	if a, b := orig.Cost(q), loaded.Cost(q); a != b {
+		t.Errorf("cost diverged after round trip: %g vs %g", a, b)
+	}
+}
+
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	ds := testDataset(500, 2)
+	orig := layout.NewSortGenerator("ts").Generate(ds, nil, 4)
+	var buf bytes.Buffer
+	if err := SaveLayout(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong row count.
+	if _, err := LoadLayout(bytes.NewReader(buf.Bytes()), testDataset(400, 2)); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+
+	// Wrong schema.
+	other := table.NewBuilder(table.NewSchema(
+		table.Column{Name: "x", Type: table.Int64},
+		table.Column{Name: "cat", Type: table.String},
+	), 500)
+	for i := 0; i < 500; i++ {
+		other.AppendRow(table.Int(int64(i)), table.Str("a"))
+	}
+	if _, err := LoadLayout(bytes.NewReader(buf.Bytes()), other.Build()); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	ds := testDataset(10, 3)
+	cases := []string{
+		"not json",
+		`{"version":99,"num_rows":10}`,
+		`{"version":1,"num_rows":10,"columns":["ts","cat"],"num_partitions":2,"rle":[0]}`,         // odd RLE
+		`{"version":1,"num_rows":10,"columns":["ts","cat"],"num_partitions":2,"rle":[0,5]}`,       // short
+		`{"version":1,"num_rows":10,"columns":["ts","cat"],"num_partitions":2,"rle":[0,11]}`,      // overflow
+		`{"version":1,"num_rows":10,"columns":["ts","cat"],"num_partitions":2,"rle":[0,-1,0,11]}`, // bad run
+		`{"version":1,"num_rows":10,"columns":["ts","cat"],"num_partitions":2,"rle":[9,10]}`,      // bad pid
+	}
+	for i, c := range cases {
+		if _, err := LoadLayout(strings.NewReader(c), ds); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestSaveNilLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveLayout(&buf, nil); err == nil {
+		t.Error("nil layout accepted")
+	}
+}
+
+// Property: RLE round-trips any assignment vector.
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		assign := make([]int, len(raw))
+		for i, v := range raw {
+			assign[i] = int(v % 7)
+		}
+		got, err := decodeRLE(encodeRLE(assign), len(assign))
+		if err != nil {
+			return len(assign) == 0 && err == nil
+		}
+		if len(got) != len(assign) {
+			return false
+		}
+		for i := range got {
+			if got[i] != assign[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLECompactness(t *testing.T) {
+	// A sorted layout's assignment is k runs: RLE must be 2k ints.
+	ds := testDataset(1000, 4)
+	l := layout.NewSortGenerator("ts").Generate(ds, nil, 10)
+	rle := encodeRLE(l.Part.Assign)
+	if len(rle) != 20 {
+		t.Errorf("RLE of contiguous layout has %d entries, want 20", len(rle))
+	}
+}

@@ -1,0 +1,88 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oreo/internal/datagen"
+	"oreo/internal/query"
+	"oreo/internal/workload"
+)
+
+func TestQueryLogRoundTrip(t *testing.T) {
+	qs := []query.Query{
+		{ID: 0, Template: 2, Preds: []query.Predicate{query.IntRange("a", -5, 10)}},
+		{ID: 1, Preds: []query.Predicate{query.FloatGE("b", 0.25), query.StrEq("c", "x")}},
+		{ID: 2, Preds: []query.Predicate{query.StrIn("c", "x", "y", "z")}},
+		{ID: 3, Preds: []query.Predicate{query.IntLE("a", 0)}}, // zero bound round-trips
+		{ID: 4}, // empty conjunction
+	}
+	var buf bytes.Buffer
+	if err := SaveQueries(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadQueries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qs, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", qs, got)
+	}
+}
+
+func TestQueryLogRealWorkloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ds := range datagen.Names() {
+		stream := workload.MustGenerate(workload.TemplatesFor(ds),
+			workload.Config{NumQueries: 200, NumSegments: 4}, rng)
+		var buf bytes.Buffer
+		if err := SaveQueries(&buf, stream.Queries); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		got, err := LoadQueries(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if !reflect.DeepEqual(stream.Queries, got) {
+			t.Errorf("%s: workload does not round-trip", ds)
+		}
+	}
+}
+
+func TestQueryLogRejectsCorruption(t *testing.T) {
+	cases := []string{
+		`{"id":0,"preds":[{"col":""}]}`,                        // empty column
+		`{"id":0,"preds":[{"col":"a"}]}`,                       // no bounds, no IN
+		`{"id":0,"preds":[{"col":"a","has_lo":true}]} garbage`, // trailing garbage
+	}
+	for i, c := range cases {
+		if _, err := LoadQueries(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestQueryLogEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveQueries(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadQueries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty log decoded %d queries", len(got))
+	}
+}
+
+func TestQueryLogSaveRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []query.Query{{ID: 0, Preds: []query.Predicate{{Col: "a"}}}}
+	if err := SaveQueries(&buf, bad); err == nil {
+		t.Error("unbounded numeric predicate accepted at save time")
+	}
+}

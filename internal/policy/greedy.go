@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"oreo/internal/layout"
+	"oreo/internal/manager"
+	"oreo/internal/query"
+)
+
+// Greedy is the aggressive online baseline: whenever the layout manager
+// produces a candidate whose query cost on the sliding window beats the
+// current layout's, switch immediately — reorganization cost be damned.
+// It represents the lowest query cost attainable by any online strategy
+// sharing the same candidate stream, at the price of the largest
+// reorganization bill.
+type Greedy struct {
+	feed    *manager.Feed
+	current *layout.Layout
+}
+
+// NewGreedy returns the greedy policy starting from the initial layout
+// and consuming candidates from the feed.
+func NewGreedy(feed *manager.Feed, initial *layout.Layout) *Greedy {
+	return &Greedy{feed: feed, current: initial}
+}
+
+// Name implements Policy.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// Current implements Policy.
+func (g *Greedy) Current() *layout.Layout { return g.current }
+
+// Observe implements Policy.
+func (g *Greedy) Observe(q query.Query) *layout.Layout {
+	cands := g.feed.Observe(q)
+	if len(cands) == 0 {
+		return nil
+	}
+	window := g.feed.WindowQueries()
+	curCost := g.current.AvgCost(window)
+	var best *layout.Layout
+	bestCost := curCost
+	for _, c := range cands {
+		if c.Layout.Name == g.current.Name {
+			continue
+		}
+		if cost := c.Layout.AvgCost(window); cost < bestCost {
+			best, bestCost = c.Layout, cost
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	g.current = best
+	return best
+}

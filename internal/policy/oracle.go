@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"oreo/internal/layout"
+	"oreo/internal/mts"
+	"oreo/internal/query"
+	"oreo/internal/workload"
+)
+
+// MTSOptimal is the paper's first oracle reference (§VI-C): instead of
+// growing the state space online, it is handed a fixed state space
+// containing the best precomputed layout for every query template, and
+// runs the same (modified) MTS algorithm over it. The gap between OREO
+// and MTSOptimal isolates the cost of learning the state space online.
+type MTSOptimal struct {
+	reorg  *mts.Reorganizer
+	states map[mts.StateID]*layout.Layout
+}
+
+// NewMTSOptimal builds the oracle policy from the precomputed
+// per-template layouts (plus the initial layout as state 0).
+func NewMTSOptimal(initial *layout.Layout, perTemplate []*layout.Layout, reorg *mts.Reorganizer) *MTSOptimal {
+	m := &MTSOptimal{reorg: reorg, states: make(map[mts.StateID]*layout.Layout)}
+	id := mts.StateID(0)
+	m.states[id] = initial
+	m.reorg.AddState(id)
+	m.reorg.SetInitial(id)
+	for _, l := range perTemplate {
+		if l == nil {
+			continue
+		}
+		id++
+		m.states[id] = l
+		m.reorg.AddState(id)
+	}
+	return m
+}
+
+// Name implements Policy.
+func (m *MTSOptimal) Name() string { return "MTS Optimal" }
+
+// Current implements Policy.
+func (m *MTSOptimal) Current() *layout.Layout { return m.states[m.reorg.Current()] }
+
+// StateSpaceSize implements SpaceReporter.
+func (m *MTSOptimal) StateSpaceSize() int { return m.reorg.NumStates() }
+
+// Observe implements Policy.
+func (m *MTSOptimal) Observe(q query.Query) *layout.Layout {
+	switched, sid := m.reorg.Observe(func(id mts.StateID) float64 {
+		return m.states[id].Cost(q)
+	})
+	if switched {
+		return m.states[sid]
+	}
+	return nil
+}
+
+// OfflineOptimal is the paper's second oracle (§VI-C): it sees the
+// whole workload in advance and switches to the best layout for each
+// template exactly when the stream's template changes. It lower-bounds
+// the query cost of any online solution (it pays α per template switch
+// but never serves a query on a stale layout).
+type OfflineOptimal struct {
+	current  *layout.Layout
+	schedule map[int]*layout.Layout // query ID -> layout to switch to
+}
+
+// NewOfflineOptimal builds the oracle from the stream's segment
+// structure and the per-template layouts (indexed by template).
+// Segments whose template has no precomputed layout stay on the
+// previous layout.
+func NewOfflineOptimal(initial *layout.Layout, stream *workload.Stream, perTemplate map[int]*layout.Layout) *OfflineOptimal {
+	o := &OfflineOptimal{current: initial, schedule: make(map[int]*layout.Layout)}
+	for _, seg := range stream.Segments {
+		if l, ok := perTemplate[seg.Template]; ok && l != nil {
+			o.schedule[seg.Start] = l
+		}
+	}
+	return o
+}
+
+// Name implements Policy.
+func (o *OfflineOptimal) Name() string { return "Offline Optimal" }
+
+// Current implements Policy.
+func (o *OfflineOptimal) Current() *layout.Layout { return o.current }
+
+// Observe implements Policy.
+func (o *OfflineOptimal) Observe(q query.Query) *layout.Layout {
+	next, ok := o.schedule[q.ID]
+	if !ok || next.Name == o.current.Name {
+		return nil
+	}
+	o.current = next
+	return next
+}

@@ -1,0 +1,50 @@
+// Package policy implements the reorganization strategies the paper
+// compares: OREO itself plus the Static, Greedy, and Regret baselines
+// and the two oracle references (MTS Optimal, Offline Optimal). All
+// policies speak the same interface so the simulation harness can drive
+// any of them over a query stream.
+package policy
+
+import (
+	"oreo/internal/layout"
+	"oreo/internal/query"
+)
+
+// Policy is a layout-switching strategy. The harness calls Observe for
+// every query, in stream order, before the query is served. A non-nil
+// return value requests a reorganization into the returned layout
+// (charged α by the harness; applied after the configured delay).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Observe processes one query and optionally requests a switch.
+	Observe(q query.Query) *layout.Layout
+	// Current returns the layout the policy believes it is in. This is
+	// the policy's *logical* state; under background-reorganization
+	// delay the harness may still be serving an older layout.
+	Current() *layout.Layout
+}
+
+// SpaceReporter is implemented by policies that maintain a dynamic
+// state space; the harness samples it for the ε-sweep experiment.
+type SpaceReporter interface {
+	StateSpaceSize() int
+}
+
+// Static is the paper's offline baseline: a single layout, optimized
+// for the entire workload in advance, never changed.
+type Static struct {
+	layout *layout.Layout
+}
+
+// NewStatic returns the static policy pinned to the given layout.
+func NewStatic(l *layout.Layout) *Static { return &Static{layout: l} }
+
+// Name implements Policy.
+func (s *Static) Name() string { return "Static" }
+
+// Observe implements Policy; Static never switches.
+func (s *Static) Observe(query.Query) *layout.Layout { return nil }
+
+// Current implements Policy.
+func (s *Static) Current() *layout.Layout { return s.layout }

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"oreo/internal/layout"
+	"oreo/internal/manager"
+	"oreo/internal/query"
+)
+
+// Regret is the conservative online baseline (inspired by TASM's
+// storage-management regret rule): it tracks, for every alternative
+// layout, the cumulative query-cost saving it would have delivered over
+// the queries actually serviced on the current layout, and switches
+// only once some alternative's accumulated saving exceeds the
+// reorganization cost α. New candidates are scored retroactively
+// against the (bounded) history of queries served on the current
+// layout.
+type Regret struct {
+	feed    *manager.Feed
+	current *layout.Layout
+	alpha   float64
+
+	// alternatives maps layout name to accumulated savings.
+	alternatives map[string]*regretEntry
+	// history holds queries serviced on the current layout, newest
+	// last, capped at historyCap for bounded retroactive evaluation.
+	history    []query.Query
+	historyCap int
+
+	switches int
+}
+
+type regretEntry struct {
+	layout  *layout.Layout
+	savings float64
+}
+
+// DefaultRegretHistoryCap bounds how far back a newly generated
+// candidate is retro-scored. The paper scores against all queries since
+// the last switch; the cap keeps that evaluation O(1) amortized while
+// covering many multiples of the candidate-generation period.
+const DefaultRegretHistoryCap = 2000
+
+// NewRegret returns the regret policy with reorganization cost alpha.
+func NewRegret(feed *manager.Feed, initial *layout.Layout, alpha float64) *Regret {
+	return &Regret{
+		feed:         feed,
+		current:      initial,
+		alpha:        alpha,
+		alternatives: make(map[string]*regretEntry),
+		historyCap:   DefaultRegretHistoryCap,
+	}
+}
+
+// Name implements Policy.
+func (r *Regret) Name() string { return "Regret" }
+
+// Current implements Policy.
+func (r *Regret) Current() *layout.Layout { return r.current }
+
+// Observe implements Policy.
+func (r *Regret) Observe(q query.Query) *layout.Layout {
+	// Accumulate this query's saving for every alternative.
+	curCost := r.current.Cost(q)
+	for _, e := range r.alternatives {
+		e.savings += curCost - e.layout.Cost(q)
+	}
+	r.history = append(r.history, q)
+	if len(r.history) > r.historyCap {
+		r.history = r.history[len(r.history)-r.historyCap:]
+	}
+
+	// Ingest new candidates with retroactive scoring.
+	for _, c := range r.feed.Observe(q) {
+		name := c.Layout.Name
+		if name == r.current.Name {
+			continue
+		}
+		if _, seen := r.alternatives[name]; seen {
+			continue
+		}
+		e := &regretEntry{layout: c.Layout}
+		for _, hq := range r.history {
+			e.savings += r.current.Cost(hq) - c.Layout.Cost(hq)
+		}
+		r.alternatives[name] = e
+	}
+
+	// Switch when some alternative has repaid the reorganization cost.
+	var best *regretEntry
+	for _, e := range r.alternatives {
+		if e.savings > r.alpha && (best == nil || e.savings > best.savings) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	r.current = best.layout
+	r.alternatives = make(map[string]*regretEntry)
+	r.history = r.history[:0]
+	r.switches++
+	return r.current
+}

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"oreo/internal/table"
+)
+
+func testSchema() *table.Schema {
+	return table.NewSchema(
+		table.Column{Name: "ts", Type: table.Int64},
+		table.Column{Name: "price", Type: table.Float64},
+		table.Column{Name: "region", Type: table.String},
+	)
+}
+
+func testDataset(t testing.TB, n int, seed int64) *table.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := table.NewBuilder(testSchema(), n)
+	regions := []string{"east", "north", "south", "west"}
+	for i := 0; i < n; i++ {
+		b.AppendRow(
+			table.Int(rng.Int63n(1000)),
+			table.Float(rng.Float64()*100),
+			table.Str(regions[rng.Intn(len(regions))]),
+		)
+	}
+	return b.Build()
+}
+
+func TestPredicateConstructors(t *testing.T) {
+	p := IntRange("ts", 5, 10)
+	if !p.HasLo || !p.HasHi || p.LoI != 5 || p.HiI != 10 || !p.IsNumeric() {
+		t.Errorf("IntRange = %+v", p)
+	}
+	if p := IntGE("ts", 5); !p.HasLo || p.HasHi {
+		t.Errorf("IntGE = %+v", p)
+	}
+	if p := IntLE("ts", 5); p.HasLo || !p.HasHi {
+		t.Errorf("IntLE = %+v", p)
+	}
+	if p := FloatRange("price", 1, 2); p.LoF != 1 || p.HiF != 2 {
+		t.Errorf("FloatRange = %+v", p)
+	}
+	if p := StrEq("region", "east"); p.IsNumeric() || len(p.In) != 1 {
+		t.Errorf("StrEq = %+v", p)
+	}
+	if p := StrIn("region", "a", "b"); len(p.In) != 2 {
+		t.Errorf("StrIn = %+v", p)
+	}
+}
+
+func TestMatchRowInt(t *testing.T) {
+	b := table.NewBuilder(testSchema(), 3)
+	b.AppendRow(table.Int(5), table.Float(1), table.Str("east"))
+	b.AppendRow(table.Int(10), table.Float(2), table.Str("west"))
+	b.AppendRow(table.Int(15), table.Float(3), table.Str("east"))
+	d := b.Build()
+
+	q := Query{Preds: []Predicate{IntRange("ts", 6, 12)}}
+	want := []bool{false, true, false}
+	for r, w := range want {
+		if got := q.MatchRow(d, r); got != w {
+			t.Errorf("row %d: MatchRow = %v, want %v", r, got, w)
+		}
+	}
+}
+
+func TestMatchRowConjunction(t *testing.T) {
+	b := table.NewBuilder(testSchema(), 2)
+	b.AppendRow(table.Int(5), table.Float(50), table.Str("east"))
+	b.AppendRow(table.Int(5), table.Float(50), table.Str("west"))
+	d := b.Build()
+	q := Query{Preds: []Predicate{
+		IntGE("ts", 5),
+		FloatLE("price", 50),
+		StrEq("region", "east"),
+	}}
+	if !q.MatchRow(d, 0) {
+		t.Error("row 0 should match full conjunction")
+	}
+	if q.MatchRow(d, 1) {
+		t.Error("row 1 should fail the region predicate")
+	}
+}
+
+func TestMatchRowMissingColumn(t *testing.T) {
+	d := testDataset(t, 5, 1)
+	q := Query{Preds: []Predicate{IntGE("nope", 0)}}
+	for r := 0; r < 5; r++ {
+		if q.MatchRow(d, r) {
+			t.Fatal("query on missing column matched a row")
+		}
+	}
+}
+
+func TestMatchRowTypeMismatch(t *testing.T) {
+	d := testDataset(t, 5, 1)
+	// String predicate on a numeric column never matches.
+	q := Query{Preds: []Predicate{StrEq("ts", "5")}}
+	if q.MatchRow(d, 0) {
+		t.Error("string predicate on int column matched")
+	}
+	// Numeric predicate on a string column never matches.
+	q2 := Query{Preds: []Predicate{IntGE("region", 0)}}
+	if q2.MatchRow(d, 0) {
+		t.Error("numeric predicate on string column matched")
+	}
+}
+
+func TestEmptyQueryMatchesEverything(t *testing.T) {
+	d := testDataset(t, 10, 2)
+	q := Query{}
+	for r := 0; r < 10; r++ {
+		if !q.MatchRow(d, r) {
+			t.Fatal("empty conjunction should match all rows")
+		}
+	}
+	if got := Selectivity(d, q); got != 1 {
+		t.Errorf("Selectivity(empty) = %g, want 1", got)
+	}
+}
+
+func TestQueryColumns(t *testing.T) {
+	q := Query{Preds: []Predicate{
+		IntGE("a", 1), StrEq("b", "x"), IntLE("a", 5),
+	}}
+	cols := q.Columns()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	b := table.NewBuilder(testSchema(), 4)
+	for i := 0; i < 4; i++ {
+		b.AppendRow(table.Int(int64(i)), table.Float(0), table.Str("east"))
+	}
+	d := b.Build()
+	q := Query{Preds: []Predicate{IntLE("ts", 1)}}
+	if got := Selectivity(d, q); got != 0.5 {
+		t.Errorf("Selectivity = %g, want 0.5", got)
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if s := StrEq("r", "x").String(); s != `r = "x"` {
+		t.Errorf("StrEq String = %q", s)
+	}
+	if s := StrIn("r", "a", "b").String(); s != "r IN (a,b)" {
+		t.Errorf("StrIn String = %q", s)
+	}
+	if s := IntRange("c", 1, 2).String(); s == "" {
+		t.Error("IntRange String empty")
+	}
+}

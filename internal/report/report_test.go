@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Header: []string{"policy", "cost", "switches"},
+	}
+	t.AddRow("Static", 2650.0, 0)
+	t.AddRow("OREO", 2003.25, 12)
+	return t
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tb := sample()
+	if tb.Rows[0][1] != "2650" {
+		t.Errorf("integral float rendered as %q", tb.Rows[0][1])
+	}
+	if tb.Rows[1][1] != "2003.25" {
+		t.Errorf("fractional float rendered as %q", tb.Rows[1][1])
+	}
+	if tb.Rows[1][2] != "12" {
+		t.Errorf("int rendered as %q", tb.Rows[1][2])
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== Sample ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Columns must align: "cost" starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "cost")
+	for _, line := range lines[2:] {
+		if len(line) < idx {
+			t.Errorf("row shorter than header: %q", line)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# Sample\n") {
+		t.Errorf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "policy,cost,switches") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "OREO,2003.25,12") {
+		t.Errorf("missing CSV row:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{Header: []string{"name"}}
+	tb.AddRow(`zorder("a,b")`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"zorder(""a,b"")"`) {
+		t.Errorf("comma/quote cell not escaped:\n%s", buf.String())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("text"); err != nil || f != Text {
+		t.Error("text not parsed")
+	}
+	if f, err := ParseFormat(""); err != nil || f != Text {
+		t.Error("empty not defaulted to text")
+	}
+	if f, err := ParseFormat("csv"); err != nil || f != CSV {
+		t.Error("csv not parsed")
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var text, csvOut bytes.Buffer
+	if err := sample().Write(&text, Text); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().Write(&csvOut, CSV); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() == csvOut.String() {
+		t.Error("formats produced identical output")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{Header: []string{"a"}}
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

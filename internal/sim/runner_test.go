@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"oreo/internal/layout"
+	"oreo/internal/policy"
+	"oreo/internal/query"
+	"oreo/internal/storage"
+	"oreo/internal/table"
+)
+
+func testDataset(n int) *table.Dataset {
+	schema := table.NewSchema(
+		table.Column{Name: "ts", Type: table.Int64},
+		table.Column{Name: "cat", Type: table.String},
+	)
+	b := table.NewBuilder(schema, n)
+	cats := []string{"a", "b"}
+	for i := 0; i < n; i++ {
+		b.AppendRow(table.Int(int64(i)), table.Str(cats[i%2]))
+	}
+	return b.Build()
+}
+
+func tsLayout(d *table.Dataset) *layout.Layout {
+	return layout.NewSortGenerator("ts").Generate(d, nil, 10)
+}
+
+func catLayout(d *table.Dataset) *layout.Layout {
+	return layout.NewSortGenerator("cat").Generate(d, nil, 10)
+}
+
+func tsQuery(id int, lo, hi int64) query.Query {
+	return query.Query{ID: id, Preds: []query.Predicate{query.IntRange("ts", lo, hi)}}
+}
+
+// scriptedPolicy switches to a fixed layout at a scripted query ID.
+type scriptedPolicy struct {
+	current  *layout.Layout
+	switchAt map[int]*layout.Layout
+}
+
+func (p *scriptedPolicy) Name() string { return "scripted" }
+func (p *scriptedPolicy) Observe(q query.Query) *layout.Layout {
+	if l, ok := p.switchAt[q.ID]; ok {
+		p.current = l
+		return l
+	}
+	return nil
+}
+func (p *scriptedPolicy) Current() *layout.Layout { return p.current }
+
+func TestRunAccountsQueryCosts(t *testing.T) {
+	d := testDataset(100)
+	l := tsLayout(d)
+	qs := []query.Query{tsQuery(0, 0, 9), tsQuery(1, 0, 19)}
+	res := Run(qs, policy.NewStatic(l), Config{Alpha: 80})
+	if res.Switches != 0 || res.ReorgCost != 0 {
+		t.Fatalf("static run reorganized: %+v", res)
+	}
+	if math.Abs(res.QueryCost-0.3) > 1e-12 {
+		t.Errorf("QueryCost = %g, want 0.3 (0.1 + 0.2)", res.QueryCost)
+	}
+	if res.Queries != 2 || res.Policy != "Static" {
+		t.Errorf("metadata = %+v", res)
+	}
+	if res.Total() != res.QueryCost {
+		t.Errorf("Total = %g", res.Total())
+	}
+}
+
+func TestRunChargesAlphaPerSwitch(t *testing.T) {
+	d := testDataset(100)
+	a, b := tsLayout(d), catLayout(d)
+	pol := &scriptedPolicy{current: a, switchAt: map[int]*layout.Layout{2: b}}
+	qs := make([]query.Query, 5)
+	for i := range qs {
+		qs[i] = tsQuery(i, 0, 9)
+	}
+	res := Run(qs, pol, Config{Alpha: 7})
+	if res.Switches != 1 || res.ReorgCost != 7 {
+		t.Errorf("switches=%d reorg=%g", res.Switches, res.ReorgCost)
+	}
+}
+
+func TestRunIgnoresNoopSwitch(t *testing.T) {
+	d := testDataset(100)
+	a := tsLayout(d)
+	// Policy "switches" to the layout already being served.
+	pol := &scriptedPolicy{current: a, switchAt: map[int]*layout.Layout{1: a}}
+	qs := []query.Query{tsQuery(0, 0, 9), tsQuery(1, 0, 9), tsQuery(2, 0, 9)}
+	res := Run(qs, pol, Config{Alpha: 7})
+	if res.Switches != 0 {
+		t.Errorf("no-op switch charged: %+v", res)
+	}
+}
+
+func TestRunDelaySemantics(t *testing.T) {
+	d := testDataset(100)
+	a, b := tsLayout(d), catLayout(d)
+	// Query ts in [0,9]: costs 0.1 on the ts layout. On the cat layout
+	// (stable sort by cat) the ten matching rows split across the first
+	// partition of each cat group, so the cost is 0.2.
+	probe := func(id int) query.Query { return tsQuery(id, 0, 9) }
+	const costOld, costNew = 0.1, 0.2
+
+	// Switch decided at query 1 from ts->cat with Delay=2: queries 1 and
+	// 2 still served on ts, query 3 on cat.
+	pol := &scriptedPolicy{current: a, switchAt: map[int]*layout.Layout{1: b}}
+	qs := []query.Query{probe(0), probe(1), probe(2), probe(3)}
+	res := Run(qs, pol, Config{Alpha: 5, Delay: 2})
+	want := costOld + costOld + costOld + costNew
+	if math.Abs(res.QueryCost-want) > 1e-9 {
+		t.Errorf("QueryCost = %g, want %g (delay keeps old layout for 2 queries)", res.QueryCost, want)
+	}
+	if res.FinalLayout != b.Name {
+		t.Errorf("final layout %q", res.FinalLayout)
+	}
+
+	// Same script with Delay=0: the switch applies to query 1 itself.
+	pol0 := &scriptedPolicy{current: a, switchAt: map[int]*layout.Layout{1: b}}
+	res0 := Run(qs, pol0, Config{Alpha: 5, Delay: 0})
+	want0 := costOld + costNew + costNew + costNew
+	if math.Abs(res0.QueryCost-want0) > 1e-9 {
+		t.Errorf("Delay=0 QueryCost = %g, want %g", res0.QueryCost, want0)
+	}
+	// Delay must not change the reorganization cost (paper §VI-D5).
+	if res.ReorgCost != res0.ReorgCost {
+		t.Errorf("delay changed reorg cost: %g vs %g", res.ReorgCost, res0.ReorgCost)
+	}
+}
+
+func TestRunCurveSampling(t *testing.T) {
+	d := testDataset(100)
+	l := tsLayout(d)
+	qs := make([]query.Query, 10)
+	for i := range qs {
+		qs[i] = tsQuery(i, 0, 9) // cost 0.1 each
+	}
+	res := Run(qs, policy.NewStatic(l), Config{Alpha: 1, CurveStride: 2})
+	if len(res.Curve) != 5 {
+		t.Fatalf("curve has %d points, want 5", len(res.Curve))
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i] < res.Curve[i-1] {
+			t.Fatal("cumulative curve decreased")
+		}
+	}
+	if math.Abs(res.Curve[4]-1.0) > 1e-9 {
+		t.Errorf("final curve point = %g, want 1.0", res.Curve[4])
+	}
+}
+
+func TestRunPhysicalTimes(t *testing.T) {
+	d := testDataset(100)
+	a, b := tsLayout(d), catLayout(d)
+	disk := storage.DefaultDiskModel()
+	pol := &scriptedPolicy{current: a, switchAt: map[int]*layout.Layout{1: b}}
+	qs := []query.Query{tsQuery(0, 0, 9), tsQuery(1, 0, 9), tsQuery(2, 0, 9)}
+	res := Run(qs, pol, Config{Alpha: 5, Disk: &disk, TableMB: 1000})
+	if res.QuerySeconds <= 0 {
+		t.Error("no physical query time accounted")
+	}
+	wantReorg := disk.ReorgSeconds(1000)
+	if math.Abs(res.ReorgSeconds-wantReorg) > 1e-9 {
+		t.Errorf("ReorgSeconds = %g, want %g", res.ReorgSeconds, wantReorg)
+	}
+	if res.TotalSeconds() != res.QuerySeconds+res.ReorgSeconds {
+		t.Error("TotalSeconds inconsistent")
+	}
+}
+
+// spacePolicy reports a fake state-space size.
+type spacePolicy struct {
+	scriptedPolicy
+	size int
+}
+
+func (p *spacePolicy) StateSpaceSize() int { return p.size }
+
+func TestRunSpaceSampling(t *testing.T) {
+	d := testDataset(100)
+	l := tsLayout(d)
+	pol := &spacePolicy{scriptedPolicy: scriptedPolicy{current: l}, size: 4}
+	qs := make([]query.Query, 10)
+	for i := range qs {
+		qs[i] = tsQuery(i, 0, 9)
+	}
+	res := Run(qs, pol, Config{Alpha: 1, SpaceStride: 2})
+	if res.AvgSpace != 4 || res.MaxSpace != 4 {
+		t.Errorf("space stats = %g/%d, want 4/4", res.AvgSpace, res.MaxSpace)
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	d := testDataset(10)
+	res := Run(nil, policy.NewStatic(tsLayout(d)), Config{Alpha: 1})
+	if res.Queries != 0 || res.QueryCost != 0 {
+		t.Errorf("empty stream result = %+v", res)
+	}
+}

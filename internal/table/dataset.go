@@ -1,0 +1,154 @@
+package table
+
+import "fmt"
+
+// Dataset is an immutable, column-oriented table. Each column is stored
+// as a typed slice so that scans, sorts, and layout construction touch
+// contiguous memory. Datasets are cheap to share: all accessors are
+// read-only after construction.
+type Dataset struct {
+	schema  *Schema
+	numRows int
+	ints    [][]int64   // indexed by column position; nil unless Int64
+	floats  [][]float64 // indexed by column position; nil unless Float64
+	strs    [][]string  // indexed by column position; nil unless String
+}
+
+// Schema returns the dataset's schema.
+func (d *Dataset) Schema() *Schema { return d.schema }
+
+// NumRows returns the number of rows.
+func (d *Dataset) NumRows() int { return d.numRows }
+
+// Int64At returns the int64 cell at (col, row). The column must be Int64.
+func (d *Dataset) Int64At(col, row int) int64 { return d.ints[col][row] }
+
+// Float64At returns the float64 cell at (col, row). The column must be Float64.
+func (d *Dataset) Float64At(col, row int) float64 { return d.floats[col][row] }
+
+// StringAt returns the string cell at (col, row). The column must be String.
+func (d *Dataset) StringAt(col, row int) string { return d.strs[col][row] }
+
+// ValueAt returns the cell at (col, row) boxed as a Value.
+func (d *Dataset) ValueAt(col, row int) Value {
+	switch d.schema.Col(col).Type {
+	case Int64:
+		return Int(d.ints[col][row])
+	case Float64:
+		return Float(d.floats[col][row])
+	case String:
+		return Str(d.strs[col][row])
+	default:
+		panic("table: unknown column type")
+	}
+}
+
+// Int64Col returns the backing slice of an Int64 column. Callers must
+// treat the slice as read-only.
+func (d *Dataset) Int64Col(col int) []int64 { return d.ints[col] }
+
+// Float64Col returns the backing slice of a Float64 column. Read-only.
+func (d *Dataset) Float64Col(col int) []float64 { return d.floats[col] }
+
+// StringCol returns the backing slice of a String column. Read-only.
+func (d *Dataset) StringCol(col int) []string { return d.strs[col] }
+
+// Sample returns a new dataset containing the rows at the given indices,
+// in order. It copies cell values, so the sample is independent of the
+// original. Layout generators use this to build layouts from small row
+// samples, as the paper prescribes for Qd-tree construction.
+func (d *Dataset) Sample(rows []int) *Dataset {
+	b := NewBuilder(d.schema, len(rows))
+	for _, r := range rows {
+		if r < 0 || r >= d.numRows {
+			panic(fmt.Sprintf("table: sample row %d out of range [0,%d)", r, d.numRows))
+		}
+		for c := 0; c < d.schema.NumCols(); c++ {
+			switch d.schema.Col(c).Type {
+			case Int64:
+				b.ints[c] = append(b.ints[c], d.ints[c][r])
+			case Float64:
+				b.floats[c] = append(b.floats[c], d.floats[c][r])
+			case String:
+				b.strs[c] = append(b.strs[c], d.strs[c][r])
+			}
+		}
+		b.numRows++
+	}
+	return b.Build()
+}
+
+// Builder accumulates rows for a Dataset. It is not safe for concurrent
+// use. Build may be called once; the builder must not be reused after.
+type Builder struct {
+	schema  *Schema
+	numRows int
+	ints    [][]int64
+	floats  [][]float64
+	strs    [][]string
+	built   bool
+}
+
+// NewBuilder returns a builder for the given schema with capacity hints.
+func NewBuilder(schema *Schema, capacity int) *Builder {
+	b := &Builder{
+		schema: schema,
+		ints:   make([][]int64, schema.NumCols()),
+		floats: make([][]float64, schema.NumCols()),
+		strs:   make([][]string, schema.NumCols()),
+	}
+	for i := 0; i < schema.NumCols(); i++ {
+		switch schema.Col(i).Type {
+		case Int64:
+			b.ints[i] = make([]int64, 0, capacity)
+		case Float64:
+			b.floats[i] = make([]float64, 0, capacity)
+		case String:
+			b.strs[i] = make([]string, 0, capacity)
+		}
+	}
+	return b
+}
+
+// AppendRow appends one row. The values must match the schema's column
+// order and types; mismatches panic because they are programming errors.
+func (b *Builder) AppendRow(vals ...Value) {
+	if len(vals) != b.schema.NumCols() {
+		panic(fmt.Sprintf("table: AppendRow got %d values, schema has %d columns",
+			len(vals), b.schema.NumCols()))
+	}
+	for i, v := range vals {
+		want := b.schema.Col(i).Type
+		if v.Type != want {
+			panic(fmt.Sprintf("table: column %q wants %s, got %s",
+				b.schema.Col(i).Name, want, v.Type))
+		}
+		switch want {
+		case Int64:
+			b.ints[i] = append(b.ints[i], v.I)
+		case Float64:
+			b.floats[i] = append(b.floats[i], v.F)
+		case String:
+			b.strs[i] = append(b.strs[i], v.S)
+		}
+	}
+	b.numRows++
+}
+
+// NumRows returns the number of rows appended so far.
+func (b *Builder) NumRows() int { return b.numRows }
+
+// Build finalizes the dataset. The builder must not be used afterwards.
+func (b *Builder) Build() *Dataset {
+	if b.built {
+		panic("table: Builder.Build called twice")
+	}
+	b.built = true
+	return &Dataset{
+		schema:  b.schema,
+		numRows: b.numRows,
+		ints:    b.ints,
+		floats:  b.floats,
+		strs:    b.strs,
+	}
+}

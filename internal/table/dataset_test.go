@@ -1,0 +1,155 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "id", Type: Int64},
+		Column{Name: "score", Type: Float64},
+		Column{Name: "tag", Type: String},
+	)
+}
+
+func buildTestDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	b := NewBuilder(testSchema(), n)
+	for i := 0; i < n; i++ {
+		b.AppendRow(Int(int64(i)), Float(float64(i)/2), Str(string(rune('a'+i%5))))
+	}
+	return b.Build()
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	d := buildTestDataset(t, 10)
+	if d.NumRows() != 10 {
+		t.Fatalf("NumRows = %d, want 10", d.NumRows())
+	}
+	if got := d.Int64At(0, 3); got != 3 {
+		t.Errorf("Int64At(0,3) = %d, want 3", got)
+	}
+	if got := d.Float64At(1, 4); got != 2 {
+		t.Errorf("Float64At(1,4) = %g, want 2", got)
+	}
+	if got := d.StringAt(2, 6); got != "b" {
+		t.Errorf("StringAt(2,6) = %q, want b", got)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	d := buildTestDataset(t, 5)
+	if v := d.ValueAt(0, 2); !v.Equal(Int(2)) {
+		t.Errorf("ValueAt(0,2) = %v", v)
+	}
+	if v := d.ValueAt(1, 2); !v.Equal(Float(1)) {
+		t.Errorf("ValueAt(1,2) = %v", v)
+	}
+	if v := d.ValueAt(2, 2); !v.Equal(Str("c")) {
+		t.Errorf("ValueAt(2,2) = %v", v)
+	}
+}
+
+func TestColumnSlices(t *testing.T) {
+	d := buildTestDataset(t, 4)
+	if got := d.Int64Col(0); len(got) != 4 || got[3] != 3 {
+		t.Errorf("Int64Col = %v", got)
+	}
+	if got := d.Float64Col(1); len(got) != 4 || got[2] != 1 {
+		t.Errorf("Float64Col = %v", got)
+	}
+	if got := d.StringCol(2); len(got) != 4 || got[1] != "b" {
+		t.Errorf("StringCol = %v", got)
+	}
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	b := NewBuilder(testSchema(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity did not panic")
+		}
+	}()
+	b.AppendRow(Int(1), Float(2))
+}
+
+func TestAppendRowTypePanics(t *testing.T) {
+	b := NewBuilder(testSchema(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong type did not panic")
+		}
+	}()
+	b.AppendRow(Str("oops"), Float(2), Str("x"))
+}
+
+func TestBuildTwicePanics(t *testing.T) {
+	b := NewBuilder(testSchema(), 1)
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Build did not panic")
+		}
+	}()
+	b.Build()
+}
+
+func TestSample(t *testing.T) {
+	d := buildTestDataset(t, 20)
+	s := d.Sample([]int{0, 5, 19})
+	if s.NumRows() != 3 {
+		t.Fatalf("sample NumRows = %d, want 3", s.NumRows())
+	}
+	for i, want := range []int64{0, 5, 19} {
+		if got := s.Int64At(0, i); got != want {
+			t.Errorf("sample row %d id = %d, want %d", i, got, want)
+		}
+	}
+	// Sample must be independent of the original.
+	if &s.ints[0][0] == &d.ints[0][0] {
+		t.Error("sample shares backing storage with original")
+	}
+}
+
+func TestSampleOutOfRangePanics(t *testing.T) {
+	d := buildTestDataset(t, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range sample did not panic")
+		}
+	}()
+	d.Sample([]int{7})
+}
+
+func TestSampleEmpty(t *testing.T) {
+	d := buildTestDataset(t, 5)
+	s := d.Sample(nil)
+	if s.NumRows() != 0 {
+		t.Errorf("empty sample NumRows = %d", s.NumRows())
+	}
+	if s.Schema() != d.Schema() {
+		t.Error("sample schema differs")
+	}
+}
+
+func TestLargeRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 1000
+	b := NewBuilder(testSchema(), n)
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	strs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ints[i] = rng.Int63()
+		floats[i] = rng.NormFloat64()
+		strs[i] = string(rune('A' + rng.Intn(26)))
+		b.AppendRow(Int(ints[i]), Float(floats[i]), Str(strs[i]))
+	}
+	d := b.Build()
+	for i := 0; i < n; i++ {
+		if d.Int64At(0, i) != ints[i] || d.Float64At(1, i) != floats[i] || d.StringAt(2, i) != strs[i] {
+			t.Fatalf("row %d does not round-trip", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package table
+
+import "fmt"
+
+// Partitioning is a materialized data layout for one dataset: an
+// assignment of every row to a partition ID plus per-partition metadata.
+//
+// In the paper's terms this is the realization of a "data layout": the
+// mapping function from records to partitions, together with the
+// partition-level metadata that the query optimizer consults for
+// skipping. Because the dataset under study is static, the mapping is
+// materialized as a dense row→partition vector.
+type Partitioning struct {
+	NumPartitions int
+	// Assign maps row index to partition ID in [0, NumPartitions).
+	Assign []int
+	// Meta holds one entry per partition, indexed by partition ID.
+	Meta []*PartitionMeta
+	// TotalRows is the number of rows across all partitions.
+	TotalRows int
+}
+
+// BuildPartitioning materializes a partitioning from a row→partition
+// assignment, computing all partition metadata in one pass.
+// assign must have one entry per dataset row; IDs must be in [0, k).
+func BuildPartitioning(d *Dataset, assign []int, k int) (*Partitioning, error) {
+	if len(assign) != d.NumRows() {
+		return nil, fmt.Errorf("table: assignment covers %d rows, dataset has %d",
+			len(assign), d.NumRows())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("table: invalid partition count %d", k)
+	}
+	p := &Partitioning{
+		NumPartitions: k,
+		Assign:        assign,
+		Meta:          make([]*PartitionMeta, k),
+		TotalRows:     d.NumRows(),
+	}
+	for i := 0; i < k; i++ {
+		p.Meta[i] = NewPartitionMeta(i, d.Schema())
+	}
+	for r, pid := range assign {
+		if pid < 0 || pid >= k {
+			return nil, fmt.Errorf("table: row %d assigned to partition %d, want [0,%d)", r, pid, k)
+		}
+		p.Meta[pid].AddRow(d, r)
+	}
+	return p, nil
+}
+
+// MustBuildPartitioning is BuildPartitioning that panics on error, for
+// use with programmatically constructed assignments that cannot fail.
+func MustBuildPartitioning(d *Dataset, assign []int, k int) *Partitioning {
+	p, err := BuildPartitioning(d, assign, k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RowsInPartition returns the row count of partition pid.
+func (p *Partitioning) RowsInPartition(pid int) int {
+	return p.Meta[pid].NumRows
+}
+
+// NonEmptyPartitions returns the number of partitions holding at least
+// one row.
+func (p *Partitioning) NonEmptyPartitions() int {
+	n := 0
+	for _, m := range p.Meta {
+		if m.NumRows > 0 {
+			n++
+		}
+	}
+	return n
+}

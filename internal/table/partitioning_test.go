@@ -1,0 +1,104 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildPartitioning(t *testing.T) {
+	d := buildTestDataset(t, 12)
+	assign := make([]int, 12)
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	p, err := BuildPartitioning(d, assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPartitions != 3 || p.TotalRows != 12 {
+		t.Fatalf("partitioning = %+v", p)
+	}
+	for pid := 0; pid < 3; pid++ {
+		if got := p.RowsInPartition(pid); got != 4 {
+			t.Errorf("partition %d rows = %d, want 4", pid, got)
+		}
+	}
+	if p.NonEmptyPartitions() != 3 {
+		t.Errorf("NonEmptyPartitions = %d", p.NonEmptyPartitions())
+	}
+}
+
+func TestBuildPartitioningErrors(t *testing.T) {
+	d := buildTestDataset(t, 5)
+	if _, err := BuildPartitioning(d, []int{0, 0, 0}, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := BuildPartitioning(d, []int{0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := BuildPartitioning(d, []int{0, 0, 0, 0, 9}, 2); err == nil {
+		t.Error("out-of-range partition ID accepted")
+	}
+	if _, err := BuildPartitioning(d, []int{0, 0, 0, 0, -1}, 2); err == nil {
+		t.Error("negative partition ID accepted")
+	}
+}
+
+func TestMustBuildPartitioningPanics(t *testing.T) {
+	d := buildTestDataset(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuildPartitioning on invalid input did not panic")
+		}
+	}()
+	MustBuildPartitioning(d, []int{5, 5}, 2)
+}
+
+func TestEmptyPartitionsMetadata(t *testing.T) {
+	d := buildTestDataset(t, 4)
+	p := MustBuildPartitioning(d, []int{0, 0, 0, 0}, 3)
+	if p.NonEmptyPartitions() != 1 {
+		t.Fatalf("NonEmptyPartitions = %d, want 1", p.NonEmptyPartitions())
+	}
+	if !p.Meta[1].Stats[0].Empty() || p.Meta[1].NumRows != 0 {
+		t.Error("empty partition has non-empty metadata")
+	}
+}
+
+// Property: per-partition row counts always sum to the dataset size, and
+// every partition's metadata covers exactly its rows' value ranges.
+func TestPartitioningConservationProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 40
+		k := int(kRaw%7) + 1
+		b := NewBuilder(testSchema(), rows)
+		for i := 0; i < rows; i++ {
+			b.AppendRow(Int(rng.Int63n(100)), Float(rng.Float64()), Str("t"))
+		}
+		d := b.Build()
+		assign := make([]int, rows)
+		for i := range assign {
+			assign[i] = rng.Intn(k)
+		}
+		p := MustBuildPartitioning(d, assign, k)
+		sum := 0
+		for pid := 0; pid < k; pid++ {
+			sum += p.RowsInPartition(pid)
+		}
+		if sum != rows {
+			return false
+		}
+		for r := 0; r < rows; r++ {
+			m := p.Meta[assign[r]]
+			if v := d.Int64At(0, r); v < m.Stats[0].MinI || v > m.Stats[0].MaxI {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package table implements the columnar table substrate that OREO
+// operates on: typed schemas, column-oriented datasets, row partitions,
+// and the partition-level metadata (row counts, min/max ranges, distinct
+// sets) that query optimizers use to skip irrelevant partitions.
+//
+// The package is deliberately self-contained: it knows nothing about
+// queries, layouts, or reorganization. Higher layers (internal/query,
+// internal/layout) build on the metadata exposed here.
+package table
+
+import "fmt"
+
+// ColType enumerates the column types supported by the substrate.
+// These are the three kinds the paper's partition-level metadata
+// distinguishes: numeric columns carry min/max ranges, categorical
+// (string) columns carry distinct-value sets.
+type ColType int
+
+const (
+	// Int64 is a 64-bit signed integer column (also used for dates,
+	// encoded as days or seconds since an epoch).
+	Int64 ColType = iota
+	// Float64 is a 64-bit floating point column.
+	Float64
+	// String is a categorical column.
+	String
+)
+
+// String returns a human-readable name for the column type.
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column describes a single named, typed column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered list of columns with name-based lookup.
+// A Schema is immutable after construction and safe for concurrent use.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema constructs a schema from the given columns.
+// It panics if two columns share a name, since that is a programming
+// error in the dataset definition rather than a runtime condition.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{
+		cols:   append([]Column(nil), cols...),
+		byName: make(map[string]int, len(cols)),
+	}
+	for i, c := range s.cols {
+		if c.Name == "" {
+			panic("table: empty column name")
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			panic("table: duplicate column name " + c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// NumCols returns the number of columns in the schema.
+func (s *Schema) NumCols() int { return len(s.cols) }
+
+// Col returns the i-th column descriptor.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Cols returns a copy of the column descriptors.
+func (s *Schema) Cols() []Column { return append([]Column(nil), s.cols...) }
+
+// Index returns the position of the named column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// MustIndex is like Index but panics when the column does not exist.
+// Use it for columns that are part of a dataset's documented contract.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic("table: unknown column " + name)
+	}
+	return i
+}
+
+// Names returns the column names in schema order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}

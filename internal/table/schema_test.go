@@ -1,0 +1,93 @@
+package table
+
+import "testing"
+
+func TestNewSchemaLookup(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", Type: Int64},
+		Column{Name: "b", Type: Float64},
+		Column{Name: "c", Type: String},
+	)
+	if got := s.NumCols(); got != 3 {
+		t.Fatalf("NumCols = %d, want 3", got)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if s.Col(i).Name != want {
+			t.Errorf("Col(%d).Name = %q, want %q", i, s.Col(i).Name, want)
+		}
+		idx, ok := s.Index(want)
+		if !ok || idx != i {
+			t.Errorf("Index(%q) = %d,%v, want %d,true", want, idx, ok, i)
+		}
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) reported ok")
+	}
+}
+
+func TestSchemaTypes(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "i", Type: Int64},
+		Column{Name: "f", Type: Float64},
+		Column{Name: "s", Type: String},
+	)
+	if s.Col(0).Type != Int64 || s.Col(1).Type != Float64 || s.Col(2).Type != String {
+		t.Errorf("column types mismatched: %v %v %v", s.Col(0).Type, s.Col(1).Type, s.Col(2).Type)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column name did not panic")
+		}
+	}()
+	NewSchema(Column{Name: "a", Type: Int64}, Column{Name: "a", Type: String})
+}
+
+func TestSchemaEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty column name did not panic")
+		}
+	}()
+	NewSchema(Column{Name: "", Type: Int64})
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Type: Int64})
+	if got := s.MustIndex("a"); got != 0 {
+		t.Fatalf("MustIndex(a) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on missing column did not panic")
+		}
+	}()
+	s.MustIndex("zzz")
+}
+
+func TestSchemaNamesAndCols(t *testing.T) {
+	s := NewSchema(Column{Name: "x", Type: Int64}, Column{Name: "y", Type: String})
+	names := s.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("Names = %v", names)
+	}
+	cols := s.Cols()
+	cols[0].Name = "mutated"
+	if s.Col(0).Name != "x" {
+		t.Error("Cols() returned a live reference, not a copy")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	cases := map[ColType]string{Int64: "int64", Float64: "float64", String: "string"}
+	for ct, want := range cases {
+		if got := ct.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(ct), got, want)
+		}
+	}
+	if got := ColType(99).String(); got != "ColType(99)" {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}

@@ -1,0 +1,148 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnStatsInt(t *testing.T) {
+	cs := newColumnStats(Int64)
+	if !cs.Empty() {
+		t.Fatal("fresh stats not empty")
+	}
+	for _, v := range []int64{5, -3, 12, 0} {
+		cs.AddInt(v)
+	}
+	if cs.Empty() {
+		t.Fatal("stats still empty after adds")
+	}
+	if cs.MinI != -3 || cs.MaxI != 12 {
+		t.Errorf("int range = [%d,%d], want [-3,12]", cs.MinI, cs.MaxI)
+	}
+}
+
+func TestColumnStatsFloat(t *testing.T) {
+	cs := newColumnStats(Float64)
+	for _, v := range []float64{1.5, -2.25, 7} {
+		cs.AddFloat(v)
+	}
+	if cs.MinF != -2.25 || cs.MaxF != 7 {
+		t.Errorf("float range = [%g,%g], want [-2.25,7]", cs.MinF, cs.MaxF)
+	}
+}
+
+func TestColumnStatsString(t *testing.T) {
+	cs := newColumnStats(String)
+	for _, v := range []string{"m", "a", "z"} {
+		cs.AddString(v)
+	}
+	if cs.MinS != "a" || cs.MaxS != "z" {
+		t.Errorf("string range = [%q,%q]", cs.MinS, cs.MaxS)
+	}
+	if !cs.ContainsString("m") {
+		t.Error("ContainsString(m) = false for present value")
+	}
+	if cs.ContainsString("q") {
+		t.Error("ContainsString(q) = true with exact distinct set")
+	}
+}
+
+func TestColumnStatsDistinctOverflow(t *testing.T) {
+	cs := newColumnStats(String)
+	for i := 0; i <= MaxTrackedDistinct; i++ {
+		cs.AddString(fmt.Sprintf("v%03d", i))
+	}
+	if cs.Distinct != nil {
+		t.Fatalf("distinct set survived %d inserts", MaxTrackedDistinct+1)
+	}
+	if cs.Bloom == nil {
+		t.Fatal("overflow did not install a Bloom filter")
+	}
+	// Soundness: every inserted value stays contained after overflow,
+	// including values added post-overflow.
+	cs.AddString("post-overflow")
+	for i := 0; i <= MaxTrackedDistinct; i++ {
+		if !cs.ContainsString(fmt.Sprintf("v%03d", i)) {
+			t.Fatalf("present value v%03d ruled out after overflow", i)
+		}
+	}
+	if !cs.ContainsString("v000") || !cs.ContainsString("post-overflow") {
+		t.Error("present value ruled out after overflow")
+	}
+	if cs.ContainsString("zzz") {
+		t.Error("metadata claims value above max")
+	}
+	// The Bloom filter prunes most absent in-range values (false
+	// positives allowed, wholesale pass-through not).
+	passed := 0
+	for i := 0; i < 100; i++ {
+		if cs.ContainsString(fmt.Sprintf("v%03dq", i)) {
+			passed++
+		}
+	}
+	if passed > 30 {
+		t.Errorf("bloom passed %d/100 absent values", passed)
+	}
+}
+
+func TestContainsStringEmpty(t *testing.T) {
+	cs := newColumnStats(String)
+	if cs.ContainsString("a") {
+		t.Error("empty stats claim to contain a value")
+	}
+}
+
+func TestPartitionMetaAddRow(t *testing.T) {
+	d := buildTestDataset(t, 10)
+	m := NewPartitionMeta(3, d.Schema())
+	for r := 0; r < 10; r++ {
+		m.AddRow(d, r)
+	}
+	if m.ID != 3 || m.NumRows != 10 {
+		t.Fatalf("meta = %+v", m)
+	}
+	if m.Stats[0].MinI != 0 || m.Stats[0].MaxI != 9 {
+		t.Errorf("id range = [%d,%d]", m.Stats[0].MinI, m.Stats[0].MaxI)
+	}
+	if m.Stats[1].MinF != 0 || m.Stats[1].MaxF != 4.5 {
+		t.Errorf("score range = [%g,%g]", m.Stats[1].MinF, m.Stats[1].MaxF)
+	}
+	if !m.Stats[2].ContainsString("a") || m.Stats[2].ContainsString("zzz") {
+		t.Error("tag distinct set wrong")
+	}
+}
+
+// Property: partition metadata ranges always contain every folded value.
+func TestMetadataBoundsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(n%50) + 1
+		b := NewBuilder(testSchema(), rows)
+		for i := 0; i < rows; i++ {
+			b.AppendRow(Int(rng.Int63n(1000)-500), Float(rng.NormFloat64()),
+				Str(string(rune('a'+rng.Intn(26)))))
+		}
+		d := b.Build()
+		m := NewPartitionMeta(0, d.Schema())
+		for r := 0; r < rows; r++ {
+			m.AddRow(d, r)
+		}
+		for r := 0; r < rows; r++ {
+			if v := d.Int64At(0, r); v < m.Stats[0].MinI || v > m.Stats[0].MaxI {
+				return false
+			}
+			if v := d.Float64At(1, r); v < m.Stats[1].MinF || v > m.Stats[1].MaxF {
+				return false
+			}
+			if !m.Stats[2].ContainsString(d.StringAt(2, r)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oreo/internal/datagen"
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+func sweepDataset(t *testing.T) *table.Dataset {
+	t.Helper()
+	schema := table.NewSchema(
+		table.Column{Name: "a", Type: table.Int64},
+		table.Column{Name: "b", Type: table.Float64},
+		table.Column{Name: "c", Type: table.String},
+	)
+	rng := rand.New(rand.NewSource(1))
+	b := table.NewBuilder(schema, 500)
+	for i := 0; i < 500; i++ {
+		b.AppendRow(
+			table.Int(rng.Int63n(1000)),
+			table.Float(rng.Float64()*100),
+			table.Str([]string{"x", "y", "z"}[rng.Intn(3)]),
+		)
+	}
+	return b.Build()
+}
+
+func TestColumnSweepTemplates(t *testing.T) {
+	d := sweepDataset(t)
+	templates := ColumnSweepTemplates(d)
+	if len(templates) != 3 {
+		t.Fatalf("templates = %d, want one per column", len(templates))
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, tmpl := range templates {
+		wantCol := strings.TrimPrefix(tmpl.Name, "sweep-")
+		for trial := 0; trial < 10; trial++ {
+			preds := tmpl.Make(rng)
+			if len(preds) != 1 {
+				t.Fatalf("%s: %d predicates, want exactly 1", tmpl.Name, len(preds))
+			}
+			if preds[0].Col != wantCol {
+				t.Fatalf("%s filters %q", tmpl.Name, preds[0].Col)
+			}
+			// Selectivity must be well under 1 (it is a ~10% band or an
+			// equality).
+			q := query.Query{Preds: preds}
+			if sel := query.Selectivity(d, q); sel > 0.6 {
+				t.Errorf("%s: selectivity %.2f too weak", tmpl.Name, sel)
+			}
+		}
+	}
+}
+
+func TestGenerateColumnSweepStructure(t *testing.T) {
+	d := sweepDataset(t)
+	s := GenerateColumnSweep(d, 100, rand.New(rand.NewSource(3)))
+	if len(s.Queries) != 300 {
+		t.Fatalf("queries = %d, want 300 (100 per column)", len(s.Queries))
+	}
+	if len(s.Segments) != 3 {
+		t.Fatalf("segments = %d", len(s.Segments))
+	}
+	// Columns are visited in schema order, one segment each.
+	for i, seg := range s.Segments {
+		if seg.Template != i || seg.Length != 100 || seg.Start != i*100 {
+			t.Errorf("segment %d = %+v", i, seg)
+		}
+	}
+}
+
+func TestColumnSweepOnRealDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds, err := datagen.Generate(datagen.Telemetry, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates := ColumnSweepTemplates(ds)
+	if len(templates) < 8 {
+		t.Errorf("telemetry sweep has %d templates (12 columns)", len(templates))
+	}
+}
+
+func TestColumnSweepSkipsConstantColumns(t *testing.T) {
+	schema := table.NewSchema(
+		table.Column{Name: "const", Type: table.Int64},
+		table.Column{Name: "var", Type: table.Int64},
+	)
+	b := table.NewBuilder(schema, 100)
+	for i := 0; i < 100; i++ {
+		b.AppendRow(table.Int(7), table.Int(int64(i)))
+	}
+	d := b.Build()
+	templates := ColumnSweepTemplates(d)
+	if len(templates) != 1 || templates[0].Name != "sweep-var" {
+		t.Errorf("templates = %d (constant column should be skipped)", len(templates))
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+
+	"oreo/internal/datagen"
+	"oreo/internal/query"
+)
+
+// TelemetryTemplates returns templates mirroring the paper's description
+// of the SuperCollider workload: "the most popular predicates include
+// range queries on the arrival time of the record, where the time
+// interval ranges from a few hours to a few months, as well as filters
+// on the name of the collector who has sent the data." The mix below
+// covers those two families plus the secondary status/team probes an
+// operations table attracts.
+func TelemetryTemplates() []Template {
+	tMin, tMax := datagen.TelemetryTimeMin, datagen.TelemetryTimeMax
+	span := tMax - tMin
+
+	const (
+		hour  = int64(3600)
+		day   = 24 * int64(3600)
+		week  = 7 * 24 * int64(3600)
+		month = 30 * 24 * int64(3600)
+	)
+
+	window := func(rng *rand.Rand, width int64) (int64, int64) {
+		if width >= span {
+			return tMin, tMax
+		}
+		lo := tMin + rng.Int63n(span-width)
+		return lo, lo + width
+	}
+
+	return []Template{
+		{
+			// Recent few-hours dashboard probe.
+			Name: "time-hours",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				lo, hi := window(rng, int64(2+rng.Intn(10))*hour)
+				return []query.Predicate{query.IntRange("arrival_time", lo, hi)}
+			},
+		},
+		{
+			// Day-scale time range.
+			Name: "time-days",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				lo, hi := window(rng, int64(1+rng.Intn(6))*day)
+				return []query.Predicate{query.IntRange("arrival_time", lo, hi)}
+			},
+		},
+		{
+			// Month-scale range (capacity reviews).
+			Name: "time-months",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				lo, hi := window(rng, int64(1+rng.Intn(3))*month)
+				return []query.Predicate{query.IntRange("arrival_time", lo, hi)}
+			},
+		},
+		{
+			// Collector-only filter over all time.
+			Name: "collector-all-time",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				c := datagen.TelemetryCollectors[rng.Intn(len(datagen.TelemetryCollectors))]
+				return []query.Predicate{query.StrEq("collector", c)}
+			},
+		},
+		{
+			// Collector + week window: the paper's canonical combined shape.
+			Name: "collector-week",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				c := datagen.TelemetryCollectors[rng.Intn(len(datagen.TelemetryCollectors))]
+				lo, hi := window(rng, int64(1+rng.Intn(2))*week)
+				return []query.Predicate{
+					query.StrEq("collector", c),
+					query.IntRange("arrival_time", lo, hi),
+				}
+			},
+		},
+		{
+			// Failure triage: non-OK statuses within a day range.
+			Name: "failures-day",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				lo, hi := window(rng, int64(1+rng.Intn(3))*day)
+				return []query.Predicate{
+					query.StrIn("status", "FAILED", "TIMEOUT"),
+					query.IntRange("arrival_time", lo, hi),
+				}
+			},
+		},
+		{
+			// Team usage report over a month.
+			Name: "team-month",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				t := datagen.TelemetryTeams[rng.Intn(len(datagen.TelemetryTeams))]
+				lo, hi := window(rng, month)
+				return []query.Predicate{
+					query.StrEq("team", t),
+					query.IntRange("arrival_time", lo, hi),
+				}
+			},
+		},
+		{
+			// Slow-jobs probe: long durations in a region.
+			Name: "slow-jobs-region",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				r := datagen.TelemetryRegions[rng.Intn(len(datagen.TelemetryRegions))]
+				return []query.Predicate{
+					query.StrEq("region", r),
+					query.IntGE("duration_ms", int64(300_000+rng.Intn(200_000))),
+				}
+			},
+		},
+	}
+}
+
+// TemplatesFor returns the template library for a built-in dataset name.
+// It returns nil for unknown names.
+func TemplatesFor(dataset string) []Template {
+	switch dataset {
+	case datagen.TPCH:
+		return TPCHTemplates()
+	case datagen.TPCDS:
+		return TPCDSTemplates()
+	case datagen.Telemetry:
+		return TelemetryTemplates()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"oreo/internal/datagen"
+	"oreo/internal/query"
+)
+
+func fakeTemplates(n int) []Template {
+	out := make([]Template, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out[i] = Template{
+			Name: "t",
+			Make: func(rng *rand.Rand) []query.Predicate {
+				return []query.Predicate{query.IntGE("c", int64(i))}
+			},
+		}
+	}
+	return out
+}
+
+func TestGenerateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := Generate(fakeTemplates(5), Config{NumQueries: 1000, NumSegments: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries) != 1000 {
+		t.Fatalf("got %d queries, want 1000", len(s.Queries))
+	}
+	if len(s.Segments) != 10 {
+		t.Fatalf("got %d segments, want 10", len(s.Segments))
+	}
+	if s.NumSwitches() != 9 {
+		t.Errorf("NumSwitches = %d, want 9", s.NumSwitches())
+	}
+}
+
+func TestGenerateSegmentStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := Generate(fakeTemplates(6), Config{NumQueries: 2000, NumSegments: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for i, seg := range s.Segments {
+		if seg.Start != pos {
+			t.Fatalf("segment %d starts at %d, want %d", i, seg.Start, pos)
+		}
+		if seg.Length <= 0 {
+			t.Fatalf("segment %d has length %d", i, seg.Length)
+		}
+		// Every query in the segment carries the segment's template.
+		for j := seg.Start; j < seg.Start+seg.Length; j++ {
+			if s.Queries[j].Template != seg.Template {
+				t.Fatalf("query %d template %d, segment says %d", j, s.Queries[j].Template, seg.Template)
+			}
+			if s.Queries[j].ID != j {
+				t.Fatalf("query %d has ID %d", j, s.Queries[j].ID)
+			}
+		}
+		if i > 0 && s.Segments[i-1].Template == seg.Template {
+			t.Fatalf("segments %d and %d share template %d; switches must change the workload", i-1, i, seg.Template)
+		}
+		pos += seg.Length
+	}
+	if pos != 2000 {
+		t.Fatalf("segments cover %d queries, want 2000", pos)
+	}
+}
+
+func TestGenerateMinSegmentLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := Generate(fakeTemplates(4), Config{NumQueries: 1000, NumSegments: 10, MinSegmentFrac: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seg := range s.Segments {
+		if seg.Length < 50 {
+			t.Errorf("segment %d length %d below half the mean", i, seg.Length)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(nil, Config{NumQueries: 10, NumSegments: 2}, rng); err == nil {
+		t.Error("empty template library accepted")
+	}
+	if _, err := Generate(fakeTemplates(2), Config{NumQueries: 0, NumSegments: 2}, rng); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := Generate(fakeTemplates(2), Config{NumQueries: 10, NumSegments: 20}, rng); err == nil {
+		t.Error("more segments than queries accepted")
+	}
+}
+
+func TestQueriesByTemplate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := MustGenerate(fakeTemplates(3), Config{NumQueries: 300, NumSegments: 6}, rng)
+	byT := s.QueriesByTemplate()
+	total := 0
+	for tmpl, qs := range byT {
+		total += len(qs)
+		for _, q := range qs {
+			if q.Template != tmpl {
+				t.Fatalf("query %d grouped under wrong template", q.ID)
+			}
+		}
+	}
+	if total != 300 {
+		t.Fatalf("grouped %d queries, want 300", total)
+	}
+}
+
+func TestSegmentLengthsSumExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ total, n int }{{100, 3}, {101, 3}, {7, 7}, {1000, 1}} {
+		lengths := segmentLengths(tc.total, tc.n, 0.3, rng)
+		sum := 0
+		for _, l := range lengths {
+			sum += l
+		}
+		if sum != tc.total {
+			t.Errorf("lengths for (%d,%d) sum to %d", tc.total, tc.n, sum)
+		}
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	lengths := equalSplit(10, 3)
+	if lengths[0]+lengths[1]+lengths[2] != 10 {
+		t.Errorf("equalSplit sums wrong: %v", lengths)
+	}
+	if lengths[0] != 4 || lengths[1] != 3 || lengths[2] != 3 {
+		t.Errorf("equalSplit = %v", lengths)
+	}
+}
+
+// All template libraries must produce predicates that reference only
+// columns present in the corresponding dataset schema, with matching
+// types — otherwise they would silently match nothing.
+func TestTemplateLibrariesReferenceSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, name := range datagen.Names() {
+		ds, err := datagen.Generate(name, 100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		templates := TemplatesFor(name)
+		if len(templates) == 0 {
+			t.Fatalf("no templates for %s", name)
+		}
+		for _, tmpl := range templates {
+			for trial := 0; trial < 20; trial++ {
+				for _, p := range tmpl.Make(rng) {
+					ci, ok := ds.Schema().Index(p.Col)
+					if !ok {
+						t.Fatalf("%s/%s references unknown column %q", name, tmpl.Name, p.Col)
+					}
+					colType := ds.Schema().Col(ci).Type
+					if p.IsNumeric() && colType == 2 { // String
+						t.Fatalf("%s/%s numeric predicate on string column %q", name, tmpl.Name, p.Col)
+					}
+					if !p.IsNumeric() && colType != 2 {
+						t.Fatalf("%s/%s string predicate on numeric column %q", name, tmpl.Name, p.Col)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Template libraries must be predominantly selective on their dataset:
+// at least half of each library's templates should match well under
+// half the table on average, or the workload has no skipping structure
+// to exploit. (Individual templates like the TPC-H q1 analogue are
+// intentionally scan-heavy, as in the real benchmark.)
+func TestTemplateSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, name := range datagen.Names() {
+		ds, err := datagen.Generate(name, 3000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		templates := TemplatesFor(name)
+		selective := 0
+		for _, tmpl := range templates {
+			sum := 0.0
+			const trials = 10
+			for trial := 0; trial < trials; trial++ {
+				q := query.Query{Preds: tmpl.Make(rng)}
+				sum += query.Selectivity(ds, q)
+			}
+			if sum/trials < 0.5 {
+				selective++
+			}
+		}
+		if selective*2 < len(templates) {
+			t.Errorf("%s: only %d/%d templates are selective", name, selective, len(templates))
+		}
+	}
+}
+
+func TestTemplatesForUnknown(t *testing.T) {
+	if TemplatesFor("nope") != nil {
+		t.Error("unknown dataset returned templates")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate did not panic on bad config")
+		}
+	}()
+	MustGenerate(nil, Config{NumQueries: 1, NumSegments: 1}, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,158 @@
+// Package zorder implements Morton (Z-order) codes: the bit-interleaving
+// primitive behind Z-order data layouts (Morton, 1966). Values are first
+// reduced to small per-dimension bucket ranks; Interleave then merges the
+// rank bits so that sorting by the resulting code clusters rows that are
+// close in all dimensions simultaneously.
+package zorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxDims is the largest number of dimensions a single uint64 code can
+// hold at a useful resolution. With d dimensions each rank gets
+// floor(64/d) bits; beyond 8 dimensions the per-dimension resolution is
+// too coarse to be meaningful for layout work.
+const MaxDims = 8
+
+// BitsPerDim returns how many bits each dimension's rank receives when
+// interleaving d dimensions into a uint64.
+func BitsPerDim(d int) int {
+	if d <= 0 || d > MaxDims {
+		panic(fmt.Sprintf("zorder: dimensions must be in [1,%d], got %d", MaxDims, d))
+	}
+	return 64 / d
+}
+
+// Interleave merges the low BitsPerDim(len(ranks)) bits of each rank
+// into a single Morton code. Bit j of dimension i lands at position
+// j*d + i, so the most significant interleaved bits alternate across
+// dimensions. Ranks wider than the per-dimension budget are truncated
+// to their low bits (callers should bucket first; see Bucketizer).
+func Interleave(ranks []uint64) uint64 {
+	d := len(ranks)
+	bits := BitsPerDim(d)
+	var code uint64
+	for j := 0; j < bits; j++ {
+		for i, r := range ranks {
+			bit := (r >> uint(j)) & 1
+			code |= bit << uint(j*d+i)
+		}
+	}
+	return code
+}
+
+// Deinterleave is the inverse of Interleave for d dimensions: it
+// recovers the low BitsPerDim(d) bits of each rank.
+func Deinterleave(code uint64, d int) []uint64 {
+	bits := BitsPerDim(d)
+	ranks := make([]uint64, d)
+	for j := 0; j < bits; j++ {
+		for i := 0; i < d; i++ {
+			bit := (code >> uint(j*d+i)) & 1
+			ranks[i] |= bit << uint(j)
+		}
+	}
+	return ranks
+}
+
+// Bucketizer maps raw column values to bounded bucket ranks via
+// quantile boundaries, so that skewed columns still spread evenly
+// across the Z-curve. Boundaries come from a sorted sample of the
+// column; rank(v) is the number of boundaries <= v.
+type Bucketizer struct {
+	// boundsI / boundsF hold the sorted bucket boundaries for numeric
+	// columns; exactly one is non-nil. For string columns boundsS holds
+	// sorted distinct sample values.
+	boundsI []int64
+	boundsF []float64
+	boundsS []string
+}
+
+// NewIntBucketizer builds a bucketizer with up to 1<<bits buckets from
+// a sample of int64 values.
+func NewIntBucketizer(sample []int64, bits int) *Bucketizer {
+	s := append([]int64(nil), sample...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := 1 << uint(bits)
+	b := &Bucketizer{boundsI: quantilesInt(s, n)}
+	return b
+}
+
+// NewFloatBucketizer builds a bucketizer with up to 1<<bits buckets
+// from a sample of float64 values.
+func NewFloatBucketizer(sample []float64, bits int) *Bucketizer {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &Bucketizer{boundsF: quantilesFloat(s, n1(bits))}
+}
+
+// NewStringBucketizer builds a bucketizer with up to 1<<bits buckets
+// from a sample of string values.
+func NewStringBucketizer(sample []string, bits int) *Bucketizer {
+	s := append([]string(nil), sample...)
+	sort.Strings(s)
+	return &Bucketizer{boundsS: quantilesString(s, n1(bits))}
+}
+
+func n1(bits int) int { return 1 << uint(bits) }
+
+// RankInt returns the bucket rank of an int64 value.
+func (b *Bucketizer) RankInt(v int64) uint64 {
+	return uint64(sort.Search(len(b.boundsI), func(i int) bool { return b.boundsI[i] > v }))
+}
+
+// RankFloat returns the bucket rank of a float64 value.
+func (b *Bucketizer) RankFloat(v float64) uint64 {
+	return uint64(sort.Search(len(b.boundsF), func(i int) bool { return b.boundsF[i] > v }))
+}
+
+// RankString returns the bucket rank of a string value.
+func (b *Bucketizer) RankString(v string) uint64 {
+	return uint64(sort.Search(len(b.boundsS), func(i int) bool { return b.boundsS[i] > v }))
+}
+
+// quantilesInt picks up to n-1 interior quantile boundaries from a
+// sorted sample, deduplicated so constant regions collapse.
+func quantilesInt(sorted []int64, n int) []int64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	var out []int64
+	for i := 1; i < n; i++ {
+		v := sorted[i*len(sorted)/n]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func quantilesFloat(sorted []float64, n int) []float64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	var out []float64
+	for i := 1; i < n; i++ {
+		v := sorted[i*len(sorted)/n]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func quantilesString(sorted []string, n int) []string {
+	if len(sorted) == 0 {
+		return nil
+	}
+	var out []string
+	for i := 1; i < n; i++ {
+		v := sorted[i*len(sorted)/n]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsPerDim(t *testing.T) {
+	cases := map[int]int{1: 64, 2: 32, 3: 21, 4: 16, 8: 8}
+	for d, want := range cases {
+		if got := BitsPerDim(d); got != want {
+			t.Errorf("BitsPerDim(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestBitsPerDimPanics(t *testing.T) {
+	for _, d := range []int{0, -1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BitsPerDim(%d) did not panic", d)
+				}
+			}()
+			BitsPerDim(d)
+		}()
+	}
+}
+
+func TestInterleaveKnown(t *testing.T) {
+	// 2D: x=0b1 (bit0 -> position 0), y=0b1 (bit0 -> position 1).
+	if got := Interleave([]uint64{1, 1}); got != 0b11 {
+		t.Errorf("Interleave(1,1) = %b, want 11", got)
+	}
+	// x=0b10, y=0b01 -> bits: x bit1 at pos 2, y bit0 at pos 1 -> 0b110.
+	if got := Interleave([]uint64{2, 1}); got != 0b110 {
+		t.Errorf("Interleave(2,1) = %b, want 110", got)
+	}
+}
+
+func TestInterleaveMonotoneInOneDim(t *testing.T) {
+	// With the other dimension fixed, codes grow with the rank.
+	prev := Interleave([]uint64{0, 5})
+	for x := uint64(1); x < 100; x++ {
+		c := Interleave([]uint64{x, 5})
+		if c <= prev && x > 5 {
+			// Not strictly monotone globally (bit interleaving), but the
+			// codes within the same y-bucket must be distinct.
+			if c == prev {
+				t.Fatalf("duplicate code for x=%d", x)
+			}
+		}
+		prev = c
+	}
+}
+
+// Property: Deinterleave inverts Interleave for 2 and 3 dimensions.
+func TestInterleaveRoundTrip(t *testing.T) {
+	f2 := func(a, b uint32) bool {
+		ranks := []uint64{uint64(a), uint64(b)}
+		got := Deinterleave(Interleave(ranks), 2)
+		return got[0] == ranks[0] && got[1] == ranks[1]
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Errorf("2D round trip: %v", err)
+	}
+	f3 := func(a, b, c uint32) bool {
+		const mask = (1 << 21) - 1
+		ranks := []uint64{uint64(a) & mask, uint64(b) & mask, uint64(c) & mask}
+		got := Deinterleave(Interleave(ranks), 3)
+		return got[0] == ranks[0] && got[1] == ranks[1] && got[2] == ranks[2]
+	}
+	if err := quick.Check(f3, nil); err != nil {
+		t.Errorf("3D round trip: %v", err)
+	}
+}
+
+func TestIntBucketizerRanks(t *testing.T) {
+	sample := make([]int64, 1000)
+	for i := range sample {
+		sample[i] = int64(i)
+	}
+	b := NewIntBucketizer(sample, 3) // 8 buckets
+	if r0, r999 := b.RankInt(0), b.RankInt(999); r0 >= r999 {
+		t.Errorf("ranks not increasing: rank(0)=%d rank(999)=%d", r0, r999)
+	}
+	if got := b.RankInt(-100); got != 0 {
+		t.Errorf("below-min rank = %d, want 0", got)
+	}
+	if got := b.RankInt(10_000); got > 8 {
+		t.Errorf("above-max rank = %d, want <= 8", got)
+	}
+}
+
+// Property: bucket ranks are monotone in the value.
+func TestBucketizerMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sample := make([]int64, 500)
+	for i := range sample {
+		sample[i] = rng.Int63n(10_000)
+	}
+	b := NewIntBucketizer(sample, 4)
+	f := func(x, y int64) bool {
+		if x > y {
+			x, y = y, x
+		}
+		return b.RankInt(x) <= b.RankInt(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatBucketizer(t *testing.T) {
+	sample := []float64{0.1, 0.2, 0.5, 0.9, 1.5, 2.5, 3.5, 9.9}
+	b := NewFloatBucketizer(sample, 2)
+	if b.RankFloat(0.0) > b.RankFloat(100.0) {
+		t.Error("float ranks not monotone at extremes")
+	}
+}
+
+func TestStringBucketizer(t *testing.T) {
+	b := NewStringBucketizer([]string{"a", "b", "c", "d", "e", "f", "g", "h"}, 2)
+	if b.RankString("a") > b.RankString("z") {
+		t.Error("string ranks not monotone")
+	}
+}
+
+func TestBucketizerConstantColumn(t *testing.T) {
+	// A constant column collapses to zero boundaries: everything rank 0
+	// or 1, but no panic and monotone.
+	b := NewIntBucketizer([]int64{7, 7, 7, 7}, 4)
+	if b.RankInt(7) != b.RankInt(7) {
+		t.Error("unstable rank")
+	}
+	if b.RankInt(6) > b.RankInt(8) {
+		t.Error("constant-column ranks not monotone")
+	}
+}
+
+func TestBucketizerEmptySample(t *testing.T) {
+	b := NewIntBucketizer(nil, 4)
+	if got := b.RankInt(5); got != 0 {
+		t.Errorf("empty-sample rank = %d, want 0", got)
+	}
+}

@@ -1,0 +1,106 @@
+package oreo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiOptimizer manages one OREO instance per table, implementing the
+// multi-table configuration the paper describes (§VIII): "each table
+// can maintain its own instance of OREO and make decisions based on a
+// subset of query predicates relevant to the table." A multi-table
+// query (e.g. a join with filters on several tables) is routed by
+// predicate: each table's optimizer sees only the predicates on its own
+// columns and independently decides whether to reorganize that table.
+type MultiOptimizer struct {
+	names      []string // insertion order, for deterministic iteration
+	optimizers map[string]*Optimizer
+	datasets   map[string]*Dataset
+}
+
+// NewMulti returns an empty multi-table optimizer.
+func NewMulti() *MultiOptimizer {
+	return &MultiOptimizer{
+		optimizers: make(map[string]*Optimizer),
+		datasets:   make(map[string]*Dataset),
+	}
+}
+
+// AddTable registers a table with its own OREO configuration. Table
+// names must be unique.
+func (m *MultiOptimizer) AddTable(name string, ds *Dataset, cfg Config) error {
+	if name == "" {
+		return fmt.Errorf("oreo: empty table name")
+	}
+	if _, dup := m.optimizers[name]; dup {
+		return fmt.Errorf("oreo: table %q already registered", name)
+	}
+	opt, err := New(ds, cfg)
+	if err != nil {
+		return fmt.Errorf("oreo: table %q: %w", name, err)
+	}
+	m.names = append(m.names, name)
+	m.optimizers[name] = opt
+	m.datasets[name] = ds
+	return nil
+}
+
+// Tables returns the registered table names in registration order.
+func (m *MultiOptimizer) Tables() []string {
+	return append([]string(nil), m.names...)
+}
+
+// Optimizer returns the per-table optimizer, or nil if the table is
+// not registered.
+func (m *MultiOptimizer) Optimizer(table string) *Optimizer {
+	return m.optimizers[table]
+}
+
+// ProcessQuery routes the query's predicates to every table whose
+// schema contains the predicate column, and feeds each affected table's
+// optimizer the relevant sub-query. Tables receiving no predicates are
+// untouched (they would be full scans regardless of layout, so their
+// reorganization decisions should not be polluted by them). The result
+// maps table name to that table's decision.
+func (m *MultiOptimizer) ProcessQuery(q Query) map[string]Decision {
+	perTable := make(map[string][]Predicate)
+	for _, p := range q.Preds {
+		for _, name := range m.names {
+			if _, ok := m.datasets[name].Schema().Index(p.Col); ok {
+				perTable[name] = append(perTable[name], p)
+			}
+		}
+	}
+	out := make(map[string]Decision, len(perTable))
+	for _, name := range m.names {
+		preds, touched := perTable[name]
+		if !touched {
+			continue
+		}
+		sub := Query{ID: q.ID, Template: q.Template, Preds: preds}
+		out[name] = m.optimizers[name].ProcessQuery(sub)
+	}
+	return out
+}
+
+// Stats returns the per-table statistics, keyed by table name.
+func (m *MultiOptimizer) Stats() map[string]Stats {
+	out := make(map[string]Stats, len(m.optimizers))
+	for name, opt := range m.optimizers {
+		out[name] = opt.Stats()
+	}
+	return out
+}
+
+// TotalCost sums query and reorganization costs across all tables —
+// the combined bill the paper's multi-table experiments report.
+func (m *MultiOptimizer) TotalCost() (queryCost, reorgCost float64) {
+	names := append([]string(nil), m.names...)
+	sort.Strings(names)
+	for _, name := range names {
+		st := m.optimizers[name].Stats()
+		queryCost += st.QueryCost
+		reorgCost += st.ReorgCost
+	}
+	return queryCost, reorgCost
+}

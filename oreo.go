@@ -1,0 +1,357 @@
+// Package oreo is the public API of this repository: a Go
+// implementation of OREO (Online RE-organization Optimizer) from
+// "Dynamic Data Layout Optimization with Worst-case Guarantees"
+// (Rong, Liu, Sonje, Charikar — ICDE 2024).
+//
+// OREO watches an unknown query stream over a partitioned table and
+// decides, online, when to reorganize the table into a different data
+// layout so that the sum of query-processing cost and reorganization
+// cost is minimized. Its decisions carry a provable worst-case
+// guarantee: total cost at most 2·H(|Smax|) times the optimal offline
+// schedule, where |Smax| is the largest number of candidate layouts
+// ever held (Theorem IV.1 of the paper).
+//
+// # Quick start
+//
+//	schema := oreo.NewSchema(
+//		oreo.Column{Name: "ts", Type: oreo.Int64},
+//		oreo.Column{Name: "user", Type: oreo.String},
+//	)
+//	b := oreo.NewDatasetBuilder(schema, 0)
+//	// ... b.AppendRow(...) for each record ...
+//	ds := b.Build()
+//
+//	opt, err := oreo.New(ds, oreo.Config{
+//		Alpha:      80,                              // reorg ≈ 80 full scans
+//		Partitions: 64,
+//		Generator:  oreo.NewQdTreeGenerator(),
+//		InitialSort: []string{"ts"},                 // default time layout
+//	})
+//	// per query:
+//	dec := opt.ProcessQuery(oreo.Query{Preds: []oreo.Predicate{
+//		oreo.IntRange("ts", lo, hi),
+//	}})
+//	// dec.Cost is the fraction of the table scanned; dec.Reorganized
+//	// reports whether OREO switched layouts before serving it.
+//
+// The subpackages under internal/ implement the substrates (columnar
+// tables, query model, layout generators, the D-UMTS reorganizer, the
+// layout manager, baselines, and the experiment harness); this package
+// re-exports everything a downstream user needs.
+package oreo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oreo/internal/layout"
+	"oreo/internal/manager"
+	"oreo/internal/mts"
+	"oreo/internal/policy"
+	"oreo/internal/query"
+	"oreo/internal/table"
+	"oreo/internal/trace"
+)
+
+// Re-exported substrate types. Aliases keep the internal packages as
+// the single source of truth while making every type usable (and
+// constructible) through the public package.
+type (
+	// Schema describes a table's columns.
+	Schema = table.Schema
+	// Column is one named, typed column.
+	Column = table.Column
+	// ColType enumerates supported column types.
+	ColType = table.ColType
+	// Value is a dynamically typed cell value.
+	Value = table.Value
+	// Dataset is an immutable columnar table.
+	Dataset = table.Dataset
+	// DatasetBuilder accumulates rows for a Dataset.
+	DatasetBuilder = table.Builder
+	// Partitioning is a materialized row→partition mapping with
+	// partition-level metadata.
+	Partitioning = table.Partitioning
+
+	// Query is a conjunction of predicates.
+	Query = query.Query
+	// Predicate is a single-column filter.
+	Predicate = query.Predicate
+
+	// Layout is a candidate data layout (one D-UMTS state).
+	Layout = layout.Layout
+	// Generator produces layouts from (dataset, workload, k).
+	Generator = layout.Generator
+)
+
+// Column type constants.
+const (
+	Int64   = table.Int64
+	Float64 = table.Float64
+	String  = table.String
+)
+
+// NewSchema constructs a schema; see table.NewSchema.
+func NewSchema(cols ...Column) *Schema { return table.NewSchema(cols...) }
+
+// NewDatasetBuilder returns a dataset builder with a capacity hint.
+func NewDatasetBuilder(schema *Schema, capacity int) *DatasetBuilder {
+	return table.NewBuilder(schema, capacity)
+}
+
+// Int / Float / Str box cell values.
+func Int(v int64) Value     { return table.Int(v) }
+func Float(v float64) Value { return table.Float(v) }
+func Str(v string) Value    { return table.Str(v) }
+
+// Predicate constructors (see internal/query for semantics).
+func IntRange(col string, lo, hi int64) Predicate     { return query.IntRange(col, lo, hi) }
+func IntGE(col string, lo int64) Predicate            { return query.IntGE(col, lo) }
+func IntLE(col string, hi int64) Predicate            { return query.IntLE(col, hi) }
+func FloatRange(col string, lo, hi float64) Predicate { return query.FloatRange(col, lo, hi) }
+func FloatGE(col string, lo float64) Predicate        { return query.FloatGE(col, lo) }
+func FloatLE(col string, hi float64) Predicate        { return query.FloatLE(col, hi) }
+func StrEq(col, v string) Predicate                   { return query.StrEq(col, v) }
+func StrIn(col string, vs ...string) Predicate        { return query.StrIn(col, vs...) }
+
+// Layout generator constructors.
+func NewQdTreeGenerator() Generator { return layout.NewQdTreeGenerator() }
+func NewZOrderGenerator(numCols int, fallback ...string) Generator {
+	return layout.NewZOrderGenerator(numCols, fallback...)
+}
+func NewSortGenerator(cols ...string) Generator { return layout.NewSortGenerator(cols...) }
+
+// Config parameterizes an Optimizer. Zero values select the paper's
+// defaults where one exists.
+type Config struct {
+	// Alpha is the relative reorganization cost: the expected ratio of
+	// reorganization time to a full-scan query (paper default 80;
+	// measured 60–100 on the paper's testbed). Must be > 1; zero
+	// selects 80.
+	Alpha float64
+	// Gamma biases layout-switch choices toward layouts that performed
+	// well in the previous phase; zero selects the paper default 1.
+	// Set NoPredictor to force the classic uniform choice (γ = 0).
+	Gamma float64
+	// NoPredictor disables the transition predictor (γ = 0).
+	NoPredictor bool
+	// Epsilon is the admission distance threshold for new layouts
+	// (paper default 0.08). Zero selects the default.
+	Epsilon float64
+	// WindowSize is the sliding window of recent queries candidates are
+	// generated from (paper default 200). Zero selects the default.
+	WindowSize int
+	// Period is the number of queries between candidate generations;
+	// zero means WindowSize.
+	Period int
+	// Partitions is the target partition count k for generated layouts.
+	// Zero derives ~1 partition per 1500 rows, clamped to [8, 128].
+	Partitions int
+	// MaxStates caps the dynamic state space (0 = unbounded); when
+	// exceeded the most redundant non-current layout is pruned.
+	MaxStates int
+	// Generator builds candidate layouts; nil selects a Qd-tree
+	// generator.
+	Generator Generator
+	// InitialSort names the column(s) of the default starting layout
+	// (typically the arrival-time column). Required unless Initial is
+	// set.
+	InitialSort []string
+	// Initial overrides the starting layout entirely.
+	Initial *Layout
+	// TraceCapacity enables decision tracing: the optimizer retains the
+	// most recent TraceCapacity events (admissions, rejections, prunes,
+	// switches, phase boundaries), readable via Events / DumpTrace.
+	// Zero disables tracing.
+	TraceCapacity int
+	// ReorgDelay models background reorganization (§III-B, §VI-D5):
+	// after a switch decision, this many queries are still served on the
+	// outgoing layout before the swap lands. The reorganization cost is
+	// charged at decision time either way. Zero applies switches
+	// immediately.
+	ReorgDelay int
+	// Seed drives all randomness (candidate sampling and MTS
+	// transitions), making runs reproducible.
+	Seed int64
+}
+
+// Decision reports the outcome of processing one query.
+type Decision struct {
+	// Cost is the fraction of the table scanned to serve the query on
+	// the layout in effect (0 ≤ Cost ≤ 1).
+	Cost float64
+	// Reorganized reports whether OREO switched layouts before this
+	// query (one reorganization of relative cost Alpha was charged).
+	Reorganized bool
+	// Layout is the layout the query was served on.
+	Layout *Layout
+}
+
+// Stats summarizes an Optimizer's activity.
+type Stats struct {
+	// Queries processed so far.
+	Queries int
+	// Reorganizations performed (layout switches).
+	Reorganizations int
+	// QueryCost is the cumulative fraction-scanned cost.
+	QueryCost float64
+	// ReorgCost is Alpha × Reorganizations.
+	ReorgCost float64
+	// States is the current dynamic state-space size |S|.
+	States int
+	// MaxStates is |Smax|, the largest space seen.
+	MaxStates int
+	// Phases is the number of MTS phases started.
+	Phases int
+	// CompetitiveBound is the worst-case guarantee 2·H(|Smax|) for the
+	// space seen so far.
+	CompetitiveBound float64
+}
+
+// Optimizer is the end-to-end OREO system: layout manager + D-UMTS
+// reorganizer over one dataset. It is not safe for concurrent use.
+type Optimizer struct {
+	cfg   Config
+	pol   *policy.OREO
+	reorg *mts.Reorganizer
+	rec   *trace.Recorder
+
+	// serving is the layout queries are physically served on; under
+	// ReorgDelay it trails the policy's logical state.
+	serving   *Layout
+	pending   *Layout
+	countdown int
+
+	queries   int
+	queryCost float64
+	switches  int
+}
+
+// New constructs an Optimizer over the dataset.
+func New(ds *Dataset, cfg Config) (*Optimizer, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 80
+	}
+	if cfg.Alpha <= 1 {
+		return nil, fmt.Errorf("oreo: Alpha must be > 1, got %g", cfg.Alpha)
+	}
+	if cfg.Gamma == 0 && !cfg.NoPredictor {
+		cfg.Gamma = 1
+	}
+	if cfg.NoPredictor {
+		cfg.Gamma = 0
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.08
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("oreo: Epsilon must be in [0,1], got %g", cfg.Epsilon)
+	}
+	if cfg.WindowSize == 0 {
+		cfg.WindowSize = 200
+	}
+	if cfg.WindowSize < 0 {
+		return nil, fmt.Errorf("oreo: WindowSize must be positive, got %d", cfg.WindowSize)
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = ds.NumRows() / 1500
+		if cfg.Partitions < 8 {
+			cfg.Partitions = 8
+		}
+		if cfg.Partitions > 128 {
+			cfg.Partitions = 128
+		}
+	}
+	if cfg.Generator == nil {
+		cfg.Generator = layout.NewQdTreeGenerator()
+	}
+
+	initial := cfg.Initial
+	if initial == nil {
+		if len(cfg.InitialSort) == 0 {
+			return nil, fmt.Errorf("oreo: either Initial or InitialSort is required")
+		}
+		for _, c := range cfg.InitialSort {
+			if _, ok := ds.Schema().Index(c); !ok {
+				return nil, fmt.Errorf("oreo: InitialSort column %q not in schema", c)
+			}
+		}
+		initial = layout.NewSortGenerator(cfg.InitialSort...).Generate(ds, nil, cfg.Partitions)
+	}
+
+	feedRng := rand.New(rand.NewSource(cfg.Seed))
+	mtsRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	feed := manager.NewFeed(ds, cfg.Generator, manager.FeedConfig{
+		WindowSize: cfg.WindowSize,
+		Period:     cfg.Period,
+		Partitions: cfg.Partitions,
+	}, feedRng)
+	reorg := mts.New(mts.Config{Alpha: cfg.Alpha, Gamma: cfg.Gamma}, mtsRng)
+	pol := policy.NewOREO(feed, initial, policy.OREOConfig{
+		Alpha:     cfg.Alpha,
+		Gamma:     cfg.Gamma,
+		Epsilon:   cfg.Epsilon,
+		MaxStates: cfg.MaxStates,
+	}, reorg)
+
+	o := &Optimizer{cfg: cfg, pol: pol, reorg: reorg, serving: initial}
+	if cfg.TraceCapacity > 0 {
+		o.rec = trace.NewRecorder(cfg.TraceCapacity)
+		pol.SetRecorder(o.rec)
+	}
+	return o, nil
+}
+
+// ProcessQuery feeds one query through OREO: the layout manager may
+// admit new candidate layouts, the reorganizer may switch states, and
+// the query is costed on the layout in effect. With ReorgDelay > 0,
+// switch decisions charge their cost immediately but the serving layout
+// swaps only after the delay elapses, modeling background
+// reorganization.
+func (o *Optimizer) ProcessQuery(q Query) Decision {
+	target := o.pol.Observe(q)
+	if target != nil && target.Name != o.serving.Name {
+		o.switches++
+		o.pending = target
+		o.countdown = o.cfg.ReorgDelay
+	}
+	if o.pending != nil {
+		if o.countdown <= 0 {
+			o.serving = o.pending
+			o.pending = nil
+		} else {
+			o.countdown--
+		}
+	}
+
+	cost := o.serving.Cost(q)
+	o.queries++
+	o.queryCost += cost
+	return Decision{Cost: cost, Reorganized: target != nil, Layout: o.serving}
+}
+
+// CurrentLayout returns the layout queries are currently served on.
+// Under ReorgDelay this can trail the reorganizer's logical state
+// (PendingLayout reports an in-flight background reorganization).
+func (o *Optimizer) CurrentLayout() *Layout { return o.serving }
+
+// PendingLayout returns the layout a background reorganization is
+// building, or nil when none is in flight.
+func (o *Optimizer) PendingLayout() *Layout { return o.pending }
+
+// Stats returns cumulative counters and the current worst-case bound.
+func (o *Optimizer) Stats() Stats {
+	return Stats{
+		Queries:          o.queries,
+		Reorganizations:  o.switches,
+		QueryCost:        o.queryCost,
+		ReorgCost:        o.cfg.Alpha * float64(o.switches),
+		States:           o.reorg.NumStates(),
+		MaxStates:        o.reorg.MaxSpace(),
+		Phases:           o.reorg.Phases(),
+		CompetitiveBound: o.reorg.CompetitiveBound(),
+	}
+}
+
+// Alpha returns the configured relative reorganization cost.
+func (o *Optimizer) Alpha() float64 { return o.cfg.Alpha }

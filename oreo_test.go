@@ -1,0 +1,191 @@
+package oreo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildEventsTable makes a small synthetic event table through the
+// public API only.
+func buildEventsTable(t testing.TB, n int) *Dataset {
+	t.Helper()
+	schema := NewSchema(
+		Column{Name: "ts", Type: Int64},
+		Column{Name: "user", Type: String},
+		Column{Name: "latency", Type: Float64},
+	)
+	b := NewDatasetBuilder(schema, n)
+	users := []string{"alice", "bob", "carol", "dave"}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		b.AppendRow(Int(int64(i)), Str(users[rng.Intn(len(users))]), Float(rng.Float64()*500))
+	}
+	return b.Build()
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := buildEventsTable(t, 100)
+	if _, err := New(ds, Config{InitialSort: []string{"ts"}, Alpha: 0.5}); err == nil {
+		t.Error("Alpha <= 1 accepted")
+	}
+	if _, err := New(ds, Config{}); err == nil {
+		t.Error("missing initial layout accepted")
+	}
+	if _, err := New(ds, Config{InitialSort: []string{"nope"}}); err == nil {
+		t.Error("unknown initial sort column accepted")
+	}
+	if _, err := New(ds, Config{InitialSort: []string{"ts"}, Epsilon: 2}); err == nil {
+		t.Error("Epsilon > 1 accepted")
+	}
+	if _, err := New(ds, Config{InitialSort: []string{"ts"}, WindowSize: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ds := buildEventsTable(t, 100)
+	opt, err := New(ds, Config{InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Alpha() != 80 {
+		t.Errorf("default Alpha = %g, want 80", opt.Alpha())
+	}
+	if opt.cfg.Gamma != 1 || opt.cfg.Epsilon != 0.08 || opt.cfg.WindowSize != 200 {
+		t.Errorf("paper defaults not applied: %+v", opt.cfg)
+	}
+	if opt.cfg.Partitions != 8 {
+		t.Errorf("derived partitions = %d, want clamp to 8", opt.cfg.Partitions)
+	}
+}
+
+func TestNoPredictorFlag(t *testing.T) {
+	ds := buildEventsTable(t, 100)
+	opt, err := New(ds, Config{InitialSort: []string{"ts"}, NoPredictor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.cfg.Gamma != 0 {
+		t.Errorf("NoPredictor left Gamma = %g", opt.cfg.Gamma)
+	}
+}
+
+func TestProcessQueryLifecycle(t *testing.T) {
+	ds := buildEventsTable(t, 2000)
+	opt, err := New(ds, Config{
+		Alpha:       20,
+		Partitions:  16,
+		WindowSize:  50,
+		Period:      50,
+		InitialSort: []string{"ts"},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: time-range queries (default layout is ideal).
+	for i := 0; i < 150; i++ {
+		lo := int64((i * 11) % 1900)
+		dec := opt.ProcessQuery(Query{ID: i, Preds: []Predicate{IntRange("ts", lo, lo+100)}})
+		if dec.Cost < 0 || dec.Cost > 1 {
+			t.Fatalf("cost %g out of range", dec.Cost)
+		}
+		if dec.Layout == nil {
+			t.Fatal("nil layout in decision")
+		}
+	}
+	// Phase 2: drift to user-equality queries.
+	for i := 150; i < 600; i++ {
+		opt.ProcessQuery(Query{ID: i, Preds: []Predicate{StrEq("user", []string{"alice", "bob"}[i%2])}})
+	}
+
+	st := opt.Stats()
+	if st.Queries != 600 {
+		t.Errorf("Queries = %d", st.Queries)
+	}
+	if st.States < 2 {
+		t.Error("no candidate layouts were admitted under workload drift")
+	}
+	if st.Reorganizations == 0 {
+		t.Error("OREO never reorganized under workload drift")
+	}
+	if st.ReorgCost != 20*float64(st.Reorganizations) {
+		t.Errorf("ReorgCost = %g with %d reorgs", st.ReorgCost, st.Reorganizations)
+	}
+	if st.CompetitiveBound <= 0 {
+		t.Error("no competitive bound reported")
+	}
+	if st.MaxStates < st.States {
+		t.Error("MaxStates < States")
+	}
+	if opt.CurrentLayout() == nil {
+		t.Error("no current layout")
+	}
+}
+
+func TestExplicitInitialLayout(t *testing.T) {
+	ds := buildEventsTable(t, 500)
+	init := NewSortGenerator("user").Generate(ds, nil, 8)
+	opt, err := New(ds, Config{Initial: init, Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CurrentLayout() != init {
+		t.Error("explicit initial layout not used")
+	}
+}
+
+func TestPredicateConstructorsExported(t *testing.T) {
+	ps := []Predicate{
+		IntRange("a", 1, 2), IntGE("a", 1), IntLE("a", 2),
+		FloatRange("b", 1, 2), FloatGE("b", 1), FloatLE("b", 2),
+		StrEq("c", "x"), StrIn("c", "x", "y"),
+	}
+	for i, p := range ps {
+		if p.Col == "" {
+			t.Errorf("constructor %d produced empty column", i)
+		}
+	}
+}
+
+func TestGeneratorConstructorsExported(t *testing.T) {
+	if NewQdTreeGenerator().Name() != "qdtree" {
+		t.Error("qdtree constructor")
+	}
+	if NewZOrderGenerator(2, "ts").Name() != "zorder" {
+		t.Error("zorder constructor")
+	}
+	if NewSortGenerator("ts").Name() != "sort" {
+		t.Error("sort constructor")
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	run := func() (float64, int) {
+		ds := buildEventsTable(t, 1000)
+		opt, err := New(ds, Config{
+			Alpha: 15, Partitions: 8, WindowSize: 40, Period: 40,
+			InitialSort: []string{"ts"}, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			var q Query
+			if i%2 == 0 {
+				q = Query{ID: i, Preds: []Predicate{StrEq("user", "alice")}}
+			} else {
+				q = Query{ID: i, Preds: []Predicate{IntRange("ts", 0, 99)}}
+			}
+			opt.ProcessQuery(q)
+		}
+		st := opt.Stats()
+		return st.QueryCost, st.Reorganizations
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("identical seeds diverged: (%g,%d) vs (%g,%d)", c1, s1, c2, s2)
+	}
+}

@@ -1,0 +1,19 @@
+package oreo
+
+import (
+	"io"
+
+	"oreo/internal/persist"
+)
+
+// SaveLayout serializes a layout (name + row→partition assignment) to
+// w in a versioned JSON format. Partition metadata is not written: it
+// is recomputed from the dataset at load time, so a stale or corrupted
+// file can never cause unsound partition skipping.
+func SaveLayout(w io.Writer, l *Layout) error { return persist.SaveLayout(w, l) }
+
+// LoadLayout reads a layout written by SaveLayout and rebinds it to the
+// dataset (which must match the saved schema and row count), rebuilding
+// all partition metadata. The result can be passed as Config.Initial so
+// a restarted process resumes from the layout it had converged to.
+func LoadLayout(r io.Reader, ds *Dataset) (*Layout, error) { return persist.LoadLayout(r, ds) }

@@ -1,0 +1,34 @@
+package oreo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicSaveLoadLayout(t *testing.T) {
+	ds := buildEventsTable(t, 500)
+	opt, err := New(ds, Config{Alpha: 15, Partitions: 8, InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveLayout(&buf, opt.CurrentLayout()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLayout(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded layout can seed a new optimizer: the restart workflow.
+	opt2, err := New(ds, Config{Alpha: 15, Partitions: 8, Initial: loaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2.CurrentLayout().Name != opt.CurrentLayout().Name {
+		t.Errorf("restarted layout %q, want %q", opt2.CurrentLayout().Name, opt.CurrentLayout().Name)
+	}
+	q := Query{Preds: []Predicate{IntRange("ts", 0, 49)}}
+	if a, b := opt.CurrentLayout().Cost(q), opt2.CurrentLayout().Cost(q); a != b {
+		t.Errorf("cost diverged after save/load: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,71 @@
+package oreo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOptimizerTracing(t *testing.T) {
+	ds := buildEventsTable(t, 2000)
+	opt, err := New(ds, Config{
+		Alpha: 15, Partitions: 8, WindowSize: 40, Period: 40,
+		InitialSort: []string{"ts"}, Seed: 3, TraceCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		var q Query
+		if i < 100 {
+			q = Query{ID: i, Preds: []Predicate{IntRange("ts", 0, 99)}}
+		} else {
+			q = Query{ID: i, Preds: []Predicate{StrEq("user", []string{"alice", "bob"}[i%2])}}
+		}
+		opt.ProcessQuery(q)
+	}
+	events := opt.Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	kinds := make(map[TraceKind]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Seq <= 0 || e.Seq > 500 {
+			t.Errorf("event seq %d out of range", e.Seq)
+		}
+		if e.Layout == "" {
+			t.Errorf("event without layout: %+v", e)
+		}
+	}
+	st := opt.Stats()
+	if kinds[TraceSwitch] != st.Reorganizations {
+		t.Errorf("trace recorded %d switches, stats say %d", kinds[TraceSwitch], st.Reorganizations)
+	}
+	if kinds[TraceAdmit] == 0 {
+		t.Error("no admissions traced despite growing state space")
+	}
+
+	var buf bytes.Buffer
+	if err := opt.DumpTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "admit") {
+		t.Error("dump missing admit lines")
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	ds := buildEventsTable(t, 200)
+	opt, err := New(ds, Config{Alpha: 15, Partitions: 8, InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.ProcessQuery(Query{ID: 0, Preds: []Predicate{IntRange("ts", 0, 10)}})
+	if got := opt.Events(); got != nil {
+		t.Errorf("events recorded without TraceCapacity: %v", got)
+	}
+	if err := opt.DumpTrace(&bytes.Buffer{}); err != nil {
+		t.Errorf("DumpTrace on disabled tracing errored: %v", err)
+	}
+}
