@@ -16,6 +16,7 @@ import (
 
 	"oreo/internal/datagen"
 	"oreo/internal/experiments"
+	"oreo/internal/query"
 )
 
 // benchScenario returns the reduced-scale scenario used by benchmarks.
@@ -156,6 +157,50 @@ func BenchmarkTable2Ablations(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCostPathTPCH compares the three service-cost paths on the
+// TPC-H-shaped scenario workload: the interpreted reference, the
+// compiled pruning engine without memoization, and the production
+// memoized path — each re-costing a full sliding window against the
+// default layout, the layout manager's per-period hot loop.
+func BenchmarkCostPathTPCH(b *testing.B) {
+	s, err := experiments.Build(experiments.ScenarioConfig{
+		Dataset:     datagen.TPCH,
+		Rows:        20000,
+		NumQueries:  2000,
+		NumSegments: 4,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := s.Stream.Queries[:200]
+	l := s.Default
+
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = query.AvgFractionScanned(l.Schema(), l.Part, window)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		cqs := l.CompileWorkload(window)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum := 0.0
+			for _, cq := range cqs {
+				sum += cq.FractionScanned(l.Part)
+			}
+			_ = sum / float64(len(cqs))
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		l.AvgCost(window)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = l.AvgCost(window)
+		}
+	})
 }
 
 // sanitize converts labels to metric-name-safe strings.

@@ -1,0 +1,3 @@
+module oreo
+
+go 1.22

@@ -59,6 +59,12 @@ func hash2(s string) (uint64, uint64) {
 	return h1, h2
 }
 
+// HashPair returns the double-hashing pair for a value, for callers that
+// probe many filters with the same value (e.g. a compiled IN-predicate
+// tested against every partition's filter). The pair is stable for a
+// given value and can be reused with MayContainHash.
+func HashPair(s string) (h1, h2 uint64) { return hash2(s) }
+
 // Add inserts a value.
 func (f *Filter) Add(s string) {
 	h1, h2 := hash2(s)
@@ -72,6 +78,11 @@ func (f *Filter) Add(s string) {
 // definitely absent; true means present or a false positive.
 func (f *Filter) MayContain(s string) bool {
 	h1, h2 := hash2(s)
+	return f.MayContainHash(h1, h2)
+}
+
+// MayContainHash is MayContain for a value pre-hashed with HashPair.
+func (f *Filter) MayContainHash(h1, h2 uint64) bool {
 	for i := 0; i < f.hashes; i++ {
 		idx := (h1 + uint64(i)*h2) % f.nbits
 		if f.bits[idx/64]&(1<<(idx%64)) == 0 {

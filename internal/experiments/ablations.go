@@ -117,14 +117,17 @@ func runMultiCopy(s *Scenario, gen layout.Generator, budget int, p RunParams) (q
 			mc.AddState(nextID)
 			nextID++
 		}
+		// One compilation serves the resident-copy scan and the final
+		// serving-cost charge.
+		cq := s.Default.Compile(q)
 		serveIn, materialized := mc.Observe(func(id mts.StateID) float64 {
-			return states[id].Cost(q)
+			return states[id].CostCompiled(cq)
 		})
 		if materialized {
 			reorgCost += p.Alpha
 			materializations++
 		}
-		queryCost += states[serveIn].Cost(q)
+		queryCost += states[serveIn].CostCompiled(cq)
 	}
 	return queryCost, reorgCost, materializations
 }

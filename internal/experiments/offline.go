@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"sort"
+
+	"oreo/internal/layout"
+	"oreo/internal/mts"
+	"oreo/internal/query"
+)
+
+// CostMatrix builds the [query][state] service-cost matrix that the
+// exact offline paths (mts.OfflineOptimal, competitive-ratio
+// measurements) consume. Each query is compiled once against the shared
+// schema and evaluated across every state, so building a T×n matrix
+// costs T compilations instead of T·n map-lookup-per-partition
+// interpretations.
+func CostMatrix(states []*layout.Layout, qs []query.Query) [][]float64 {
+	costs := make([][]float64, len(qs))
+	if len(states) == 0 {
+		return costs
+	}
+	for t, q := range qs {
+		cq := states[0].Compile(q)
+		row := make([]float64, len(states))
+		for s, l := range states {
+			row[s] = l.CostCompiled(cq)
+		}
+		costs[t] = row
+	}
+	return costs
+}
+
+// OfflineDPResult is the exact optimal offline schedule over a fixed
+// state space, computed by dynamic programming (mts.OfflineOptimal).
+type OfflineDPResult struct {
+	// States names the state space the DP ran over, initial first.
+	States []string
+	// Total is the minimal total cost (service + α per move).
+	Total float64
+	// Moves is the number of layout switches an optimal schedule makes.
+	Moves int
+}
+
+// OfflineDP computes the exact offline optimum over the scenario's
+// per-template layouts plus the default layout (the same state space
+// MTS Optimal runs on, but with full lookahead and exact DP instead of
+// an online algorithm). It lower-bounds every policy confined to that
+// state space and is the tightest reference Figure 4's gap can be
+// measured against.
+func OfflineDP(s *Scenario, p RunParams) OfflineDPResult {
+	gen := s.Generator(GenQdTree)
+	perTemplate := s.PerTemplateLayouts(gen)
+
+	states := []*layout.Layout{s.Default}
+	// Deterministic state order: template index ascending.
+	tmpls := make([]int, 0, len(perTemplate))
+	for t := range perTemplate {
+		tmpls = append(tmpls, t)
+	}
+	sort.Ints(tmpls)
+	for _, t := range tmpls {
+		if l := perTemplate[t]; l != nil {
+			states = append(states, l)
+		}
+	}
+
+	costs := CostMatrix(states, s.Stream.Queries)
+	total, moves := mts.OfflineOptimal(costs, p.Alpha, 0)
+
+	names := make([]string, len(states))
+	for i, l := range states {
+		names[i] = l.Name
+	}
+	return OfflineDPResult{States: names, Total: total, Moves: moves}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"oreo/internal/datagen"
+	"oreo/internal/layout"
+	"oreo/internal/query"
+)
+
+func offlineScenario(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := Build(ScenarioConfig{
+		Dataset:     datagen.TPCH,
+		Rows:        6000,
+		NumQueries:  600,
+		NumSegments: 3,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCostMatrixMatchesInterpreted(t *testing.T) {
+	s := offlineScenario(t)
+	gen := s.Generator(GenQdTree)
+	states := []*layout.Layout{s.Default, s.StaticLayout(gen)}
+	qs := s.Stream.Queries[:50]
+
+	costs := CostMatrix(states, qs)
+	if len(costs) != len(qs) {
+		t.Fatalf("matrix has %d rows, want %d", len(costs), len(qs))
+	}
+	for ti, q := range qs {
+		for si, l := range states {
+			want := query.FractionScanned(l.Schema(), l.Part, q)
+			if costs[ti][si] != want {
+				t.Fatalf("costs[%d][%d] = %v, interpreted %v", ti, si, costs[ti][si], want)
+			}
+		}
+	}
+}
+
+func TestOfflineDPLowerBoundsStaying(t *testing.T) {
+	s := offlineScenario(t)
+	p := DefaultParams()
+	res := OfflineDP(s, p)
+
+	if len(res.States) == 0 || res.States[0] != s.Default.Name {
+		t.Fatalf("state space %v must start at the default layout", res.States)
+	}
+	if res.Moves < 0 {
+		t.Fatalf("negative moves %d", res.Moves)
+	}
+	// The DP optimum can never exceed the never-move schedule's cost.
+	stay := 0.0
+	for _, q := range s.Stream.Queries {
+		stay += s.Default.Cost(q)
+	}
+	if res.Total > stay+1e-9 {
+		t.Errorf("DP total %v exceeds stay-in-default cost %v", res.Total, stay)
+	}
+	if res.Total <= 0 {
+		t.Errorf("DP total %v not positive on a non-trivial stream", res.Total)
+	}
+}

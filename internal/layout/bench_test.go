@@ -3,6 +3,7 @@ package layout
 import (
 	"testing"
 
+	"oreo/internal/prune"
 	"oreo/internal/query"
 )
 
@@ -55,5 +56,93 @@ func BenchmarkCostVectorDistance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Distance(l1.CostVector(qs), l2.CostVector(qs))
+	}
+}
+
+// The FractionScanned benchmarks compare the two cost paths on a single
+// range query: the interpreted reference (map lookup per partition per
+// predicate, pointer-chased metadata) versus one compiled evaluation
+// over the column-major statistics block.
+func BenchmarkFractionScannedInterpreted(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	l := NewQdTreeGenerator().Generate(d, qdWorkload(64, 100), 64)
+	q := query.Query{Preds: []query.Predicate{query.IntRange("ts", 100, 5000)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = query.FractionScanned(l.Schema(), l.Part, q)
+	}
+}
+
+func BenchmarkFractionScannedCompiled(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	l := NewQdTreeGenerator().Generate(d, qdWorkload(64, 100), 64)
+	cq := l.Compile(query.Query{Preds: []query.Predicate{query.IntRange("ts", 100, 5000)}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cq.FractionScanned(l.Part)
+	}
+}
+
+// The window-recost benchmarks reproduce the manager's hot loop — one
+// layout costed against the full sliding window — in three flavors:
+// interpreted, compiled without memoization (every window evaluated
+// from scratch through the engine), and the production memoized path.
+const benchWindow = 200
+
+func benchRecostFixture(b *testing.B) (*Layout, []query.Query) {
+	b.Helper()
+	d := testDataset(b, 20000, 99)
+	qs := qdWorkload(benchWindow, 100)
+	return NewQdTreeGenerator().Generate(d, qs, 64), qs
+}
+
+func BenchmarkWindowRecostInterpreted(b *testing.B) {
+	l, qs := benchRecostFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = query.AvgFractionScanned(l.Schema(), l.Part, qs)
+	}
+}
+
+func BenchmarkWindowRecostCompiled(b *testing.B) {
+	l, qs := benchRecostFixture(b)
+	cqs := l.CompileWorkload(qs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		for _, cq := range cqs {
+			sum += cq.FractionScanned(l.Part)
+		}
+		_ = sum / float64(len(cqs))
+	}
+}
+
+func BenchmarkWindowRecostMemoized(b *testing.B) {
+	l, qs := benchRecostFixture(b)
+	l.AvgCost(qs) // warm the memo, as a steady-state manager would have
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.AvgCost(qs)
+	}
+}
+
+// BenchmarkAdmissionCheck measures Algorithm 5's ε-admission test — a
+// candidate's cost vector against several incumbents on the reservoir
+// sample — which now compiles the sample once for all vectors.
+func BenchmarkAdmissionCheck(b *testing.B) {
+	d := testDataset(b, 20000, 99)
+	qs := qdWorkload(100, 100)
+	cand := NewQdTreeGenerator().Generate(d, qs, 64)
+	incumbents := []*Layout{
+		NewSortGenerator("ts").Generate(d, nil, 64),
+		NewZOrderGenerator(2, "ts").Generate(d, qs, 64),
+	}
+	cqs := prune.CompileAll(cand.Schema(), qs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv := cand.CostVectorCompiled(cqs)
+		for _, inc := range incumbents {
+			_ = Distance(cv, inc.CostVectorCompiled(cqs))
+		}
 	}
 }

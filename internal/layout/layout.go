@@ -14,11 +14,17 @@ package layout
 import (
 	"fmt"
 
+	"oreo/internal/prune"
 	"oreo/internal/query"
 	"oreo/internal/table"
 )
 
 // Layout is a candidate data layout: one state of the D-UMTS system.
+// All costing methods run on the compiled pruning engine
+// (internal/prune): predicates are bound against the schema once,
+// evaluated over the partitioning's column-major statistics block, and
+// memoized per query fingerprint — bit-for-bit equal to the interpreted
+// query.FractionScanned, which remains available as the reference path.
 type Layout struct {
 	// Name describes how the layout was produced, e.g.
 	// "zorder(l_shipdate,l_discount,l_quantity)" or "qdtree(w=200@1400)".
@@ -27,31 +33,82 @@ type Layout struct {
 	Part *table.Partitioning
 	// schema is retained for metadata evaluation.
 	schema *table.Schema
+	// eng memoizes and evaluates service costs for this layout.
+	eng *prune.Engine
 }
 
 // New wraps a partitioning as a named layout.
 func New(name string, schema *table.Schema, part *table.Partitioning) *Layout {
-	return &Layout{Name: name, Part: part, schema: schema}
+	return &Layout{Name: name, Part: part, schema: schema, eng: prune.NewEngine(schema, part)}
 }
 
 // Schema returns the schema the layout was built over.
 func (l *Layout) Schema() *table.Schema { return l.schema }
 
+// Engine returns the layout's costing engine (memo diagnostics).
+func (l *Layout) Engine() *prune.Engine { return l.eng }
+
 // Cost returns the paper's service cost c(s, q): the fraction of rows in
 // partitions that cannot be skipped for q, judged from metadata only.
 func (l *Layout) Cost(q query.Query) float64 {
-	return query.FractionScanned(l.schema, l.Part, q)
+	if l.eng == nil {
+		// Hand-built Layout literal (tests): fall back to the
+		// interpreted path rather than requiring New.
+		return query.FractionScanned(l.schema, l.Part, q)
+	}
+	return l.eng.Cost(q)
+}
+
+// Compile binds a query against the layout's schema for repeated
+// evaluation. The result can be shared across every layout over the same
+// schema (the common case for a state space over one dataset).
+func (l *Layout) Compile(q query.Query) *prune.CompiledQuery {
+	return prune.Compile(l.schema, q)
+}
+
+// CompileWorkload binds every query of a sample against the layout's
+// schema; see Compile.
+func (l *Layout) CompileWorkload(qs []query.Query) []*prune.CompiledQuery {
+	return prune.CompileAll(l.schema, qs)
+}
+
+// CostCompiled is Cost for a pre-compiled query: callers costing the
+// same query against many layouts compile once and fan the result out.
+func (l *Layout) CostCompiled(cq *prune.CompiledQuery) float64 {
+	if l.eng == nil {
+		return query.FractionScanned(l.schema, l.Part, cq.Query())
+	}
+	return l.eng.CostCompiled(cq)
 }
 
 // EvalSkipped estimates the average fraction of data *skipped* on the
 // workload: 1 - mean cost. This is the paper's eval_skipped(s, Q).
 func (l *Layout) EvalSkipped(qs []query.Query) float64 {
-	return 1 - query.AvgFractionScanned(l.schema, l.Part, qs)
+	return 1 - l.AvgCost(qs)
 }
 
 // AvgCost returns the mean service cost over a workload.
 func (l *Layout) AvgCost(qs []query.Query) float64 {
-	return query.AvgFractionScanned(l.schema, l.Part, qs)
+	if len(qs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range qs {
+		sum += l.Cost(q)
+	}
+	return sum / float64(len(qs))
+}
+
+// AvgCostCompiled is AvgCost over a pre-compiled sample.
+func (l *Layout) AvgCostCompiled(cqs []*prune.CompiledQuery) float64 {
+	if len(cqs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, cq := range cqs {
+		sum += l.CostCompiled(cq)
+	}
+	return sum / float64(len(cqs))
 }
 
 // CostVector evaluates the layout on each query of a sample, producing
@@ -60,6 +117,15 @@ func (l *Layout) CostVector(qs []query.Query) []float64 {
 	v := make([]float64, len(qs))
 	for i, q := range qs {
 		v[i] = l.Cost(q)
+	}
+	return v
+}
+
+// CostVectorCompiled is CostVector over a pre-compiled sample.
+func (l *Layout) CostVectorCompiled(cqs []*prune.CompiledQuery) []float64 {
+	v := make([]float64, len(cqs))
+	for i, cq := range cqs {
+		v[i] = l.CostCompiled(cq)
 	}
 	return v
 }

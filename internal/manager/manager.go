@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"oreo/internal/layout"
+	"oreo/internal/prune"
 	"oreo/internal/query"
 	"oreo/internal/sampling"
 	"oreo/internal/table"
@@ -199,9 +200,22 @@ func Admit(candidate *layout.Layout, incumbents []*layout.Layout, sample []query
 	if len(sample) == 0 {
 		return false
 	}
-	cv := candidate.CostVector(sample)
+	return AdmitCompiled(candidate, incumbents, candidate.CompileWorkload(sample), epsilon)
+}
+
+// AdmitCompiled is Admit over a pre-compiled sample: callers testing
+// several candidates against the same sample in one period compile it
+// once and share the binding across every admission check.
+func AdmitCompiled(candidate *layout.Layout, incumbents []*layout.Layout, cqs []*prune.CompiledQuery, epsilon float64) bool {
+	if len(incumbents) == 0 {
+		return true
+	}
+	if len(cqs) == 0 {
+		return false
+	}
+	cv := candidate.CostVectorCompiled(cqs)
 	for _, inc := range incumbents {
-		if layout.Distance(cv, inc.CostVector(sample)) <= epsilon {
+		if layout.Distance(cv, inc.CostVectorCompiled(cqs)) <= epsilon {
 			return false
 		}
 	}
@@ -217,9 +231,17 @@ func MostRedundant(incumbents []*layout.Layout, sample []query.Query, skip func(
 	if len(incumbents) < 2 || len(sample) == 0 {
 		return -1
 	}
+	return MostRedundantCompiled(incumbents, incumbents[0].CompileWorkload(sample), skip)
+}
+
+// MostRedundantCompiled is MostRedundant over a pre-compiled sample.
+func MostRedundantCompiled(incumbents []*layout.Layout, cqs []*prune.CompiledQuery, skip func(i int) bool) int {
+	if len(incumbents) < 2 || len(cqs) == 0 {
+		return -1
+	}
 	vectors := make([][]float64, len(incumbents))
 	for i, l := range incumbents {
-		vectors[i] = l.CostVector(sample)
+		vectors[i] = l.CostVectorCompiled(cqs)
 	}
 	best := -1
 	bestDist := 0.0

@@ -36,14 +36,17 @@ func (g *Greedy) Observe(q query.Query) *layout.Layout {
 		return nil
 	}
 	window := g.feed.WindowQueries()
-	curCost := g.current.AvgCost(window)
+	// One compilation of the window serves the incumbent and every
+	// candidate evaluation.
+	cqs := g.current.CompileWorkload(window)
+	curCost := g.current.AvgCostCompiled(cqs)
 	var best *layout.Layout
 	bestCost := curCost
 	for _, c := range cands {
 		if c.Layout.Name == g.current.Name {
 			continue
 		}
-		if cost := c.Layout.AvgCost(window); cost < bestCost {
+		if cost := c.Layout.AvgCostCompiled(cqs); cost < bestCost {
 			best, bestCost = c.Layout, cost
 		}
 	}

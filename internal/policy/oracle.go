@@ -47,8 +47,9 @@ func (m *MTSOptimal) StateSpaceSize() int { return m.reorg.NumStates() }
 
 // Observe implements Policy.
 func (m *MTSOptimal) Observe(q query.Query) *layout.Layout {
+	cq := m.Current().Compile(q)
 	switched, sid := m.reorg.Observe(func(id mts.StateID) float64 {
-		return m.states[id].Cost(q)
+		return m.states[id].CostCompiled(cq)
 	})
 	if switched {
 		return m.states[sid]

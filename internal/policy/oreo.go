@@ -6,6 +6,7 @@ import (
 	"oreo/internal/layout"
 	"oreo/internal/manager"
 	"oreo/internal/mts"
+	"oreo/internal/prune"
 	"oreo/internal/query"
 	"oreo/internal/trace"
 )
@@ -91,12 +92,18 @@ func (o *OREO) Observe(q query.Query) *layout.Layout {
 	o.seen++
 	o.rec.SetSeq(o.seen)
 
+	// The reservoir is stable within one Observe; compile it once and
+	// share the binding across every admission and pruning check this
+	// period.
+	var sample []*prune.CompiledQuery
 	for _, c := range o.feed.Observe(q) {
 		if o.hasName(c.Layout.Name) {
 			continue
 		}
-		sample := o.feed.ReservoirQueries()
-		if !manager.Admit(c.Layout, o.incumbents(), sample, o.epsilon) {
+		if sample == nil {
+			sample = prune.CompileAll(c.Layout.Schema(), o.feed.ReservoirQueries())
+		}
+		if !manager.AdmitCompiled(c.Layout, o.incumbents(), sample, o.epsilon) {
 			o.rec.Record(trace.EventReject, c.Layout.Name,
 				fmt.Sprintf("eps=%.3g", o.epsilon))
 			continue
@@ -124,8 +131,11 @@ func (o *OREO) Observe(q query.Query) *layout.Layout {
 
 	phasesBefore := o.reorg.Phases()
 	from := o.reorg.Current()
+	// Compile the query once; the D-UMTS counter update costs it against
+	// every state in the space.
+	cq := o.Current().Compile(q)
 	switched, sid := o.reorg.Observe(func(id mts.StateID) float64 {
-		return o.states[id].Cost(q)
+		return o.states[id].CostCompiled(cq)
 	})
 	if o.reorg.Phases() != phasesBefore {
 		o.rec.Record(trace.EventPhase, o.states[o.reorg.Current()].Name,
@@ -163,8 +173,8 @@ func (o *OREO) incumbents() []*layout.Layout {
 }
 
 // pruneVictim picks the most redundant state that is not the current
-// one, returning its ID.
-func (o *OREO) pruneVictim(sample []query.Query) (mts.StateID, bool) {
+// one, returning its ID. sample is the compiled reservoir.
+func (o *OREO) pruneVictim(sample []*prune.CompiledQuery) (mts.StateID, bool) {
 	ids := make([]mts.StateID, 0, len(o.states))
 	for id := range o.states {
 		ids = append(ids, id)
@@ -180,7 +190,7 @@ func (o *OREO) pruneVictim(sample []query.Query) (mts.StateID, bool) {
 		layouts[i] = o.states[id]
 	}
 	cur := o.reorg.Current()
-	idx := manager.MostRedundant(layouts, sample, func(i int) bool { return ids[i] == cur })
+	idx := manager.MostRedundantCompiled(layouts, sample, func(i int) bool { return ids[i] == cur })
 	if idx < 0 {
 		return 0, false
 	}

@@ -3,6 +3,7 @@ package policy
 import (
 	"oreo/internal/layout"
 	"oreo/internal/manager"
+	"oreo/internal/prune"
 	"oreo/internal/query"
 )
 
@@ -59,17 +60,22 @@ func (r *Regret) Current() *layout.Layout { return r.current }
 
 // Observe implements Policy.
 func (r *Regret) Observe(q query.Query) *layout.Layout {
-	// Accumulate this query's saving for every alternative.
-	curCost := r.current.Cost(q)
+	// Accumulate this query's saving for every alternative; one
+	// compilation serves the current layout and every alternative.
+	cq := r.current.Compile(q)
+	curCost := r.current.CostCompiled(cq)
 	for _, e := range r.alternatives {
-		e.savings += curCost - e.layout.Cost(q)
+		e.savings += curCost - e.layout.CostCompiled(cq)
 	}
 	r.history = append(r.history, q)
 	if len(r.history) > r.historyCap {
 		r.history = r.history[len(r.history)-r.historyCap:]
 	}
 
-	// Ingest new candidates with retroactive scoring.
+	// Ingest new candidates with retroactive scoring. The history is
+	// compiled once for all candidates arriving this period (it depends
+	// only on the shared schema).
+	var hcs []*prune.CompiledQuery
 	for _, c := range r.feed.Observe(q) {
 		name := c.Layout.Name
 		if name == r.current.Name {
@@ -78,9 +84,12 @@ func (r *Regret) Observe(q query.Query) *layout.Layout {
 		if _, seen := r.alternatives[name]; seen {
 			continue
 		}
+		if hcs == nil {
+			hcs = r.current.CompileWorkload(r.history)
+		}
 		e := &regretEntry{layout: c.Layout}
-		for _, hq := range r.history {
-			e.savings += r.current.Cost(hq) - c.Layout.Cost(hq)
+		for _, hc := range hcs {
+			e.savings += r.current.CostCompiled(hc) - c.Layout.CostCompiled(hc)
 		}
 		r.alternatives[name] = e
 	}

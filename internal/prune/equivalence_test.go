@@ -1,0 +1,157 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// randomScenario builds a random schema, dataset, and partitioning from
+// the rng: mixed column types, occasional NaN floats, string columns
+// whose distinct sets may overflow into Bloom filters, and partition
+// assignments that leave some partitions empty.
+func randomScenario(rng *rand.Rand) (*table.Schema, *table.Partitioning) {
+	ncols := 1 + rng.Intn(5)
+	cols := make([]table.Column, ncols)
+	for i := range cols {
+		cols[i] = table.Column{
+			Name: fmt.Sprintf("c%d", i),
+			Type: table.ColType(rng.Intn(3)),
+		}
+	}
+	schema := table.NewSchema(cols...)
+
+	nrows := rng.Intn(400)
+	cardinality := 1 + rng.Intn(120) // may exceed MaxTrackedDistinct
+	b := table.NewBuilder(schema, nrows)
+	row := make([]table.Value, ncols)
+	for r := 0; r < nrows; r++ {
+		for c, col := range cols {
+			switch col.Type {
+			case table.Int64:
+				row[c] = table.Int(rng.Int63n(1000) - 500)
+			case table.Float64:
+				if rng.Intn(20) == 0 {
+					row[c] = table.Float(math.NaN())
+				} else {
+					row[c] = table.Float(rng.NormFloat64() * 100)
+				}
+			case table.String:
+				row[c] = table.Str(fmt.Sprintf("s%03d", rng.Intn(cardinality)))
+			}
+		}
+		b.AppendRow(row...)
+	}
+
+	k := 1 + rng.Intn(40)
+	assign := make([]int, nrows)
+	// Bias the assignment so some partitions stay empty.
+	used := 1 + rng.Intn(k)
+	for i := range assign {
+		assign[i] = rng.Intn(used)
+	}
+	return schema, table.MustBuildPartitioning(b.Build(), assign, k)
+}
+
+// randomQuery draws a query that exercises every compile path: range
+// shapes with any bound combination, IN sets, unknown columns, and
+// type-mismatched predicates.
+func randomQuery(rng *rand.Rand, schema *table.Schema) query.Query {
+	npreds := rng.Intn(4)
+	preds := make([]query.Predicate, 0, npreds)
+	for i := 0; i < npreds; i++ {
+		var col string
+		if rng.Intn(8) == 0 {
+			col = "unknown_col"
+		} else {
+			col = schema.Col(rng.Intn(schema.NumCols())).Name
+		}
+		switch rng.Intn(4) {
+		case 0: // int-shaped range, any bound combination
+			p := query.Predicate{Col: col, HasLo: rng.Intn(2) == 0, HasHi: rng.Intn(2) == 0}
+			p.LoI = rng.Int63n(1000) - 500
+			p.HiI = p.LoI + rng.Int63n(600) - 100 // sometimes contradictory
+			preds = append(preds, p)
+		case 1: // float-shaped range
+			p := query.Predicate{Col: col, HasLo: rng.Intn(2) == 0, HasHi: rng.Intn(2) == 0}
+			p.LoF = rng.NormFloat64() * 100
+			p.HiF = p.LoF + rng.NormFloat64()*50
+			preds = append(preds, p)
+		case 2: // IN set, possibly large, with duplicates
+			n := 1 + rng.Intn(12)
+			vals := make([]string, n)
+			for j := range vals {
+				vals[j] = fmt.Sprintf("s%03d", rng.Intn(150))
+			}
+			if n > 2 && rng.Intn(2) == 0 {
+				vals[n-1] = vals[0]
+			}
+			preds = append(preds, query.StrIn(col, vals...))
+		case 3: // both-typed bounds set simultaneously
+			preds = append(preds, query.Predicate{
+				Col: col, HasLo: true, HasHi: true,
+				LoI: rng.Int63n(200) - 100, HiI: rng.Int63n(400),
+				LoF: rng.NormFloat64() * 10, HiF: rng.NormFloat64() * 200,
+			})
+		}
+	}
+	return query.Query{ID: rng.Intn(1000), Template: rng.Intn(5) - 1, Preds: preds}
+}
+
+// checkEquivalence asserts the compiled, memoized, and interpreted costs
+// are all bitwise-identical for one (scenario, query) pair.
+func checkEquivalence(t testing.TB, schema *table.Schema, part *table.Partitioning, eng *Engine, q query.Query) {
+	t.Helper()
+	want := query.FractionScanned(schema, part, q)
+	if got := Compile(schema, q).FractionScanned(part); got != want {
+		t.Fatalf("compiled %v != interpreted %v\nquery: %+v", got, want, q.Preds)
+	}
+	if got := eng.Cost(q); got != want {
+		t.Fatalf("engine %v != interpreted %v\nquery: %+v", got, want, q.Preds)
+	}
+}
+
+// TestCompiledEquivalenceProperty is the tentpole's correctness
+// contract: across fuzzed schemas, datasets, partitionings, and queries
+// the compiled cost is bit-for-bit equal to the interpreted
+// query.FractionScanned — including the memoized path, and including
+// repeated evaluations that exercise LRU reuse.
+func TestCompiledEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		schema, part := randomScenario(rng)
+		eng := NewEngine(schema, part)
+		queries := make([]query.Query, 40)
+		for i := range queries {
+			queries[i] = randomQuery(rng, schema)
+		}
+		for _, q := range queries {
+			checkEquivalence(t, schema, part, eng, q)
+		}
+		// Second pass re-costs the same workload through the warm memo.
+		for _, q := range queries {
+			checkEquivalence(t, schema, part, eng, q)
+		}
+	}
+}
+
+// FuzzCompiledEquivalence is the native-fuzzing form of the property:
+// the fuzzer explores seed-derived scenarios; every discovered
+// divergence is a compiled-vs-interpreted cost mismatch.
+func FuzzCompiledEquivalence(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1234, 999983} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		schema, part := randomScenario(rng)
+		eng := NewEngine(schema, part)
+		for i := 0; i < 25; i++ {
+			checkEquivalence(t, schema, part, eng, randomQuery(rng, schema))
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package prune
+
+import (
+	"encoding/binary"
+	"math"
+
+	"oreo/internal/query"
+)
+
+// Fingerprint returns a canonical byte-encoding of the query's predicate
+// structure, used as the cost-memo key. The encoding is injective: every
+// field that can influence the metadata cost — column names, bound
+// flags, all four typed bounds, and the IN list, in predicate order — is
+// length-prefixed or fixed-width, so two queries share a fingerprint iff
+// the compiled cost model cannot tell them apart. Query.ID and
+// Query.Template are excluded on purpose: they never affect cost, and
+// excluding them is what lets the memo dedupe a re-issued template
+// instance.
+func Fingerprint(q query.Query) string {
+	n := 0
+	for _, p := range q.Preds {
+		n += 4 + len(p.Col) + 1 + 32 + 4
+		for _, v := range p.In {
+			n += 4 + len(v)
+		}
+	}
+	return string(appendFingerprint(make([]byte, 0, n), q))
+}
+
+// appendFingerprint writes the fingerprint encoding into dst. Engine
+// hot paths pass a stack scratch buffer and look the result up with a
+// non-allocating map[string(bytes)] conversion, so a memo hit performs
+// zero heap allocations.
+func appendFingerprint(dst []byte, q query.Query) []byte {
+	var u32 [4]byte
+	var u64 [8]byte
+	str := func(s string) {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(s)))
+		dst = append(dst, u32[:]...)
+		dst = append(dst, s...)
+	}
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		dst = append(dst, u64[:]...)
+	}
+	for _, p := range q.Preds {
+		str(p.Col)
+		var flags byte
+		if p.HasLo {
+			flags |= 1
+		}
+		if p.HasHi {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		word(uint64(p.LoI))
+		word(uint64(p.HiI))
+		word(math.Float64bits(p.LoF))
+		word(math.Float64bits(p.HiF))
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(p.In)))
+		dst = append(dst, u32[:]...)
+		for _, v := range p.In {
+			str(v)
+		}
+	}
+	return dst
+}

@@ -17,6 +17,14 @@
 //
 // MayMatch is sound by construction: if any row in a partition matches,
 // MayMatch must return true for that partition's metadata.
+//
+// FractionScanned below is the *interpreted* cost path: it re-resolves
+// column names per partition per predicate and walks per-partition
+// metadata structs. It is kept as the readable reference
+// implementation and the oracle the equivalence property tests compare
+// against; the production hot path is the compiled engine in
+// internal/prune (used by layout.Layout.Cost), which is bit-for-bit
+// equal to it by construction and test.
 package query
 
 import (

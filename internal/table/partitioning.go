@@ -1,6 +1,9 @@
 package table
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Partitioning is a materialized data layout for one dataset: an
 // assignment of every row to a partition ID plus per-partition metadata.
@@ -18,6 +21,23 @@ type Partitioning struct {
 	Meta []*PartitionMeta
 	// TotalRows is the number of rows across all partitions.
 	TotalRows int
+
+	// stats is the lazily built column-major mirror of Meta, shared by
+	// every reader; see Stats. Laziness (rather than building inside
+	// BuildPartitioning only) keeps partitionings reconstructed by other
+	// paths — persistence, tests building the struct by hand — on the
+	// same fast path.
+	statsOnce sync.Once
+	stats     *StatsBlock
+}
+
+// Stats returns the partitioning's column-major statistics block,
+// building it on first use. The block assumes the partitioning's Meta is
+// frozen (which BuildPartitioning guarantees); callers must not mutate
+// Meta afterwards. Safe for concurrent use.
+func (p *Partitioning) Stats() *StatsBlock {
+	p.statsOnce.Do(func() { p.stats = buildStatsBlock(p) })
+	return p.stats
 }
 
 // BuildPartitioning materializes a partitioning from a row→partition
@@ -46,6 +66,9 @@ func BuildPartitioning(d *Dataset, assign []int, k int) (*Partitioning, error) {
 		}
 		p.Meta[pid].AddRow(d, r)
 	}
+	// Materialize the column-major statistics mirror now that Meta is
+	// frozen, so the first query never pays the transpose.
+	p.Stats()
 	return p, nil
 }
 

@@ -1,0 +1,87 @@
+package table
+
+// StatsBlock is a column-major (struct-of-arrays) mirror of a
+// partitioning's per-partition metadata, built once per partitioning and
+// consumed by the compiled pruning engine (internal/prune).
+//
+// The row-wise representation — Meta[pid].Stats[ci] — is convenient to
+// build incrementally but hostile to the cost hot path: evaluating one
+// predicate against every partition chases one pointer per partition and
+// strides across interleaved ColumnStats structs. The block transposes
+// the numeric statistics into flat per-column arrays so that a range
+// predicate on column ci scans two contiguous slices
+// (MinI[ci*NumParts : (ci+1)*NumParts] and the matching MaxI window)
+// in partition order, which is the access pattern the hardware prefetcher
+// rewards.
+//
+// String-column membership tests still need the partition's distinct
+// set or Bloom filter; Col keeps a flat pointer table back into the
+// original ColumnStats for those. All numeric fields are copied verbatim
+// (including the zero values a ColumnStats holds for slots of another
+// type), so metadata evaluation over the block is bit-for-bit identical
+// to evaluation over Meta.
+type StatsBlock struct {
+	// NumParts is the partition dimension: len(Partitioning.Meta).
+	NumParts int
+	// NumCols is the column dimension, taken from the partition metadata.
+	NumCols int
+
+	// Rows[pid] is the partition's row count.
+	Rows []int
+
+	// Flat per-column arrays, indexed by ci*NumParts + pid.
+	MinI, MaxI []int64
+	MinF, MaxF []float64
+	// Seen mirrors !ColumnStats.Empty() per (column, partition).
+	Seen []bool
+	// Col points back at the source ColumnStats per (column, partition),
+	// for string distinct-set / Bloom membership tests.
+	Col []*ColumnStats
+
+	// NonEmpty is a bitset over partition IDs with Rows > 0; word w bit b
+	// covers partition w*64+b. Pruning starts from this mask (empty
+	// partitions can never be scanned) and clears bits per predicate.
+	NonEmpty []uint64
+}
+
+// buildStatsBlock transposes the partitioning's metadata. It tolerates
+// nil Meta entries (they behave as empty partitions).
+func buildStatsBlock(p *Partitioning) *StatsBlock {
+	np := len(p.Meta)
+	nc := 0
+	for _, m := range p.Meta {
+		if m != nil && len(m.Stats) > nc {
+			nc = len(m.Stats)
+		}
+	}
+	b := &StatsBlock{
+		NumParts: np,
+		NumCols:  nc,
+		Rows:     make([]int, np),
+		MinI:     make([]int64, nc*np),
+		MaxI:     make([]int64, nc*np),
+		MinF:     make([]float64, nc*np),
+		MaxF:     make([]float64, nc*np),
+		Seen:     make([]bool, nc*np),
+		Col:      make([]*ColumnStats, nc*np),
+		NonEmpty: make([]uint64, (np+63)/64),
+	}
+	for pid, m := range p.Meta {
+		if m == nil {
+			continue
+		}
+		b.Rows[pid] = m.NumRows
+		if m.NumRows > 0 {
+			b.NonEmpty[pid/64] |= 1 << (pid % 64)
+		}
+		for ci := range m.Stats {
+			cs := &m.Stats[ci]
+			idx := ci*np + pid
+			b.MinI[idx], b.MaxI[idx] = cs.MinI, cs.MaxI
+			b.MinF[idx], b.MaxF[idx] = cs.MinF, cs.MaxF
+			b.Seen[idx] = !cs.Empty()
+			b.Col[idx] = cs
+		}
+	}
+	return b
+}

@@ -34,10 +34,40 @@
 //	// dec.Cost is the fraction of the table scanned; dec.Reorganized
 //	// reports whether OREO switched layouts before serving it.
 //
+// # Cost estimation: the compiled pruning engine
+//
+// Every decision OREO makes reduces to the service cost c(s, q) — the
+// fraction of the table that partition metadata cannot skip for a query
+// — evaluated thousands of times per period: the layout manager
+// re-costs candidates against the full sliding window, the admission
+// rule measures cost-vector distances, and the D-UMTS counters charge
+// every state per query. That hot path runs on a compiled pruning
+// engine (internal/prune) layered over three pieces:
+//
+//   - compilation: each predicate is bound once against the schema
+//     (column index, type-resolved kind, typed bounds, interned IN-set
+//     with precomputed Bloom hashes), so evaluation performs zero map
+//     lookups and zero allocations;
+//   - column-major statistics: every Partitioning carries a
+//     struct-of-arrays mirror of its per-partition min/max/row-count
+//     metadata (table.StatsBlock), so a range predicate sweeps two
+//     contiguous arrays across all partitions instead of chasing one
+//     pointer per partition;
+//   - memoization: each Layout holds a bounded LRU of (query
+//     fingerprint → cost), so re-costing a window against a layout that
+//     has seen those queries is a lookup, not a scan.
+//
+// The engine is exact, not approximate: compiled costs are bit-for-bit
+// equal to the interpreted reference (enforced by equivalence property
+// tests), and the row-exact Query.MatchRow path is preserved for
+// generators and soundness tests. Layout.Cost and friends use the
+// engine transparently; Layout.Compile / CostCompiled let callers
+// costing one query across many layouts share a single compilation.
+//
 // The subpackages under internal/ implement the substrates (columnar
-// tables, query model, layout generators, the D-UMTS reorganizer, the
-// layout manager, baselines, and the experiment harness); this package
-// re-exports everything a downstream user needs.
+// tables, query model, the pruning engine, layout generators, the
+// D-UMTS reorganizer, the layout manager, baselines, and the experiment
+// harness); this package re-exports everything a downstream user needs.
 package oreo
 
 import (
@@ -310,10 +340,36 @@ func New(ds *Dataset, cfg Config) (*Optimizer, error) {
 // reorganization.
 func (o *Optimizer) ProcessQuery(q Query) Decision {
 	target := o.pol.Observe(q)
-	if target != nil && target.Name != o.serving.Name {
-		o.switches++
-		o.pending = target
-		o.countdown = o.cfg.ReorgDelay
+	reorganized := o.applyTarget(target)
+
+	cost := o.serving.Cost(q)
+	o.queries++
+	o.queryCost += cost
+	return Decision{Cost: cost, Reorganized: reorganized, Layout: o.serving}
+}
+
+// applyTarget registers a policy switch decision and advances the
+// background-reorganization countdown. It returns whether a real switch
+// was decided — the policy may surface a target equal to the serving
+// layout (switching back to it while a delayed reorganization is still
+// in flight), which is not a reorganization and must not be reported or
+// charged as one; it instead aborts the pending swap, keeping the
+// serving layout aligned with the policy's logical state rather than
+// materializing a layout the policy already abandoned. The aborted
+// build's earlier α charge stands: reorganization cost is incurred at
+// decision time (§VI-D5), whether or not the materialization completes,
+// so oscillating inside the delay window is never free.
+func (o *Optimizer) applyTarget(target *Layout) bool {
+	switched := false
+	if target != nil {
+		if target.Name != o.serving.Name {
+			o.switches++
+			switched = true
+			o.pending = target
+			o.countdown = o.cfg.ReorgDelay
+		} else if o.pending != nil {
+			o.pending = nil
+		}
 	}
 	if o.pending != nil {
 		if o.countdown <= 0 {
@@ -323,11 +379,7 @@ func (o *Optimizer) ProcessQuery(q Query) Decision {
 			o.countdown--
 		}
 	}
-
-	cost := o.serving.Cost(q)
-	o.queries++
-	o.queryCost += cost
-	return Decision{Cost: cost, Reorganized: target != nil, Layout: o.serving}
+	return switched
 }
 
 // CurrentLayout returns the layout queries are currently served on.
