@@ -1,0 +1,211 @@
+// Command oreoserve boots OREO's online serving layer: a long-lived
+// HTTP service (internal/serve) over one optimizer per table, answering
+// cost + survivor-skip-list queries from lock-free layout snapshots
+// while reorganization decisions drain through background consumers.
+//
+// With no data flags it generates deterministic synthetic fixtures, so
+// a smoke test is one line:
+//
+//	oreoserve -addr :8080 -rows 20000 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/query \
+//	  -d '{"table":"orders","preds":[{"col":"order_ts","has_lo":true,"has_hi":true,"lo_i":100,"hi_i":900}]}'
+//
+// With -state DIR the server loads warm-start snapshots
+// (DIR/<table>.state.json) at boot — resuming each table's converged
+// layout with a hot cost memo — and writes fresh snapshots on graceful
+// shutdown (SIGINT/SIGTERM).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"oreo"
+	"oreo/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		tables  = flag.String("tables", "orders", "comma-separated fixture tables to serve (orders, events)")
+		rows    = flag.Int("rows", 20000, "rows per fixture table")
+		alpha   = flag.Float64("alpha", 40, "relative reorganization cost")
+		window  = flag.Int("window", 200, "sliding-window size")
+		parts   = flag.Int("partitions", 0, "target partitions per layout (0 = derive)")
+		seed    = flag.Int64("seed", 1, "fixture and optimizer seed")
+		queue   = flag.Int("queue", serve.DefaultQueueSize, "observation queue size per table")
+		traceN  = flag.Int("trace", 256, "decision-trace capacity per table (0 disables /trace)")
+		stateIn = flag.String("state", "", "directory for warm-start snapshots (load at boot, save at shutdown)")
+	)
+	flag.Parse()
+
+	m := oreo.NewMulti()
+	var names []string
+	for _, name := range strings.Split(*tables, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ds, sortCol, err := buildFixture(name, *rows, *seed)
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		cfg := oreo.Config{
+			Alpha:         *alpha,
+			WindowSize:    *window,
+			Partitions:    *parts,
+			InitialSort:   []string{sortCol},
+			Seed:          *seed,
+			TraceCapacity: *traceN,
+		}
+		if *stateIn != "" {
+			if initial, warm := loadState(statePath(*stateIn, name), ds); initial != nil {
+				cfg.Initial = initial
+				cfg.InitialSort = nil
+				log.Printf("table %s: resumed layout %q (warm=%v, memo entries=%d)",
+					name, initial.Name, warm, initial.Engine().Stats().Entries)
+			}
+		}
+		if err := m.AddTable(name, ds, cfg); err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		log.Fatal("oreoserve: no tables")
+	}
+
+	srv, err := serve.New(m, serve.Config{QueueSize: *queue})
+	if err != nil {
+		log.Fatalf("oreoserve: %v", err)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("oreoserve: %v", err)
+		}
+	}()
+	log.Printf("oreoserve: serving tables %v on %s", names, *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("oreoserve: shutting down")
+
+	// Stop accepting requests, then drain the decision loops, then
+	// persist serving state so the next boot starts hot.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("oreoserve: http shutdown: %v", err)
+	}
+	srv.Close()
+	if *stateIn != "" {
+		for _, name := range names {
+			snap, ok := srv.Snapshot(name)
+			if !ok {
+				continue
+			}
+			if err := saveState(statePath(*stateIn, name), snap.Serving); err != nil {
+				log.Printf("oreoserve: saving %s state: %v", name, err)
+			} else {
+				log.Printf("table %s: saved layout %q", name, snap.Serving.Name)
+			}
+		}
+	}
+}
+
+func statePath(dir, table string) string {
+	return filepath.Join(dir, table+".state.json")
+}
+
+func loadState(path string, ds *oreo.Dataset) (*oreo.Layout, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false // cold boot: no snapshot yet
+	}
+	defer f.Close()
+	l, warm, err := oreo.LoadState(f, ds)
+	if err != nil {
+		log.Printf("oreoserve: %s unusable (%v); cold boot", path, err)
+		return nil, false
+	}
+	return l, warm
+}
+
+func saveState(path string, l *oreo.Layout) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := oreo.SaveState(f, l); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// buildFixture generates one of the named deterministic synthetic
+// tables. The orders table drifts between time-range and status
+// workloads nicely; events adds a second, column-disjoint table for
+// multi-table routing.
+func buildFixture(name string, rows int, seed int64) (*oreo.Dataset, string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "orders":
+		schema := oreo.NewSchema(
+			oreo.Column{Name: "order_ts", Type: oreo.Int64},
+			oreo.Column{Name: "status", Type: oreo.String},
+			oreo.Column{Name: "amount", Type: oreo.Float64},
+		)
+		statuses := []string{"cancelled", "delivered", "pending", "returned"}
+		b := oreo.NewDatasetBuilder(schema, rows)
+		for i := 0; i < rows; i++ {
+			b.AppendRow(
+				oreo.Int(int64(i)),
+				oreo.Str(statuses[rng.Intn(len(statuses))]),
+				oreo.Float(rng.Float64()*500),
+			)
+		}
+		return b.Build(), "order_ts", nil
+	case "events":
+		schema := oreo.NewSchema(
+			oreo.Column{Name: "ts", Type: oreo.Int64},
+			oreo.Column{Name: "user", Type: oreo.String},
+			oreo.Column{Name: "latency", Type: oreo.Float64},
+		)
+		users := []string{"alice", "bob", "carol", "dave", "erin"}
+		b := oreo.NewDatasetBuilder(schema, rows)
+		for i := 0; i < rows; i++ {
+			b.AppendRow(
+				oreo.Int(int64(i)),
+				oreo.Str(users[rng.Intn(len(users))]),
+				oreo.Float(rng.ExpFloat64()*80),
+			)
+		}
+		return b.Build(), "ts", nil
+	default:
+		return nil, "", fmt.Errorf("unknown fixture table %q (have: orders, events)", name)
+	}
+}

@@ -1,55 +1,119 @@
 package oreo
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"oreo/internal/prune"
+)
+
+// OptimizerSnapshot is one consistent view of an optimizer's serving
+// state, published atomically at a query boundary: the three fields were
+// all true at the same instant (immediately after some ProcessQuery
+// returned, or at construction time). Readers holding a snapshot can
+// cost queries and read skip-lists against Serving without any lock —
+// layouts are immutable once built — while the decision path keeps
+// advancing underneath them.
+type OptimizerSnapshot struct {
+	// Serving is the layout queries were served on as of the snapshot.
+	Serving *Layout
+	// Pending is the in-flight background reorganization target, or nil.
+	Pending *Layout
+	// Stats are the cumulative counters as of the snapshot.
+	Stats Stats
+}
 
 // ConcurrentOptimizer wraps an Optimizer for use from multiple
-// goroutines. OREO's decision path is inherently sequential (counters
-// advance one query at a time, in order), so the wrapper serializes
-// ProcessQuery calls with a mutex rather than attempting lock-free
-// trickery; the cost model work per query is microseconds, far below
-// any real query's execution time, so the lock is not a bottleneck in
-// the serving path it models.
+// goroutines in a read-mostly regime. OREO's decision path is inherently
+// sequential (counters advance one query at a time, in order), so
+// ProcessQuery calls still serialize on a mutex; but every read —
+// CurrentLayout, PendingLayout, Stats, Snapshot, and the CostQuery
+// costing/skip-list path — is lock-free against an atomically swapped
+// immutable snapshot that ProcessQuery republishes after each decision.
+// Readers therefore never contend with each other or with the decision
+// path, which is what lets a serving layer fan requests out across
+// cores (see internal/serve).
 type ConcurrentOptimizer struct {
-	mu  sync.Mutex
-	opt *Optimizer
+	mu   sync.Mutex
+	opt  *Optimizer
+	snap atomic.Pointer[OptimizerSnapshot]
 }
 
 // NewConcurrent wraps an optimizer for concurrent use. The wrapped
 // optimizer must not be used directly afterwards.
 func NewConcurrent(opt *Optimizer) *ConcurrentOptimizer {
-	return &ConcurrentOptimizer{opt: opt}
+	c := &ConcurrentOptimizer{opt: opt}
+	c.publishLocked()
+	return c
+}
+
+// publishLocked swaps in a fresh snapshot of the wrapped optimizer's
+// state. Callers must hold mu (or, in NewConcurrent, be the sole owner).
+func (c *ConcurrentOptimizer) publishLocked() {
+	c.snap.Store(&OptimizerSnapshot{
+		Serving: c.opt.CurrentLayout(),
+		Pending: c.opt.PendingLayout(),
+		Stats:   c.opt.Stats(),
+	})
 }
 
 // ProcessQuery is the concurrent-safe equivalent of
-// Optimizer.ProcessQuery.
+// Optimizer.ProcessQuery: the full decision path (admission, D-UMTS
+// counters, reorganization), serialized with other writers. The
+// published snapshot is refreshed before returning.
 func (c *ConcurrentOptimizer) ProcessQuery(q Query) Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.opt.ProcessQuery(q)
+	d := c.opt.ProcessQuery(q)
+	c.publishLocked()
+	return d
 }
 
-// CurrentLayout returns the serving layout.
-func (c *ConcurrentOptimizer) CurrentLayout() *Layout {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.opt.CurrentLayout()
+// Snapshot returns the latest published consistent view. Lock-free; the
+// returned value never changes once handed out.
+func (c *ConcurrentOptimizer) Snapshot() OptimizerSnapshot { return *c.snap.Load() }
+
+// CurrentLayout returns the serving layout as of the latest snapshot.
+// Lock-free. The value is consistent with the snapshot it came from;
+// callers needing Serving, Pending, and Stats from the same instant
+// should take one Snapshot instead of three reads.
+func (c *ConcurrentOptimizer) CurrentLayout() *Layout { return c.snap.Load().Serving }
+
+// PendingLayout returns the in-flight background reorganization target
+// as of the latest snapshot, or nil. Lock-free; see CurrentLayout for
+// the consistency contract.
+func (c *ConcurrentOptimizer) PendingLayout() *Layout { return c.snap.Load().Pending }
+
+// Stats returns the cumulative counters as of the latest snapshot.
+// Lock-free; see CurrentLayout for the consistency contract.
+func (c *ConcurrentOptimizer) Stats() Stats { return c.snap.Load().Stats }
+
+// CostQuery costs q on the snapshot's serving layout and pre-computes
+// the survivor partition skip-list, without advancing any decision
+// state: no counters move, no admission runs, and Reorganized is always
+// false. The evaluation compiles against the layout's immutable
+// statistics block and deliberately bypasses the layout's shared cost
+// memo, so concurrent readers scale with cores instead of serializing
+// on the memo lock. This is the serving read path (internal/serve calls
+// it per request); callers that want the query to also inform
+// reorganization decisions feed it to ProcessQuery (directly, or
+// through a queue as internal/serve does).
+func (s OptimizerSnapshot) CostQuery(q Query) Decision {
+	ids, cost := prune.Compile(s.Serving.Schema(), q).Survivors(s.Serving.Part)
+	if ids == nil {
+		ids = []int{}
+	}
+	return Decision{Cost: cost, Layout: s.Serving, query: q, survivors: ids}
 }
 
-// PendingLayout returns the in-flight background reorganization target.
-func (c *ConcurrentOptimizer) PendingLayout() *Layout {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.opt.PendingLayout()
+// CostQuery is OptimizerSnapshot.CostQuery on the latest published
+// snapshot; entirely lock-free.
+func (c *ConcurrentOptimizer) CostQuery(q Query) Decision {
+	return c.Snapshot().CostQuery(q)
 }
 
-// Stats returns cumulative counters.
-func (c *ConcurrentOptimizer) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.opt.Stats()
-}
-
-// Events returns the retained trace events.
+// Events returns the retained trace events. Serialized with the decision
+// path (the trace ring buffer is not lock-free).
 func (c *ConcurrentOptimizer) Events() []TraceEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -59,3 +59,128 @@ func TestConcurrentOptimizer(t *testing.T) {
 		t.Errorf("Queries = %d, want %d", st.Queries, workers*perWorker)
 	}
 }
+
+// TestConcurrentReadMostlyStress exercises the read-mostly mode under
+// the race detector: N writers replay a query trace through the full
+// decision path while M readers continuously cost queries and read
+// snapshots lock-free. Readers assert the documented consistency
+// contract: snapshots are complete (never a nil serving layout), the
+// query counter observed through successive snapshot loads is
+// monotonic, and CostQuery returns a well-formed skip-list whose row
+// mass reproduces the cost exactly.
+func TestConcurrentReadMostlyStress(t *testing.T) {
+	ds := buildEventsTable(t, 3000)
+	opt, err := New(ds, Config{
+		Alpha: 12, Partitions: 16, WindowSize: 50, Period: 50,
+		InitialSort: []string{"ts"}, Seed: 5, ReorgDelay: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(opt)
+
+	// The replayed trace: a drifting mix of range and categorical
+	// queries, pre-generated so writers contend only on the optimizer.
+	const traceLen = 1200
+	rng := rand.New(rand.NewSource(17))
+	users := []string{"alice", "bob", "carol", "dave"}
+	queries := make([]Query, traceLen)
+	for i := range queries {
+		if i < traceLen/2 {
+			lo := rng.Int63n(2800)
+			queries[i] = Query{ID: i, Preds: []Predicate{IntRange("ts", lo, lo+150)}}
+		} else {
+			queries[i] = Query{ID: i, Preds: []Predicate{StrEq("user", users[rng.Intn(len(users))])}}
+		}
+	}
+
+	const writers, readers = 4, 8
+	stream := make(chan Query, traceLen)
+	for _, q := range queries {
+		stream <- q
+	}
+	close(stream)
+
+	var writerWG, readerWG sync.WaitGroup
+	errs := make(chan string, writers+readers)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for q := range stream {
+				dec := c.ProcessQuery(q)
+				if dec.Cost < 0 || dec.Cost > 1 || dec.Layout == nil {
+					errs <- "writer: bad decision"
+					return
+				}
+			}
+		}()
+	}
+	// Readers run until the writers are done — whether the writers
+	// drained the trace or bailed with an error — so a writer failure
+	// surfaces as a test failure, never a deadlock.
+	done := make(chan struct{})
+	go func() {
+		writerWG.Wait()
+		close(done)
+	}()
+	for r := 0; r < readers; r++ {
+		r := r
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			lastQueries := -1
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := c.Snapshot()
+				if snap.Serving == nil {
+					errs <- "reader: snapshot with nil serving layout"
+					return
+				}
+				if snap.Stats.Queries < lastQueries {
+					errs <- "reader: query counter went backwards across snapshots"
+					return
+				}
+				lastQueries = snap.Stats.Queries
+
+				lo := rng.Int63n(2800)
+				dec := c.CostQuery(Query{Preds: []Predicate{IntRange("ts", lo, lo+150)}})
+				if dec.Cost < 0 || dec.Cost > 1 || dec.Layout == nil || dec.Reorganized {
+					errs <- "reader: bad read-path decision"
+					return
+				}
+				surv := dec.SurvivorPartitions()
+				rows := 0
+				for j, pid := range surv {
+					if j > 0 && pid <= surv[j-1] {
+						errs <- "reader: survivor list not ascending"
+						return
+					}
+					rows += dec.Layout.Part.Meta[pid].NumRows
+				}
+				if want := float64(rows) / float64(dec.Layout.Part.TotalRows); dec.Cost != want {
+					errs <- "reader: cost disagrees with survivor row mass"
+					return
+				}
+				_ = c.CurrentLayout()
+				_ = c.PendingLayout()
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	readerWG.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	if got := c.Stats().Queries; got != traceLen {
+		t.Errorf("Queries = %d, want %d", got, traceLen)
+	}
+}

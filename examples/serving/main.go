@@ -1,0 +1,99 @@
+// Serving: run OREO behind its HTTP serving layer and consume the
+// survivor skip-list — the end-to-end loop an execution engine uses:
+// declare predicates, get back the cost, the decision state, and the
+// exact partitions it must read (everything else is provably
+// skippable).
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"oreo"
+	"oreo/internal/serve"
+)
+
+func main() {
+	// A small "orders" table, arrival-ordered.
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+	)
+	const rows = 20000
+	rng := rand.New(rand.NewSource(1))
+	b := oreo.NewDatasetBuilder(schema, rows)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	for i := 0; i < rows; i++ {
+		b.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[rng.Intn(len(statuses))]))
+	}
+
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", b.Build(), oreo.Config{
+		Alpha: 40, Partitions: 16, WindowSize: 100,
+		InitialSort: []string{"order_ts"}, Seed: 7,
+	}); err != nil {
+		panic(err)
+	}
+
+	// Boot the sharded serving layer on an ephemeral port.
+	srv, err := serve.New(m, serve.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Fire a time-range query and read the skip-list.
+	req, _ := json.Marshal(serve.QueryRequest{
+		Table: "orders",
+		Preds: []serve.PredicateJSON{
+			{Col: "order_ts", HasLo: true, HasHi: true, LoI: 4000, HiI: 6000},
+		},
+	})
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(req))
+	if err != nil {
+		panic(err)
+	}
+	var qr serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+
+	r := qr.Results[0]
+	fmt.Printf("layout %q costs %.3f of the table for order_ts in [4000, 6000]\n", r.Layout, r.Cost)
+	fmt.Printf("read partitions %v, skip the other %d\n",
+		r.SurvivorPartitions, r.NumPartitions-len(r.SurvivorPartitions))
+
+	// The serving layout's shape, for turning the skip-list into bytes.
+	lresp, err := http.Get(base + "/v1/tables/orders/layout")
+	if err != nil {
+		panic(err)
+	}
+	var lr serve.LayoutResponse
+	if err := json.NewDecoder(lresp.Body).Decode(&lr); err != nil {
+		panic(err)
+	}
+	lresp.Body.Close()
+	mustRead := 0
+	for _, pid := range r.SurvivorPartitions {
+		mustRead += lr.PartitionRows[pid]
+	}
+	fmt.Printf("that is %d of %d rows touched\n", mustRead, lr.TotalRows)
+}

@@ -81,6 +81,33 @@ func (l *Layout) CostCompiled(cq *prune.CompiledQuery) float64 {
 	return l.eng.CostCompiled(cq)
 }
 
+// CostSurvivors returns the service cost together with the survivor
+// partition skip-list: the ascending IDs of partitions whose metadata
+// cannot rule the query out — exactly the partitions an execution layer
+// must read (all others are provably skippable). The cost equals the
+// row mass of the list divided by the table size and is bit-for-bit
+// equal to Cost(q); the evaluation also warms the layout's cost memo.
+func (l *Layout) CostSurvivors(q query.Query) (float64, []int) {
+	if l.eng == nil {
+		ids, c := prune.Compile(l.schema, q).Survivors(l.Part)
+		return c, ids
+	}
+	return l.eng.CostSurvivors(q)
+}
+
+// CostSurvivorsCompiled is CostSurvivors for a pre-compiled query. A
+// query compiled against a different schema is transparently rebound.
+func (l *Layout) CostSurvivorsCompiled(cq *prune.CompiledQuery) (float64, []int) {
+	if l.eng == nil {
+		if cq.Schema() != l.schema {
+			cq = prune.Compile(l.schema, cq.Query())
+		}
+		ids, c := cq.Survivors(l.Part)
+		return c, ids
+	}
+	return l.eng.CostSurvivorsCompiled(cq)
+}
+
 // EvalSkipped estimates the average fraction of data *skipped* on the
 // workload: 1 - mean cost. This is the paper's eval_skipped(s, Q).
 func (l *Layout) EvalSkipped(qs []query.Query) float64 {

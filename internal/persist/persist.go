@@ -33,18 +33,26 @@ type layoutFile struct {
 	RLE []int `json:"rle"`
 }
 
-// SaveLayout writes the layout to w.
-func SaveLayout(w io.Writer, l *layout.Layout) error {
+// newLayoutFile builds the serialized form of a layout.
+func newLayoutFile(l *layout.Layout) (layoutFile, error) {
 	if l == nil || l.Part == nil {
-		return fmt.Errorf("persist: nil layout")
+		return layoutFile{}, fmt.Errorf("persist: nil layout")
 	}
-	f := layoutFile{
+	return layoutFile{
 		Version:       FormatVersion,
 		Name:          l.Name,
 		NumPartitions: l.Part.NumPartitions,
 		NumRows:       len(l.Part.Assign),
 		Columns:       l.Schema().Names(),
 		RLE:           encodeRLE(l.Part.Assign),
+	}, nil
+}
+
+// SaveLayout writes the layout to w.
+func SaveLayout(w io.Writer, l *layout.Layout) error {
+	f, err := newLayoutFile(l)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&f)
@@ -63,6 +71,12 @@ func LoadLayout(r io.Reader, ds *table.Dataset) (*layout.Layout, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", f.Version, FormatVersion)
 	}
+	return bindLayout(&f, ds)
+}
+
+// bindLayout rebinds a decoded layout file to the dataset, validating
+// shape and recomputing all partition metadata.
+func bindLayout(f *layoutFile, ds *table.Dataset) (*layout.Layout, error) {
 	if f.NumRows != ds.NumRows() {
 		return nil, fmt.Errorf("persist: layout covers %d rows, dataset has %d", f.NumRows, ds.NumRows())
 	}

@@ -1,0 +1,197 @@
+package persist
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"oreo/internal/layout"
+	"oreo/internal/prune"
+	"oreo/internal/table"
+)
+
+// State persistence extends the layout format with the warm-start
+// payload a long-lived server wants back after a restart: the layout's
+// column-major statistics block and the costing engine's memo. A cold
+// restart rebuilds metadata in one dataset pass but starts with an
+// empty memo, so the first window re-costings after boot pay full
+// evaluation cost; LoadState restores the memo so the serving hot path
+// restarts hot.
+//
+// Soundness: partition metadata is still recomputed from the dataset at
+// load — nothing read from disk ever feeds partition skipping. The
+// saved statistics block is used purely as an integrity gate for the
+// memo: it is compared bit-for-bit (floats by their IEEE-754 bit
+// patterns, so NaN-poisoned metadata round-trips exactly) against the
+// block recomputed from the dataset, and on any mismatch the memo is
+// discarded, because its costs describe different data. A stale state
+// file therefore degrades to a cold start, never to wrong answers.
+
+// StateFormatVersion identifies the on-disk warm-start encoding.
+const StateFormatVersion = 1
+
+// stateFile is the serialized form of a warm-start snapshot.
+type stateFile struct {
+	Version int        `json:"version"`
+	Layout  layoutFile `json:"layout"`
+	Stats   statsFile  `json:"stats"`
+	Memo    []memoFile `json:"memo,omitempty"`
+}
+
+// statsFile mirrors table.StatsBlock's numeric content. Floats are
+// stored as IEEE-754 bit patterns: JSON cannot represent NaN (which
+// legitimately appears as poisoned float metadata), and bit patterns
+// make the load-time comparison exact rather than subject to any
+// formatting round trip.
+type statsFile struct {
+	NumParts int      `json:"num_parts"`
+	NumCols  int      `json:"num_cols"`
+	Rows     []int    `json:"rows"`
+	MinI     []int64  `json:"min_i"`
+	MaxI     []int64  `json:"max_i"`
+	MinFBits []uint64 `json:"min_f_bits"`
+	MaxFBits []uint64 `json:"max_f_bits"`
+	Seen     []bool   `json:"seen"`
+	NonEmpty []uint64 `json:"non_empty"`
+}
+
+// memoFile is one memo entry: the query's binary structural fingerprint
+// (base64, as fingerprints are not valid UTF-8) and its memoized cost.
+type memoFile struct {
+	FP   string  `json:"fp"`
+	Cost float64 `json:"cost"`
+}
+
+// newStatsFile snapshots a statistics block.
+func newStatsFile(b *table.StatsBlock) statsFile {
+	f := statsFile{
+		NumParts: b.NumParts,
+		NumCols:  b.NumCols,
+		Rows:     append([]int(nil), b.Rows...),
+		MinI:     append([]int64(nil), b.MinI...),
+		MaxI:     append([]int64(nil), b.MaxI...),
+		MinFBits: make([]uint64, len(b.MinF)),
+		MaxFBits: make([]uint64, len(b.MaxF)),
+		Seen:     append([]bool(nil), b.Seen...),
+		NonEmpty: append([]uint64(nil), b.NonEmpty...),
+	}
+	for i, v := range b.MinF {
+		f.MinFBits[i] = math.Float64bits(v)
+	}
+	for i, v := range b.MaxF {
+		f.MaxFBits[i] = math.Float64bits(v)
+	}
+	return f
+}
+
+// matchesBlock reports whether the saved statistics equal the block
+// recomputed from the live dataset, bit for bit.
+func (f *statsFile) matchesBlock(b *table.StatsBlock) bool {
+	if f.NumParts != b.NumParts || f.NumCols != b.NumCols ||
+		len(f.Rows) != len(b.Rows) || len(f.MinI) != len(b.MinI) ||
+		len(f.MaxI) != len(b.MaxI) || len(f.MinFBits) != len(b.MinF) ||
+		len(f.MaxFBits) != len(b.MaxF) || len(f.Seen) != len(b.Seen) ||
+		len(f.NonEmpty) != len(b.NonEmpty) {
+		return false
+	}
+	for i, v := range b.Rows {
+		if f.Rows[i] != v {
+			return false
+		}
+	}
+	for i, v := range b.MinI {
+		if f.MinI[i] != v {
+			return false
+		}
+	}
+	for i, v := range b.MaxI {
+		if f.MaxI[i] != v {
+			return false
+		}
+	}
+	for i, v := range b.MinF {
+		if f.MinFBits[i] != math.Float64bits(v) {
+			return false
+		}
+	}
+	for i, v := range b.MaxF {
+		if f.MaxFBits[i] != math.Float64bits(v) {
+			return false
+		}
+	}
+	for i, v := range b.Seen {
+		if f.Seen[i] != v {
+			return false
+		}
+	}
+	for i, v := range b.NonEmpty {
+		if f.NonEmpty[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveState writes a warm-start snapshot of the layout: the
+// row→partition assignment, the column-major statistics block, and the
+// cost memo (least recently used first, preserving eviction order).
+func SaveState(w io.Writer, l *layout.Layout) error {
+	lf, err := newLayoutFile(l)
+	if err != nil {
+		return err
+	}
+	f := stateFile{
+		Version: StateFormatVersion,
+		Layout:  lf,
+		Stats:   newStatsFile(l.Part.Stats()),
+	}
+	if eng := l.Engine(); eng != nil {
+		for _, en := range eng.ExportMemo() {
+			f.Memo = append(f.Memo, memoFile{
+				FP:   base64.StdEncoding.EncodeToString([]byte(en.FP)),
+				Cost: en.Cost,
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// LoadState reads a warm-start snapshot and rebinds it to the dataset.
+// The layout's partition metadata is recomputed from the dataset (as
+// LoadLayout does); the memo is installed only when the recomputed
+// statistics block matches the saved one bit-for-bit. The boolean
+// reports whether the memo was installed (a "warm" restart).
+func LoadState(r io.Reader, ds *table.Dataset) (*layout.Layout, bool, error) {
+	var f stateFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, false, fmt.Errorf("persist: decoding state: %w", err)
+	}
+	if f.Version != StateFormatVersion {
+		return nil, false, fmt.Errorf("persist: unsupported state version %d (want %d)", f.Version, StateFormatVersion)
+	}
+	l, err := bindLayout(&f.Layout, ds)
+	if err != nil {
+		return nil, false, err
+	}
+	if !f.Stats.matchesBlock(l.Part.Stats()) {
+		// The saved costs describe different data (dataset changed since
+		// the snapshot): fall back to a cold memo.
+		return l, false, nil
+	}
+	entries := make([]prune.MemoEntry, 0, len(f.Memo))
+	for _, m := range f.Memo {
+		fp, err := base64.StdEncoding.DecodeString(m.FP)
+		if err != nil || m.Cost < 0 || m.Cost > 1 || math.IsNaN(m.Cost) {
+			// The layout itself passed all its integrity checks; a
+			// corrupt memo entry costs us the warm start, not the
+			// converged layout. Discard the whole memo (its provenance
+			// is now suspect) and boot cold.
+			return l, false, nil
+		}
+		entries = append(entries, prune.MemoEntry{FP: string(fp), Cost: m.Cost})
+	}
+	l.Engine().SeedMemo(entries)
+	return l, true, nil
+}

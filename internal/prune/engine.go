@@ -79,6 +79,68 @@ func (e *Engine) CostCompiled(cq *CompiledQuery) float64 {
 	return c
 }
 
+// CostSurvivors returns the service cost of q together with the
+// survivor partition skip-list (ascending partition IDs the metadata
+// cannot rule out). The list is always evaluated fresh — the memo only
+// stores scalar costs — but the evaluation's cost is stored, so a
+// survivor request also warms subsequent Cost calls for the same query.
+func (e *Engine) CostSurvivors(q query.Query) (float64, []int) {
+	cq := Compile(e.schema, q)
+	ids, c := cq.Survivors(e.part)
+	e.store(cq.fp, c)
+	return c, ids
+}
+
+// CostSurvivorsCompiled is CostSurvivors for a pre-compiled query. A
+// query compiled against a different schema is transparently rebound.
+func (e *Engine) CostSurvivorsCompiled(cq *CompiledQuery) (float64, []int) {
+	if cq.schema != e.schema {
+		cq = compileFP(e.schema, cq.src, cq.fp)
+	}
+	ids, c := cq.Survivors(e.part)
+	e.store(cq.fp, c)
+	return c, ids
+}
+
+// MemoEntry is one exported (fingerprint, cost) pair; see ExportMemo.
+type MemoEntry struct {
+	// FP is the query's binary structural fingerprint.
+	FP string
+	// Cost is the memoized service cost on the engine's partitioning.
+	Cost float64
+}
+
+// ExportMemo snapshots the memo contents, least recently used first, so
+// that SeedMemo(ExportMemo()) on a fresh engine reproduces both the
+// entries and their eviction order. Used by the persist warm-start path.
+func (e *Engine) ExportMemo() []MemoEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.memo == nil {
+		return nil
+	}
+	out := make([]MemoEntry, 0, len(e.memo.index))
+	for n := e.memo.tail; n != nil; n = n.prev {
+		out = append(out, MemoEntry{FP: n.key, Cost: n.cost})
+	}
+	return out
+}
+
+// SeedMemo installs entries (oldest first) into the memo, subject to the
+// capacity bound. Callers are responsible for only seeding costs that
+// were computed against an identical (schema, partitioning) pair — the
+// persist loader enforces this by comparing statistics blocks.
+func (e *Engine) SeedMemo(entries []MemoEntry) {
+	if e.memo == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, en := range entries {
+		e.memo.put(en.FP, en.Cost)
+	}
+}
+
 func (e *Engine) lookup(fp string) (float64, bool) {
 	if e.memo == nil {
 		return 0, false

@@ -226,7 +226,70 @@ func (cq *CompiledQuery) FractionScanned(part *table.Partitioning) float64 {
 		mask = make([]uint64, words)
 	}
 	copy(mask, b.NonEmpty)
+	cq.applyPreds(b, mask)
 
+	scanned := 0
+	for w := 0; w < words; w++ {
+		m := mask[w]
+		for m != 0 {
+			pid := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			scanned += b.Rows[pid]
+		}
+	}
+	return float64(scanned) / float64(part.TotalRows)
+}
+
+// AppendSurvivors appends to dst the IDs of partitions the compiled
+// query cannot skip on the partitioning — the skip-list complement an
+// execution layer must actually read — in ascending order, and returns
+// the extended slice together with the fraction scanned. A partition is
+// a survivor exactly when the interpreted Query.MayMatch admits its
+// metadata, so the returned fraction is bit-for-bit equal to
+// FractionScanned. A caller holding a scratch buffer can pass it as dst
+// to amortize the list allocation; Survivors allocates fresh.
+func (cq *CompiledQuery) AppendSurvivors(dst []int, part *table.Partitioning) ([]int, float64) {
+	if part.TotalRows == 0 || cq.never {
+		return dst, 0
+	}
+	b := part.Stats()
+	np := b.NumParts
+
+	var stack [stackMaskWords]uint64
+	words := (np + 63) / 64
+	var mask []uint64
+	if words <= stackMaskWords {
+		mask = stack[:words]
+	} else {
+		mask = make([]uint64, words)
+	}
+	copy(mask, b.NonEmpty)
+	cq.applyPreds(b, mask)
+
+	scanned := 0
+	for w := 0; w < words; w++ {
+		m := mask[w]
+		for m != 0 {
+			pid := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			dst = append(dst, pid)
+			scanned += b.Rows[pid]
+		}
+	}
+	return dst, float64(scanned) / float64(part.TotalRows)
+}
+
+// Survivors is AppendSurvivors into a fresh slice.
+func (cq *CompiledQuery) Survivors(part *table.Partitioning) ([]int, float64) {
+	return cq.AppendSurvivors(nil, part)
+}
+
+// applyPreds clears the bits of partitions some compiled predicate rules
+// out. mask must span the block's partitions and be seeded with
+// b.NonEmpty before the call.
+func (cq *CompiledQuery) applyPreds(b *table.StatsBlock, mask []uint64) {
+	np := b.NumParts
+	words := len(mask)
 	for i := range cq.preds {
 		p := &cq.preds[i]
 		base := p.ci * np
@@ -289,17 +352,6 @@ func (cq *CompiledQuery) FractionScanned(part *table.Partitioning) float64 {
 			}
 		}
 	}
-
-	scanned := 0
-	for w := 0; w < words; w++ {
-		m := mask[w]
-		for m != 0 {
-			pid := w<<6 + bits.TrailingZeros64(m)
-			m &= m - 1
-			scanned += b.Rows[pid]
-		}
-	}
-	return float64(scanned) / float64(part.TotalRows)
 }
 
 // stringPredMayMatch mirrors ColumnStats.ContainsString over the interned

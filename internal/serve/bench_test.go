@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"oreo"
+)
+
+// benchFixture builds a 50k-row table, an optimizer over it, and a
+// pre-generated query mix, shared by the serving benchmarks.
+func benchFixture(b *testing.B) (*oreo.Dataset, *oreo.Optimizer, []oreo.Query) {
+	b.Helper()
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	rng := rand.New(rand.NewSource(9))
+	const rows = 50000
+	db := oreo.NewDatasetBuilder(schema, rows)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	for i := 0; i < rows; i++ {
+		db.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[rng.Intn(4)]), oreo.Float(rng.Float64()*500))
+	}
+	ds := db.Build()
+	opt, err := oreo.New(ds, oreo.Config{
+		Partitions: 64, InitialSort: []string{"order_ts"}, Seed: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]oreo.Query, 512)
+	for i := range queries {
+		if i%2 == 0 {
+			lo := rng.Int63n(rows - 2000)
+			queries[i] = oreo.Query{ID: i, Preds: []oreo.Predicate{oreo.IntRange("order_ts", lo, lo+2000)}}
+		} else {
+			queries[i] = oreo.Query{ID: i, Preds: []oreo.Predicate{oreo.StrEq("status", statuses[i%4])}}
+		}
+	}
+	return ds, opt, queries
+}
+
+// BenchmarkServingMutexQPS is the pre-serving baseline: every request
+// runs the full decision path behind the ConcurrentOptimizer mutex, so
+// requests serialize no matter how many cores serve them.
+func BenchmarkServingMutexQPS(b *testing.B) {
+	_, opt, queries := benchFixture(b)
+	copt := oreo.NewConcurrent(opt)
+	var i atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := queries[i.Add(1)%uint64(len(queries))]
+			copt.ProcessQuery(q)
+		}
+	})
+}
+
+// BenchmarkServingSnapshotQPS is the serving read path: lock-free
+// costing and skip-list extraction against the published snapshot, with
+// the observation handoff included (consumer running), exactly what
+// POST /v1/query does per request. The acceptance bar for the serving
+// subsystem is ≥10x BenchmarkServingMutexQPS on an 8-core box.
+func BenchmarkServingSnapshotQPS(b *testing.B) {
+	ds, opt, queries := benchFixture(b)
+	sh := newShard("orders", ds, opt, DefaultQueueSize)
+	defer sh.close()
+	var i atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := queries[i.Add(1)%uint64(len(queries))]
+			sh.serveQuery(q)
+		}
+	})
+}
+
+// BenchmarkServingSnapshotBatch32 runs the POST /v1/query/batch shape:
+// one op is a 32-query batch on the read path. Divide ns/op by 32 for
+// the per-query figure.
+func BenchmarkServingSnapshotBatch32(b *testing.B) {
+	ds, opt, queries := benchFixture(b)
+	sh := newShard("orders", ds, opt, DefaultQueueSize)
+	defer sh.close()
+	const batch = 32
+	var i atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			base := int(i.Add(batch) % uint64(len(queries)))
+			for j := 0; j < batch; j++ {
+				sh.serveQuery(queries[(base+j)%len(queries)])
+			}
+		}
+	})
+}

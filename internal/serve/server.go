@@ -1,0 +1,260 @@
+// Package serve is OREO's online serving layer: a long-lived, sharded
+// HTTP service over a MultiOptimizer, the subsystem that turns the
+// in-process optimizer into something a query-execution fleet can sit
+// behind.
+//
+// Requests are handled per table on independent shards. Each shard runs
+// in a read-mostly regime: costing and survivor skip-list extraction —
+// the per-request work — run lock-free against an atomically swapped
+// immutable layout snapshot (oreo.ConcurrentOptimizer), while decision-
+// state updates (admission, D-UMTS counters, reorganization) drain
+// through a single background consumer fed by a bounded queue. The
+// request path therefore scales with cores and is never stalled by a
+// layout generation in progress; under overload, observations are
+// sampled (and counted) instead of applying backpressure to queries.
+//
+// Endpoints:
+//
+//	POST /v1/query                  predicates in → cost, decision state,
+//	                                and the survivor partition skip-list,
+//	                                per affected table
+//	POST /v1/query/batch            the same for many queries in one round
+//	                                trip, with per-item (partial) failures
+//	GET  /v1/tables                 registered tables
+//	GET  /v1/tables/{table}/layout  serving layout, partition row counts
+//	GET  /v1/tables/{table}/stats   optimizer counters + memo + shard metrics
+//	GET  /v1/tables/{table}/trace   decision trace (needs TraceCapacity)
+//	GET  /healthz                   liveness + per-table registry
+//
+// The wire predicate encoding matches the query-log format of
+// internal/persist, so captured production logs replay against the
+// server unchanged.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"oreo"
+)
+
+// DefaultQueueSize bounds each shard's observation queue when Config
+// leaves it zero. One window's worth of headroom per the paper's
+// defaults, times a safety factor for bursts.
+const DefaultQueueSize = 1024
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueSize bounds each table's decision-observation queue; zero
+	// selects DefaultQueueSize. When a shard's queue is full, new
+	// queries are answered normally but sampled out of reorganization
+	// decisions (the Dropped metric counts them).
+	QueueSize int
+}
+
+// Server shards a MultiOptimizer's tables behind an HTTP API. Construct
+// with New, mount Handler, and Close on shutdown.
+type Server struct {
+	multi  *oreo.MultiOptimizer
+	names  []string
+	shards map[string]*shard
+	mux    *http.ServeMux
+}
+
+// New builds a server over the registered tables. The MultiOptimizer
+// (and its per-table Optimizers) must not be used directly afterwards:
+// every shard owns its table's decision path.
+func New(m *oreo.MultiOptimizer, cfg Config) (*Server, error) {
+	names := m.Tables()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("serve: no tables registered")
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.QueueSize < 0 {
+		return nil, fmt.Errorf("serve: QueueSize must be positive, got %d", cfg.QueueSize)
+	}
+	s := &Server{
+		multi:  m,
+		names:  names,
+		shards: make(map[string]*shard, len(names)),
+		mux:    http.NewServeMux(),
+	}
+	for _, name := range names {
+		s.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize)
+	}
+
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /v1/tables/{table}/layout", s.handleLayout)
+	s.mux.HandleFunc("GET /v1/tables/{table}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/tables/{table}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, for mounting into an
+// http.Server (the caller owns listening and TLS).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the shards down gracefully: observation queues stop
+// accepting, their consumers drain what was already queued, and the
+// call returns when every decision loop is quiet. Call after the HTTP
+// listener has stopped accepting requests.
+func (s *Server) Close() {
+	for _, name := range s.names {
+		s.shards[name].close()
+	}
+}
+
+// Snapshot returns the named table's current optimizer snapshot — the
+// hook a host process uses to persist serving state at shutdown.
+func (s *Server) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
+	sh, ok := s.shards[table]
+	if !ok {
+		return oreo.OptimizerSnapshot{}, false
+	}
+	return sh.copt.Snapshot(), true
+}
+
+// answer resolves one decoded query to per-table results. With an
+// explicit table, every predicate must name a column of that table's
+// schema; with routing, every predicate must land on at least one
+// table. Violations are client errors, not silent drops — a serving
+// API must not quietly answer a different question than it was asked.
+func (s *Server) answer(req QueryRequest) ([]TableResult, int, error) {
+	q, err := decodeQuery(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(q.Preds) == 0 {
+		// A predicate-free query is a full scan on every layout; it
+		// carries no signal for reorganization (Route excludes such
+		// queries for exactly that reason) and is almost certainly a
+		// client bug. Reject it in both addressing modes.
+		return nil, http.StatusBadRequest, fmt.Errorf("query has no predicates")
+	}
+	if req.Table != "" {
+		sh, ok := s.shards[req.Table]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table)
+		}
+		schema := sh.ds.Schema()
+		for _, p := range q.Preds {
+			if _, ok := schema.Index(p.Col); !ok {
+				return nil, http.StatusBadRequest, fmt.Errorf("table %q has no column %q", req.Table, p.Col)
+			}
+		}
+		return []TableResult{sh.serveQuery(q)}, http.StatusOK, nil
+	}
+
+	routed, unrouted := s.multi.Route(q)
+	if len(unrouted) > 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("no table has column %q", unrouted[0])
+	}
+	out := make([]TableResult, 0, len(routed))
+	for _, name := range s.names {
+		sub, touched := routed[name]
+		if !touched {
+			continue
+		}
+		out = append(out, s.shards[name].serveQuery(sub))
+	}
+	return out, http.StatusOK, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	results, status, err := s.answer(req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Results: results})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, 0, len(req.Queries))}
+	for i, qr := range req.Queries {
+		item := BatchItem{Index: i}
+		results, _, err := s.answer(qr)
+		if err != nil {
+			item.Error = err.Error()
+		} else {
+			item.Results = results
+		}
+		resp.Results = append(resp.Results, item)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"tables": append([]string(nil), s.names...)})
+}
+
+// tableShard resolves the {table} path value, writing the 404 itself
+// when the table is unknown.
+func (s *Server) tableShard(w http.ResponseWriter, r *http.Request) (*shard, bool) {
+	name := r.PathValue("table")
+	sh, ok := s.shards[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", name))
+		return nil, false
+	}
+	return sh, true
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	if sh, ok := s.tableShard(w, r); ok {
+		writeJSON(w, http.StatusOK, sh.layoutInfo())
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if sh, ok := s.tableShard(w, r); ok {
+		writeJSON(w, http.StatusOK, sh.stats())
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if sh, ok := s.tableShard(w, r); ok {
+		writeJSON(w, http.StatusOK, TraceResponse{Table: sh.table, Events: sh.traceEvents()})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	total := 0
+	names := append([]string(nil), s.names...)
+	sort.Strings(names)
+	for _, name := range names {
+		total += s.shards[name].copt.Stats().Queries
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Tables: names, Queries: total})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"oreo"
+)
+
+// shard is one table's serving unit: a read-mostly optimizer plus the
+// bounded observation queue that decouples request handling from the
+// sequential decision path.
+//
+// The read path (serveQuery) is lock-free: it costs the query and
+// extracts the survivor skip-list against the atomically published
+// layout snapshot, then hands the query to the decision loop through a
+// non-blocking send. The write path is one background consumer goroutine
+// draining the queue into ConcurrentOptimizer.ProcessQuery, so the
+// mutex-serialized decision path never sits on a request's critical
+// path. When the queue is full the query is sampled out of
+// reorganization decisions (counted in dropped) rather than blocking
+// the request — under overload OREO sees a uniform sample of the
+// stream, which its sliding-window machinery is built for.
+type shard struct {
+	table string
+	ds    *oreo.Dataset
+	copt  *oreo.ConcurrentOptimizer
+
+	queue     chan oreo.Query
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	// obsMu guards the handoff into queue against close: senders hold
+	// the read side (cheap, shared), close holds the write side, so a
+	// request racing a shutdown observes obsClosed instead of panicking
+	// on a closed channel.
+	obsMu     sync.RWMutex
+	obsClosed bool
+
+	served   atomic.Uint64 // read-path answers
+	observed atomic.Uint64 // queries enqueued for the decision loop
+	dropped  atomic.Uint64 // queue-full samples
+	costBits atomic.Uint64 // sum of served costs, as float64 bits
+}
+
+func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize int) *shard {
+	s := &shard{
+		table: name,
+		ds:    ds,
+		copt:  oreo.NewConcurrent(opt),
+		queue: make(chan oreo.Query, queueSize),
+	}
+	s.wg.Add(1)
+	go s.consume()
+	return s
+}
+
+// consume is the single decision consumer: it drains observed queries
+// into the full OREO decision path, republishing the layout snapshot
+// after each one.
+func (s *shard) consume() {
+	defer s.wg.Done()
+	for q := range s.queue {
+		s.copt.ProcessQuery(q)
+	}
+}
+
+// close stops the shard: no further observations are accepted, the
+// consumer drains what was already queued, and the call returns once
+// the decision loop has gone quiet. Idempotent, and safe to call while
+// requests are still in flight — late observations are dropped, not
+// panicked on.
+func (s *shard) close() {
+	s.closeOnce.Do(func() {
+		s.obsMu.Lock()
+		s.obsClosed = true
+		s.obsMu.Unlock()
+		close(s.queue)
+	})
+	s.wg.Wait()
+}
+
+// observe hands the query to the decision loop without blocking: false
+// when the queue is full or the shard is closing.
+func (s *shard) observe(q oreo.Query) bool {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	if s.obsClosed {
+		return false
+	}
+	select {
+	case s.queue <- q:
+		return true
+	default:
+		return false
+	}
+}
+
+// serveQuery answers one routed query: the lock-free snapshot read path
+// (OptimizerSnapshot.CostQuery) for cost and skip-list, then a
+// non-blocking observation handoff.
+func (s *shard) serveQuery(q oreo.Query) TableResult {
+	snap := s.copt.Snapshot()
+	dec := snap.CostQuery(q)
+
+	observed := s.observe(q)
+	if observed {
+		s.observed.Add(1)
+	} else {
+		s.dropped.Add(1)
+	}
+	s.served.Add(1)
+	s.addCost(dec.Cost)
+
+	res := TableResult{
+		Table:              s.table,
+		Cost:               dec.Cost,
+		Layout:             dec.Layout.Name,
+		NumPartitions:      dec.Layout.Part.NumPartitions,
+		SurvivorPartitions: dec.SurvivorPartitions(),
+		Observed:           observed,
+	}
+	if snap.Pending != nil {
+		res.Reorganizing = true
+		res.PendingLayout = snap.Pending.Name
+	}
+	return res
+}
+
+// addCost accumulates a served cost into the float-bits counter.
+func (s *shard) addCost(c float64) {
+	for {
+		old := s.costBits.Load()
+		if s.costBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+c)) {
+			return
+		}
+	}
+}
+
+// stats assembles the shard's stats response from one snapshot.
+func (s *shard) stats() StatsResponse {
+	snap := s.copt.Snapshot()
+	st := snap.Stats
+	memo := snap.Serving.Engine().Stats()
+	return StatsResponse{
+		Table: s.table,
+
+		Queries:          st.Queries,
+		Reorganizations:  st.Reorganizations,
+		QueryCost:        st.QueryCost,
+		ReorgCost:        st.ReorgCost,
+		States:           st.States,
+		MaxStates:        st.MaxStates,
+		Phases:           st.Phases,
+		CompetitiveBound: st.CompetitiveBound,
+
+		MemoHits:    memo.Hits,
+		MemoMisses:  memo.Misses,
+		MemoEntries: memo.Entries,
+
+		Served:        s.served.Load(),
+		Observed:      s.observed.Load(),
+		Dropped:       s.dropped.Load(),
+		ServedCostSum: math.Float64frombits(s.costBits.Load()),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+	}
+}
+
+// layoutInfo assembles the layout response from one snapshot.
+func (s *shard) layoutInfo() LayoutResponse {
+	snap := s.copt.Snapshot()
+	lay := snap.Serving
+	rows := make([]int, lay.Part.NumPartitions)
+	for pid, m := range lay.Part.Meta {
+		if m != nil {
+			rows[pid] = m.NumRows
+		}
+	}
+	res := LayoutResponse{
+		Table:         s.table,
+		Layout:        lay.Name,
+		NumPartitions: lay.Part.NumPartitions,
+		TotalRows:     lay.Part.TotalRows,
+		PartitionRows: rows,
+	}
+	if snap.Pending != nil {
+		res.Reorganizing = true
+		res.PendingLayout = snap.Pending.Name
+	}
+	return res
+}
+
+// traceEvents returns the decision trace (empty unless the optimizer
+// was configured with TraceCapacity).
+func (s *shard) traceEvents() []TraceEventJSON {
+	events := s.copt.Events()
+	out := make([]TraceEventJSON, 0, len(events))
+	for _, e := range events {
+		out = append(out, TraceEventJSON{
+			Seq: e.Seq, Kind: e.Kind.String(), Layout: e.Layout, Detail: e.Detail,
+		})
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"fmt"
+
+	"oreo"
+)
+
+// PredicateJSON is the wire form of one predicate. It mirrors the
+// query-log encoding in internal/persist: numeric predicates carry both
+// the int64 and float64 bound families and the evaluator selects by the
+// column's schema type, so every constructible predicate round-trips.
+type PredicateJSON struct {
+	Col   string   `json:"col"`
+	HasLo bool     `json:"has_lo,omitempty"`
+	HasHi bool     `json:"has_hi,omitempty"`
+	LoI   int64    `json:"lo_i,omitempty"`
+	HiI   int64    `json:"hi_i,omitempty"`
+	LoF   float64  `json:"lo_f,omitempty"`
+	HiF   float64  `json:"hi_f,omitempty"`
+	In    []string `json:"in,omitempty"`
+}
+
+// QueryRequest is the body of POST /v1/query (and one element of a
+// batch). Table restricts the query to one registered table; when empty
+// the predicates are routed to every table whose schema contains their
+// column, the multi-table rule of multitable.Route.
+type QueryRequest struct {
+	Table string          `json:"table,omitempty"`
+	ID    int             `json:"id,omitempty"`
+	Preds []PredicateJSON `json:"preds"`
+}
+
+// BatchRequest is the body of POST /v1/query/batch.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// TableResult is one table's serving answer for one query.
+type TableResult struct {
+	Table string `json:"table"`
+	// Cost is the fraction of the table scanned: the row mass of
+	// SurvivorPartitions over the table size.
+	Cost float64 `json:"cost"`
+	// Layout names the layout the query was costed on.
+	Layout string `json:"layout"`
+	// NumPartitions is the layout's partition count, so callers can
+	// derive the skipped set as the complement of the survivor list.
+	NumPartitions int `json:"num_partitions"`
+	// SurvivorPartitions is the skip-list complement: ascending IDs of
+	// the partitions an execution layer must actually read. Never null
+	// (an unsatisfiable query yields an empty list).
+	SurvivorPartitions []int `json:"survivor_partitions"`
+	// Reorganizing reports an in-flight background reorganization into
+	// PendingLayout as of the answering snapshot.
+	Reorganizing  bool   `json:"reorganizing,omitempty"`
+	PendingLayout string `json:"pending_layout,omitempty"`
+	// Observed reports whether the query was enqueued for the decision
+	// loop. False means the observation queue was full and the query was
+	// sampled out of reorganization decisions (it was still answered).
+	Observed bool `json:"observed"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query: one result
+// per affected table, in table registration order.
+type QueryResponse struct {
+	Results []TableResult `json:"results"`
+}
+
+// BatchItem is one entry of a batch response: either Results or Error
+// is set. A batch is never failed wholesale by one bad query — the
+// partial-failure contract — so callers must check per-item errors.
+type BatchItem struct {
+	// Index is the query's position in the request, echoed back so
+	// partial failures stay attributable.
+	Index   int           `json:"index"`
+	Results []TableResult `json:"results,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/query/batch.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// LayoutResponse is the body of GET /v1/tables/{table}/layout.
+type LayoutResponse struct {
+	Table         string `json:"table"`
+	Layout        string `json:"layout"`
+	NumPartitions int    `json:"num_partitions"`
+	TotalRows     int    `json:"total_rows"`
+	// PartitionRows maps partition ID to row count — the sizing a
+	// caller needs to turn survivor lists into I/O estimates.
+	PartitionRows []int  `json:"partition_rows"`
+	Reorganizing  bool   `json:"reorganizing,omitempty"`
+	PendingLayout string `json:"pending_layout,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/tables/{table}/stats: the
+// optimizer's cumulative counters, the costing memo's effectiveness,
+// and the shard's serving metrics, all from one snapshot.
+type StatsResponse struct {
+	Table string `json:"table"`
+
+	// Optimizer counters (oreo.Stats).
+	Queries          int     `json:"queries"`
+	Reorganizations  int     `json:"reorganizations"`
+	QueryCost        float64 `json:"query_cost"`
+	ReorgCost        float64 `json:"reorg_cost"`
+	States           int     `json:"states"`
+	MaxStates        int     `json:"max_states"`
+	Phases           int     `json:"phases"`
+	CompetitiveBound float64 `json:"competitive_bound"`
+
+	// Costing-memo effectiveness for the serving layout.
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoMisses  uint64 `json:"memo_misses"`
+	MemoEntries int    `json:"memo_entries"`
+
+	// Shard serving metrics.
+	Served        uint64  `json:"served"`
+	Observed      uint64  `json:"observed"`
+	Dropped       uint64  `json:"dropped"`
+	ServedCostSum float64 `json:"served_cost_sum"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+}
+
+// TraceEventJSON is one decision-trace event.
+type TraceEventJSON struct {
+	Seq    int    `json:"seq"`
+	Kind   string `json:"kind"`
+	Layout string `json:"layout"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceResponse is the body of GET /v1/tables/{table}/trace.
+type TraceResponse struct {
+	Table  string           `json:"table"`
+	Events []TraceEventJSON `json:"events"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string   `json:"status"`
+	Tables []string `json:"tables"`
+	// Queries is the total processed by the decision loops across all
+	// tables (observed queries that have drained, plus any direct use).
+	Queries int `json:"queries"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodePred validates and converts one wire predicate. The schema
+// check (does the column exist on the target table?) happens at routing
+// time; this only enforces shape.
+func decodePred(p PredicateJSON) (oreo.Predicate, error) {
+	if p.Col == "" {
+		return oreo.Predicate{}, fmt.Errorf("predicate with empty column")
+	}
+	numeric := p.HasLo || p.HasHi
+	if numeric && len(p.In) > 0 {
+		return oreo.Predicate{}, fmt.Errorf("predicate on %q mixes numeric bounds and an IN set", p.Col)
+	}
+	if !numeric && len(p.In) == 0 {
+		return oreo.Predicate{}, fmt.Errorf("predicate on %q has neither bounds nor IN set", p.Col)
+	}
+	return oreo.Predicate{
+		Col: p.Col, HasLo: p.HasLo, HasHi: p.HasHi,
+		LoI: p.LoI, HiI: p.HiI, LoF: p.LoF, HiF: p.HiF, In: p.In,
+	}, nil
+}
+
+// decodeQuery converts a request into an oreo.Query, validating every
+// predicate's shape.
+func decodeQuery(req QueryRequest) (oreo.Query, error) {
+	q := oreo.Query{ID: req.ID, Template: -1}
+	for i, pj := range req.Preds {
+		p, err := decodePred(pj)
+		if err != nil {
+			return oreo.Query{}, fmt.Errorf("pred %d: %w", i, err)
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	return q, nil
+}

@@ -56,28 +56,58 @@ func (m *MultiOptimizer) Optimizer(table string) *Optimizer {
 	return m.optimizers[table]
 }
 
-// ProcessQuery routes the query's predicates to every table whose
-// schema contains the predicate column, and feeds each affected table's
-// optimizer the relevant sub-query. Tables receiving no predicates are
-// untouched (they would be full scans regardless of layout, so their
-// reorganization decisions should not be polluted by them). The result
-// maps table name to that table's decision.
-func (m *MultiOptimizer) ProcessQuery(q Query) map[string]Decision {
+// Dataset returns the registered table's dataset, or nil if the table
+// is not registered.
+func (m *MultiOptimizer) Dataset(table string) *Dataset {
+	return m.datasets[table]
+}
+
+// Route splits the query's predicates by table: each table whose schema
+// contains a predicate's column receives that predicate in its
+// sub-query. Tables receiving no predicates are absent from the result
+// (they would be full scans regardless of layout, so their
+// reorganization decisions should not be polluted by them). Predicates
+// on columns no table knows are dropped from the routing and reported
+// in unrouted (distinct columns, first-appearance order) so callers —
+// serving layers in particular — can reject rather than silently answer
+// a different question. This is the routing rule of the paper's
+// multi-table configuration (§VIII), exposed so serving layers can fan
+// a request out across per-table shards.
+func (m *MultiOptimizer) Route(q Query) (routed map[string]Query, unrouted []string) {
 	perTable := make(map[string][]Predicate)
+	seenUnrouted := make(map[string]bool)
 	for _, p := range q.Preds {
+		found := false
 		for _, name := range m.names {
 			if _, ok := m.datasets[name].Schema().Index(p.Col); ok {
 				perTable[name] = append(perTable[name], p)
+				found = true
 			}
 		}
+		if !found && !seenUnrouted[p.Col] {
+			seenUnrouted[p.Col] = true
+			unrouted = append(unrouted, p.Col)
+		}
 	}
-	out := make(map[string]Decision, len(perTable))
+	routed = make(map[string]Query, len(perTable))
+	for name, preds := range perTable {
+		routed[name] = Query{ID: q.ID, Template: q.Template, Preds: preds}
+	}
+	return routed, unrouted
+}
+
+// ProcessQuery routes the query's predicates to every table whose
+// schema contains the predicate column (see Route), and feeds each
+// affected table's optimizer the relevant sub-query. The result maps
+// table name to that table's decision.
+func (m *MultiOptimizer) ProcessQuery(q Query) map[string]Decision {
+	routed, _ := m.Route(q)
+	out := make(map[string]Decision, len(routed))
 	for _, name := range m.names {
-		preds, touched := perTable[name]
+		sub, touched := routed[name]
 		if !touched {
 			continue
 		}
-		sub := Query{ID: q.ID, Template: q.Template, Preds: preds}
 		out[name] = m.optimizers[name].ProcessQuery(sub)
 	}
 	return out

@@ -64,10 +64,34 @@
 // engine transparently; Layout.Compile / CostCompiled let callers
 // costing one query across many layouts share a single compilation.
 //
+// # Serving
+//
+// Every decision carries the survivor partition skip-list
+// (Decision.SurvivorPartitions): the ascending IDs of partitions whose
+// metadata could not rule the query out, extracted from the compiled
+// engine's survivor bitmask. An execution layer reads exactly those
+// partitions and provably skips the rest — the cost is the listed
+// partitions' row mass over the table size, bit-for-bit.
+//
+// For online serving, ConcurrentOptimizer runs a read-mostly mode: the
+// sequential decision path serializes on a mutex, but it republishes an
+// immutable OptimizerSnapshot (serving layout, pending reorganization,
+// counters) through an atomic pointer after every query, so
+// CurrentLayout, Stats, Snapshot, and the CostQuery costing/skip-list
+// path are all lock-free and scale with cores. The HTTP serving layer
+// (internal/serve, booted by cmd/oreoserve) shards request handling per
+// table over MultiOptimizer: requests are answered from snapshots while
+// observations drain into the decision path through a bounded queue and
+// one background consumer per table — see examples/serving for the
+// end-to-end loop. SaveState/LoadState round-trip a layout together
+// with its statistics block and cost memo, so a restarted server
+// resumes on its converged layout with a hot memo.
+//
 // The subpackages under internal/ implement the substrates (columnar
 // tables, query model, the pruning engine, layout generators, the
-// D-UMTS reorganizer, the layout manager, baselines, and the experiment
-// harness); this package re-exports everything a downstream user needs.
+// D-UMTS reorganizer, the layout manager, baselines, the experiment
+// harness, and the HTTP serving layer); this package re-exports
+// everything a downstream user needs.
 package oreo
 
 import (
@@ -215,6 +239,36 @@ type Decision struct {
 	Reorganized bool
 	// Layout is the layout the query was served on.
 	Layout *Layout
+
+	// query is retained for lazy survivor extraction.
+	query Query
+	// survivors caches a pre-computed skip-list (set by the lock-free
+	// CostQuery read path, which has already evaluated the mask).
+	survivors []int
+}
+
+// SurvivorPartitions returns the skip-list complement: the ascending
+// IDs of Layout's partitions whose metadata could not rule the query
+// out — the partitions an execution layer must actually read. Every
+// partition absent from the list is provably skippable, and Cost is
+// exactly the row mass of the listed partitions divided by the table
+// size. The list is extracted lazily from the compiled engine's
+// survivor bitmask, so decisions that never ask for it (the common case
+// on the sequential decision path, which answers costs from the memo)
+// pay nothing; each call on a ProcessQuery decision re-evaluates one
+// metadata sweep, while CostQuery decisions carry it pre-computed.
+func (d Decision) SurvivorPartitions() []int {
+	if d.survivors != nil {
+		return d.survivors
+	}
+	if d.Layout == nil {
+		return nil
+	}
+	_, ids := d.Layout.CostSurvivors(d.query)
+	if ids == nil {
+		ids = []int{}
+	}
+	return ids
 }
 
 // Stats summarizes an Optimizer's activity.
@@ -345,7 +399,7 @@ func (o *Optimizer) ProcessQuery(q Query) Decision {
 	cost := o.serving.Cost(q)
 	o.queries++
 	o.queryCost += cost
-	return Decision{Cost: cost, Reorganized: reorganized, Layout: o.serving}
+	return Decision{Cost: cost, Reorganized: reorganized, Layout: o.serving, query: q}
 }
 
 // applyTarget registers a policy switch decision and advances the

@@ -17,3 +17,18 @@ func SaveLayout(w io.Writer, l *Layout) error { return persist.SaveLayout(w, l) 
 // all partition metadata. The result can be passed as Config.Initial so
 // a restarted process resumes from the layout it had converged to.
 func LoadLayout(r io.Reader, ds *Dataset) (*Layout, error) { return persist.LoadLayout(r, ds) }
+
+// SaveState writes a warm-start snapshot of the layout: the assignment
+// (as SaveLayout), the column-major statistics block, and the layout's
+// cost memo. A server saving its serving layout's state at shutdown
+// restarts hot — the first window re-costings after boot answer from
+// the restored memo instead of re-evaluating metadata.
+func SaveState(w io.Writer, l *Layout) error { return persist.SaveState(w, l) }
+
+// LoadState reads a snapshot written by SaveState and rebinds it to the
+// dataset. Partition metadata is always recomputed from the dataset
+// (persisted state never feeds partition skipping); the memo is
+// installed only when the saved statistics block matches the recomputed
+// one bit-for-bit, and the boolean reports whether it was (a "warm"
+// restart). Pass the layout as Config.Initial to resume serving on it.
+func LoadState(r io.Reader, ds *Dataset) (*Layout, bool, error) { return persist.LoadState(r, ds) }

@@ -1,0 +1,70 @@
+package oreo
+
+import (
+	"math/rand"
+	"testing"
+
+	"oreo/internal/query"
+)
+
+// TestDecisionSurvivorPartitions is the satellite contract for the
+// survivor return path: the skip-list the public API reports must agree
+// with interpreted per-partition prunable checks (query.MayMatch over
+// the served layout's metadata), and the decision's Cost must be
+// exactly the listed partitions' row mass over the table size.
+func TestDecisionSurvivorPartitions(t *testing.T) {
+	ds := buildEventsTable(t, 3000)
+	opt, err := New(ds, Config{
+		Alpha: 12, Partitions: 16, WindowSize: 60, Period: 60,
+		InitialSort: []string{"ts"}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	users := []string{"alice", "bob", "carol", "dave"}
+	for i := 0; i < 800; i++ {
+		var q Query
+		switch i % 3 {
+		case 0:
+			lo := rng.Int63n(2800)
+			q = Query{ID: i, Preds: []Predicate{IntRange("ts", lo, lo+200)}}
+		case 1:
+			q = Query{ID: i, Preds: []Predicate{StrEq("user", users[rng.Intn(len(users))])}}
+		default:
+			q = Query{ID: i, Preds: []Predicate{
+				FloatGE("latency", rng.Float64()*400),
+				StrIn("user", users[rng.Intn(4)], users[rng.Intn(4)]),
+			}}
+		}
+		dec := opt.ProcessQuery(q)
+
+		// Interpreted reference: a partition survives iff its metadata
+		// cannot rule the conjunction out.
+		var want []int
+		rows := 0
+		for pid, m := range dec.Layout.Part.Meta {
+			if q.MayMatch(dec.Layout.Schema(), m) {
+				want = append(want, pid)
+				rows += m.NumRows
+			}
+		}
+		surv := dec.SurvivorPartitions()
+		if len(surv) != len(want) {
+			t.Fatalf("query %d: %d survivors, interpreted says %d", i, len(surv), len(want))
+		}
+		for j := range want {
+			if surv[j] != want[j] {
+				t.Fatalf("query %d: survivors %v != interpreted %v", i, surv, want)
+			}
+		}
+		if wantCost := float64(rows) / float64(dec.Layout.Part.TotalRows); dec.Cost != wantCost {
+			t.Fatalf("query %d: Cost %v != survivor row mass %v", i, dec.Cost, wantCost)
+		}
+		// And bit-identical to the interpreted reference cost path.
+		if ref := query.FractionScanned(dec.Layout.Schema(), dec.Layout.Part, q); dec.Cost != ref {
+			t.Fatalf("query %d: Cost %v != interpreted FractionScanned %v", i, dec.Cost, ref)
+		}
+	}
+}
