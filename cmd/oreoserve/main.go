@@ -11,6 +11,18 @@
 //	curl -s -X POST localhost:8080/v1/query \
 //	  -d '{"table":"orders","preds":[{"col":"order_ts","has_lo":true,"has_hi":true,"lo_i":100,"hi_i":900}]}'
 //
+// With -csv DIR it ingests real data instead: every *.csv file in the
+// directory becomes one served table (named after the file), with
+// column types inferred from the values and the first integer column as
+// the initial sort. Queries with "execute": true then scan the actual
+// ingested rows:
+//
+//	oreoserve -addr :8080 -csv ./data &
+//	curl -s -X POST localhost:8080/v1/query -d '{"table":"orders",
+//	  "execute":true,
+//	  "preds":[{"col":"order_ts","has_lo":true,"has_hi":true,"lo_i":100,"hi_i":900}],
+//	  "aggs":[{"op":"count"},{"op":"sum","col":"amount"}]}'
+//
 // With -state DIR the server loads warm-start snapshots
 // (DIR/<table>.state.json) at boot — resuming each table's converged
 // layout with a hot cost memo — and writes fresh snapshots on graceful
@@ -33,6 +45,7 @@ import (
 	"time"
 
 	"oreo"
+	"oreo/internal/ingest"
 	"oreo/internal/serve"
 )
 
@@ -40,6 +53,7 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		tables  = flag.String("tables", "orders", "comma-separated fixture tables to serve (orders, events)")
+		csvDir  = flag.String("csv", "", "directory of CSV files to serve, one table per file (overrides -tables/-rows fixtures)")
 		rows    = flag.Int("rows", 20000, "rows per fixture table")
 		alpha   = flag.Float64("alpha", 40, "relative reorganization cost")
 		window  = flag.Int("window", 200, "sliding-window size")
@@ -53,15 +67,8 @@ func main() {
 
 	m := oreo.NewMulti()
 	var names []string
-	for _, name := range strings.Split(*tables, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		ds, sortCol, err := buildFixture(name, *rows, *seed)
-		if err != nil {
-			log.Fatalf("oreoserve: %v", err)
-		}
+	for _, src := range buildSources(*csvDir, *tables, *rows, *seed) {
+		name, ds, sortCol := src.name, src.ds, src.sortCol
 		cfg := oreo.Config{
 			Alpha:         *alpha,
 			WindowSize:    *window,
@@ -164,6 +171,56 @@ func saveState(path string, l *oreo.Layout) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// tableSource is one table to serve, from either data source.
+type tableSource struct {
+	name    string
+	ds      *oreo.Dataset
+	sortCol string
+}
+
+// buildSources assembles the served tables: ingested CSV files when
+// -csv is set, deterministic synthetic fixtures otherwise. Failures are
+// fatal — a server that silently drops a table it was asked to serve
+// answers the wrong questions.
+func buildSources(csvDir, tables string, rows int, seed int64) []tableSource {
+	var out []tableSource
+	if csvDir != "" {
+		loaded, err := ingest.LoadDir(csvDir)
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		for _, t := range loaded {
+			// Spell out the inferred types: one stray textual cell
+			// legally demotes a numeric column to string (the widening
+			// ladder reads every row), and a column an operator expected
+			// to be numeric answering range predicates with zero rows is
+			// far easier to diagnose from this line than from results.
+			schema := t.Dataset.Schema()
+			typed := make([]string, schema.NumCols())
+			for i := range typed {
+				c := schema.Col(i)
+				typed[i] = c.Name + ":" + c.Type.String()
+			}
+			log.Printf("table %s: ingested %d rows from CSV, schema [%s] (sort on %s)",
+				t.Name, t.Dataset.NumRows(), strings.Join(typed, " "), t.SortCol)
+			out = append(out, tableSource{name: t.Name, ds: t.Dataset, sortCol: t.SortCol})
+		}
+		return out
+	}
+	for _, name := range strings.Split(tables, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ds, sortCol, err := buildFixture(name, rows, seed)
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		out = append(out, tableSource{name: name, ds: ds, sortCol: sortCol})
+	}
+	return out
 }
 
 // buildFixture generates one of the named deterministic synthetic

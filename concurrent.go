@@ -3,8 +3,6 @@ package oreo
 import (
 	"sync"
 	"sync/atomic"
-
-	"oreo/internal/prune"
 )
 
 // OptimizerSnapshot is one consistent view of an optimizer's serving
@@ -99,7 +97,7 @@ func (c *ConcurrentOptimizer) Stats() Stats { return c.snap.Load().Stats }
 // reorganization decisions feed it to ProcessQuery (directly, or
 // through a queue as internal/serve does).
 func (s OptimizerSnapshot) CostQuery(q Query) Decision {
-	ids, cost := prune.Compile(s.Serving.Schema(), q).Survivors(s.Serving.Part)
+	cost, ids := s.Serving.CostSurvivorsSnapshot(q)
 	if ids == nil {
 		ids = []int{}
 	}

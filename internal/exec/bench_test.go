@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"oreo/internal/prune"
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// benchStore builds a ts-sorted store: `rows` rows over (ts int64,
+// val float64) range-partitioned into k equal partitions, so a ts range
+// of width w/k of the domain survives exactly w partitions.
+func benchStore(rows, k int) (*table.Dataset, *Store) {
+	schema := table.NewSchema(
+		table.Column{Name: "ts", Type: table.Int64},
+		table.Column{Name: "val", Type: table.Float64},
+	)
+	b := table.NewBuilder(schema, rows)
+	for i := 0; i < rows; i++ {
+		b.AppendRow(table.Int(int64(i)), table.Float(float64(i%997)))
+	}
+	ds := b.Build()
+	assign := make([]int, rows)
+	per := rows / k
+	for i := range assign {
+		pid := i / per
+		if pid >= k {
+			pid = k - 1
+		}
+		assign[i] = pid
+	}
+	return ds, MustNewStore(ds, table.MustBuildPartitioning(ds, assign, k))
+}
+
+// BenchmarkScanBySurvivorCount is the execution layer's scaling
+// contract: with the table and partition count fixed, executed-scan
+// time is proportional to the *survivor* count the skip-list names, not
+// to the total partition count. Each sub-benchmark executes a ts range
+// spanning the given number of partitions out of 64.
+func BenchmarkScanBySurvivorCount(b *testing.B) {
+	const rows, k = 131072, 64
+	ds, store := benchStore(rows, k)
+	per := int64(rows / k)
+	for _, nsurv := range []int{1, 4, 16, 64} {
+		q := query.Query{Preds: []query.Predicate{
+			query.IntRange("ts", 0, per*int64(nsurv)-1),
+		}}
+		ids, _ := prune.Compile(ds.Schema(), q).Survivors(store.Partitioning())
+		if len(ids) != nsurv {
+			b.Fatalf("expected %d survivors, got %d", nsurv, len(ids))
+		}
+		aggs := []AggSpec{{Op: AggCount}, {Op: AggSum, Col: "val"}}
+		b.Run(fmt.Sprintf("survivors=%d", nsurv), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := store.Scan(q, ids, aggs, Options{})
+				if err != nil || res.Matched != int(per)*nsurv {
+					b.Fatalf("scan: %v (matched %d)", err, res.Matched)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanByPartitionCount fixes the survivor row mass (1/16 of
+// the table) while the total partition count grows 64 → 1024: executed
+// time must stay flat, pinning that cost follows data read, not
+// partitions that exist.
+func BenchmarkScanByPartitionCount(b *testing.B) {
+	const rows = 131072
+	for _, k := range []int{64, 256, 1024} {
+		ds, store := benchStore(rows, k)
+		q := query.Query{Preds: []query.Predicate{
+			query.IntRange("ts", 0, rows/16-1),
+		}}
+		ids, _ := prune.Compile(ds.Schema(), q).Survivors(store.Partitioning())
+		b.Run(fmt.Sprintf("partitions=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := store.Scan(q, ids, nil, Options{})
+				if err != nil || res.Matched != rows/16 {
+					b.Fatalf("scan: %v (matched %d)", err, res.Matched)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRebuild measures what a reorganization costs the
+// decision consumer: a full per-partition rematerialization.
+func BenchmarkStoreRebuild(b *testing.B) {
+	const rows, k = 131072, 64
+	ds, store := benchStore(rows, k)
+	part := store.Partitioning()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewStore(ds, part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package exec is OREO's execution layer: the component that finally
+// *reads data*. Everything below it — the cost model, the compiled
+// pruning engine, the serving layer's survivor skip-lists — reasons
+// about which partitions a scan may skip; this package materializes the
+// actual rows arranged per layout and executes scans that read only the
+// partitions a skip-list names, re-checking every predicate per row.
+//
+// A Store holds one column-major block per partition: the dataset's
+// rows regrouped by the partitioning's row→partition assignment, each
+// block a small columnar table of its partition's rows. Stores are
+// immutable once built and cheap to share; when the optimizer
+// reorganizes into a new layout the owner builds a fresh Store from the
+// same dataset and atomically swaps it in (internal/serve does exactly
+// this, in lockstep with its optimizer snapshots).
+//
+// Scan is the paper's premise made observable: the survivor skip-list
+// bounds the partitions touched (c(s, q) is exactly the fraction of
+// rows examined), while the per-row predicate re-check filters the
+// false positives metadata pruning necessarily admits. False negatives
+// are impossible to hide: a partition wrongly pruned upstream would
+// change the result set, which is what the pruned-scan ≡ full-scan
+// property tests in this package pin down, bitwise.
+package exec
+
+import (
+	"fmt"
+
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// Store is a dataset materialized per partitioning: one column-major
+// block per partition. Immutable after NewStore and safe for concurrent
+// use.
+type Store struct {
+	schema *table.Schema
+	part   *table.Partitioning
+	// blocks holds each partition's rows as its own columnar table,
+	// indexed by partition ID. Empty partitions hold zero-row blocks.
+	blocks []*table.Dataset
+	// rowIDs maps each block row back to its original dataset row index,
+	// ascending within a block (blocks preserve dataset order).
+	rowIDs [][]int
+}
+
+// NewStore materializes the dataset's rows into per-partition blocks
+// following the partitioning's assignment. The partitioning must cover
+// the dataset (same row count); partition IDs were already validated by
+// table.BuildPartitioning.
+func NewStore(ds *table.Dataset, part *table.Partitioning) (*Store, error) {
+	if len(part.Assign) != ds.NumRows() {
+		return nil, fmt.Errorf("exec: partitioning covers %d rows, dataset has %d",
+			len(part.Assign), ds.NumRows())
+	}
+	schema := ds.Schema()
+	k := part.NumPartitions
+	// First pass groups row indices by partition, second bulk-copies
+	// each group column by column (Builder.AppendRows) — no per-cell
+	// boxing or re-validation, since every block shares the dataset's
+	// schema. Rebuilds run on a serve shard's decision goroutine after
+	// every reorganization, so this path stays O(cells) with small
+	// constants.
+	rowIDs := make([][]int, k)
+	for pid := 0; pid < k; pid++ {
+		rowIDs[pid] = make([]int, 0, part.RowsInPartition(pid))
+	}
+	for r, pid := range part.Assign {
+		rowIDs[pid] = append(rowIDs[pid], r)
+	}
+	s := &Store{
+		schema: schema,
+		part:   part,
+		blocks: make([]*table.Dataset, k),
+		rowIDs: rowIDs,
+	}
+	for pid := 0; pid < k; pid++ {
+		b := table.NewBuilder(schema, len(rowIDs[pid]))
+		b.AppendRows(ds, rowIDs[pid])
+		s.blocks[pid] = b.Build()
+	}
+	return s, nil
+}
+
+// MustNewStore is NewStore that panics on error, for partitionings
+// known to match their dataset.
+func MustNewStore(ds *table.Dataset, part *table.Partitioning) *Store {
+	s, err := NewStore(ds, part)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Schema returns the schema the store's blocks share.
+func (s *Store) Schema() *table.Schema { return s.schema }
+
+// Partitioning returns the partitioning the store was arranged by.
+func (s *Store) Partitioning() *table.Partitioning { return s.part }
+
+// NumPartitions returns the number of blocks.
+func (s *Store) NumPartitions() int { return len(s.blocks) }
+
+// TotalRows returns the number of rows across all blocks.
+func (s *Store) TotalRows() int { return s.part.TotalRows }
+
+// Block returns partition pid's rows as a columnar table (read-only).
+func (s *Store) Block(pid int) *table.Dataset { return s.blocks[pid] }
+
+// AllPartitions returns the ascending list of every partition ID — the
+// survivor list of a full scan.
+func (s *Store) AllPartitions() []int {
+	ids := make([]int, len(s.blocks))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// Options tunes a Scan.
+type Options struct {
+	// CollectRows returns the matched rows' original dataset indices in
+	// Result.RowIDs. Rows are emitted in (partition, row) visit order:
+	// ascending within a block, blocks in skip-list order. Because
+	// skip-lists are ascending and a skipped partition contributes no
+	// matches, a pruned scan and a full scan emit the *same sequence*,
+	// which is what the equality property tests compare.
+	CollectRows bool
+}
+
+// Result is one scan's outcome.
+type Result struct {
+	// Matched counts the rows satisfying every predicate.
+	Matched int
+	// PartitionsRead is the number of blocks visited (the skip-list's
+	// length), and RowsExamined the rows they hold — RowsExamined over
+	// the table size is exactly the service cost c(s, q) the optimizer
+	// predicted for the skip-list.
+	PartitionsRead int
+	RowsExamined   int
+	// Aggs holds one result per requested aggregate, in request order.
+	Aggs []AggValue
+	// RowIDs holds the matched rows' original dataset indices when
+	// Options.CollectRows is set; nil otherwise.
+	RowIDs []int
+}
+
+// Scan executes the query over exactly the listed partitions: each
+// block named by survivors is read in full and every row is re-checked
+// against the query's predicates (row semantics identical to
+// query.Query.MatchRow), so partitions the metadata admitted wrongly
+// are filtered out row by row. survivors must be strictly ascending
+// partition IDs within range — the shape Decision.SurvivorPartitions
+// produces — so accidental duplicates fail loudly instead of
+// double-counting. The query is bound against the schema once; unknown
+// columns or type-mismatched predicates match no rows, exactly as
+// MatchRow treats them.
+func (s *Store) Scan(q query.Query, survivors []int, aggs []AggSpec, opts Options) (Result, error) {
+	accs, err := bindAggs(s.schema, aggs)
+	if err != nil {
+		return Result{}, err
+	}
+	prev := -1
+	for _, pid := range survivors {
+		if pid < 0 || pid >= len(s.blocks) {
+			return Result{}, fmt.Errorf("exec: survivor partition %d out of range [0,%d)", pid, len(s.blocks))
+		}
+		if pid <= prev {
+			return Result{}, fmt.Errorf("exec: survivor list not strictly ascending at partition %d", pid)
+		}
+		prev = pid
+	}
+
+	f := bindFilter(s.schema, q)
+	var res Result
+	if opts.CollectRows {
+		res.RowIDs = []int{}
+	}
+	for _, pid := range survivors {
+		blk := s.blocks[pid]
+		n := blk.NumRows()
+		res.PartitionsRead++
+		res.RowsExamined += n
+		if f.never {
+			continue
+		}
+		ids := s.rowIDs[pid]
+		for r := 0; r < n; r++ {
+			if !f.match(blk, r) {
+				continue
+			}
+			res.Matched++
+			for i := range accs {
+				accs[i].add(blk, r)
+			}
+			if opts.CollectRows {
+				res.RowIDs = append(res.RowIDs, ids[r])
+			}
+		}
+	}
+	res.Aggs = make([]AggValue, len(accs))
+	for i := range accs {
+		res.Aggs[i] = accs[i].value()
+	}
+	return res, nil
+}
+
+// ScanFull executes the query over every partition — the reference scan
+// the pruned-scan equality property compares against, and the fallback
+// when no skip-list is available.
+func (s *Store) ScanFull(q query.Query, aggs []AggSpec, opts Options) (Result, error) {
+	return s.Scan(q, s.AllPartitions(), aggs, opts)
+}

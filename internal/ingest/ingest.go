@@ -1,0 +1,230 @@
+// Package ingest loads real datasets into OREO's columnar substrate:
+// CSV files with a header row become typed table.Datasets through
+// schema inference and strict typed parsing, so the serving and
+// execution layers can boot from files instead of synthetic fixtures.
+//
+// Inference follows the substrate's three column kinds with the usual
+// widening ladder: a column is Int64 while every value parses as an
+// integer, widens to Float64 when some value needs a fraction or
+// exponent, and falls back to String otherwise. Inference reads every
+// row — a CSV that is numeric for a million rows and textual on the
+// last one is a string column, not a parse error at row one million.
+// Every cell is whitespace-trimmed before typing and storage — one
+// policy for the whole file, so space-padded exports behave the same
+// for numeric parsing and string equality.
+// Structural problems (a row with the wrong field count, an empty or
+// header-only file, duplicate column names) are errors with the
+// offending line number, never silent repairs: ingested data feeds cost
+// models and result sets, so a malformed file must fail loudly.
+package ingest
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oreo/internal/table"
+)
+
+// Table is one ingested CSV file.
+type Table struct {
+	// Name is the table's name: the file's base name without the .csv
+	// extension.
+	Name string
+	// Dataset holds the typed rows.
+	Dataset *table.Dataset
+	// SortCol suggests the initial-sort column for an optimizer over
+	// this table: the first Int64 column (typically an arrival-time or
+	// sequence column), else the first Float64 column, else the first
+	// column. Never empty.
+	SortCol string
+}
+
+// LoadFile ingests one CSV file.
+func LoadFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	t, err := Load(f, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// LoadDir ingests every *.csv file in the directory (sorted by name,
+// so table registration order is deterministic). A directory with no
+// CSV files is an error: a server booted on it would serve nothing.
+func LoadDir(dir string) ([]*Table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("ingest: no .csv files in %s", dir)
+	}
+	tables := make([]*Table, 0, len(paths))
+	for _, p := range paths {
+		t, err := LoadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Load ingests CSV content from a reader as the named table. The first
+// record is the header; every later record is one row and must have the
+// header's field count (the csv reader reports violations with their
+// line number).
+func Load(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false // records are retained across the inference pass
+
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("ingest: empty file (no header row)")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading header: %w", err)
+	}
+	seen := make(map[string]bool, len(header))
+	for i, col := range header {
+		// The same whitespace policy as the data cells below: a padded
+		// header ("order_ts, amount") must yield the column name a
+		// client will actually query, not " amount".
+		col = strings.TrimSpace(col)
+		header[i] = col
+		if col == "" {
+			return nil, fmt.Errorf("ingest: header column %d is empty", i)
+		}
+		if seen[col] {
+			return nil, fmt.Errorf("ingest: duplicate header column %q", col)
+		}
+		seen[col] = true
+	}
+
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Wrong field counts and quoting errors land here, carrying
+			// the offending line number (csv.ParseError).
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+		// One whitespace policy for the whole file: every cell is
+		// trimmed once, here, so type inference, numeric parsing, and
+		// stored string values all see the same bytes. (Without this, a
+		// space-padded file would parse its numerics fine — those trim
+		// before strconv — while string equality silently missed every
+		// padded value.)
+		for i := range rec {
+			rec[i] = strings.TrimSpace(rec[i])
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ingest: no data rows (header only)")
+	}
+
+	schema := inferSchema(header, rows)
+	b := table.NewBuilder(schema, len(rows))
+	vals := make([]table.Value, len(header))
+	for _, rec := range rows {
+		for c := range rec {
+			// Parses cannot fail: inference already proved every value of
+			// the column fits its inferred type.
+			switch schema.Col(c).Type {
+			case table.Int64:
+				v, _ := strconv.ParseInt(rec[c], 10, 64)
+				vals[c] = table.Int(v)
+			case table.Float64:
+				v, _ := strconv.ParseFloat(rec[c], 64)
+				vals[c] = table.Float(v)
+			case table.String:
+				vals[c] = table.Str(rec[c])
+			}
+		}
+		b.AppendRow(vals...)
+	}
+
+	return &Table{Name: name, Dataset: b.Build(), SortCol: sortColumn(schema)}, nil
+}
+
+// maxExactFloatInt is the largest integer magnitude float64 represents
+// exactly (2^53). A column forced to widen past it must not round
+// values silently.
+const maxExactFloatInt = 1 << 53
+
+// inferSchema types each column by the widest value it holds:
+// Int64 ⊂ Float64 ⊂ String. The float widening refuses to be lossy: if
+// a column that widened to Float64 holds an integer cell beyond 2^53,
+// storing it as a float would silently round the file's contents (and
+// every range predicate and aggregate over them), so the column falls
+// back to String — exact values with equality queries beat approximate
+// numerics nobody asked for.
+func inferSchema(header []string, rows [][]string) *table.Schema {
+	cols := make([]table.Column, len(header))
+	for c, name := range header {
+		typ := table.Int64
+		for _, rec := range rows {
+			v := rec[c]
+			if typ == table.Int64 {
+				if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+					continue
+				}
+				typ = table.Float64
+			}
+			if typ == table.Float64 {
+				if _, err := strconv.ParseFloat(v, 64); err == nil {
+					continue
+				}
+				typ = table.String
+				break
+			}
+		}
+		if typ == table.Float64 {
+			for _, rec := range rows {
+				i, err := strconv.ParseInt(rec[c], 10, 64)
+				if err == nil && i >= -maxExactFloatInt && i <= maxExactFloatInt {
+					continue
+				}
+				if err != nil && !errors.Is(err, strconv.ErrRange) {
+					continue // genuinely float-shaped ("1.5", "1e300")
+				}
+				// Integer-shaped but above 2^53 (ErrRange means beyond
+				// int64 entirely — rounded even harder as a float).
+				typ = table.String
+				break
+			}
+		}
+		cols[c] = table.Column{Name: name, Type: typ}
+	}
+	return table.NewSchema(cols...)
+}
+
+// sortColumn picks the Table.SortCol suggestion; see its doc.
+func sortColumn(schema *table.Schema) string {
+	for _, want := range []table.ColType{table.Int64, table.Float64} {
+		for i := 0; i < schema.NumCols(); i++ {
+			if schema.Col(i).Type == want {
+				return schema.Col(i).Name
+			}
+		}
+	}
+	return schema.Col(0).Name
+}

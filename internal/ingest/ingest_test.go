@@ -1,0 +1,234 @@
+package ingest
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oreo/internal/table"
+)
+
+func load(t *testing.T, csv string) (*Table, error) {
+	t.Helper()
+	return Load(strings.NewReader(csv), "t")
+}
+
+func mustLoad(t *testing.T, csv string) *Table {
+	t.Helper()
+	tab, err := load(t, csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestLoadTypedRoundTrip(t *testing.T) {
+	tab := mustLoad(t, strings.Join([]string{
+		"order_ts,status,amount",
+		"100,pending,12.5",
+		"-3,delivered,0.25",
+		"42,cancelled,1e3",
+		"7, pending ,-4.5", // padded cells trim uniformly, strings included
+	}, "\n"))
+
+	ds := tab.Dataset
+	schema := ds.Schema()
+	wantTypes := map[string]table.ColType{
+		"order_ts": table.Int64, "status": table.String, "amount": table.Float64,
+	}
+	for name, want := range wantTypes {
+		ci, ok := schema.Index(name)
+		if !ok || schema.Col(ci).Type != want {
+			t.Fatalf("column %s inferred as %v, want %v", name, schema.Col(ci).Type, want)
+		}
+	}
+	if ds.NumRows() != 4 {
+		t.Fatalf("loaded %d rows, want 4", ds.NumRows())
+	}
+	tsCol := schema.MustIndex("order_ts")
+	if got := []int64{ds.Int64At(tsCol, 0), ds.Int64At(tsCol, 1), ds.Int64At(tsCol, 2), ds.Int64At(tsCol, 3)}; got[1] != -3 || got[3] != 7 {
+		t.Fatalf("int column = %v", got)
+	}
+	amtCol := schema.MustIndex("amount")
+	if ds.Float64At(amtCol, 2) != 1000 || ds.Float64At(amtCol, 3) != -4.5 {
+		t.Fatalf("float column row 2/3 = %v/%v", ds.Float64At(amtCol, 2), ds.Float64At(amtCol, 3))
+	}
+	// One whitespace policy: the padded string cell trims exactly like
+	// the numerics on the same row, so equality predicates match it.
+	stCol := schema.MustIndex("status")
+	if ds.StringAt(stCol, 3) != "pending" {
+		t.Fatalf("padded string cell = %q, want \"pending\"", ds.StringAt(stCol, 3))
+	}
+	if tab.SortCol != "order_ts" {
+		t.Fatalf("sort col %q, want order_ts (first int column)", tab.SortCol)
+	}
+}
+
+func TestInferenceWidening(t *testing.T) {
+	// A column that is integer for a while then needs a fraction widens
+	// to float; one that then fails float falls back to string — even if
+	// the offender is the last row.
+	tab := mustLoad(t, strings.Join([]string{
+		"a,b,c",
+		"1,1,1",
+		"2,2.5,2",
+		"3,3,oops",
+	}, "\n"))
+	schema := tab.Dataset.Schema()
+	for name, want := range map[string]table.ColType{
+		"a": table.Int64, "b": table.Float64, "c": table.String,
+	} {
+		ci, _ := schema.Index(name)
+		if schema.Col(ci).Type != want {
+			t.Errorf("column %s inferred %v, want %v", name, schema.Col(ci).Type, want)
+		}
+	}
+	// Integer-valued cells of a widened column parse as floats.
+	if got := tab.Dataset.Float64At(schema.MustIndex("b"), 0); got != 1 {
+		t.Errorf("widened cell = %v, want 1", got)
+	}
+	// The string column keeps the numeric-looking originals verbatim.
+	if got := tab.Dataset.StringAt(schema.MustIndex("c"), 0); got != "1" {
+		t.Errorf("string cell = %q, want \"1\"", got)
+	}
+}
+
+func TestWideningRefusesPrecisionLoss(t *testing.T) {
+	// A column holding an integer beyond 2^53 that is forced to widen
+	// (one fractional cell) must become String, not a float64 that
+	// silently rounds the big value.
+	tab := mustLoad(t, "id,ok\n9007199254740993,1\n1.5,2\n")
+	schema := tab.Dataset.Schema()
+	if got := schema.Col(schema.MustIndex("id")).Type; got != table.String {
+		t.Fatalf("lossy widening: id inferred %v, want string", got)
+	}
+	if tab.Dataset.StringAt(schema.MustIndex("id"), 0) != "9007199254740993" {
+		t.Fatalf("big integer not preserved: %q", tab.Dataset.StringAt(schema.MustIndex("id"), 0))
+	}
+	// Without the fractional cell the column stays Int64 — 2^53 is no
+	// limit for the integer type itself.
+	tab = mustLoad(t, "id\n9007199254740993\n7\n")
+	schema = tab.Dataset.Schema()
+	if got := schema.Col(0).Type; got != table.Int64 {
+		t.Fatalf("pure integer column inferred %v, want int64", got)
+	}
+	if tab.Dataset.Int64At(0, 0) != 9007199254740993 {
+		t.Fatalf("big integer = %d", tab.Dataset.Int64At(0, 0))
+	}
+	// Integer-shaped cells beyond int64 entirely (2^63+1) trip the same
+	// guard: ParseInt fails with ErrRange there, and a float64 would
+	// round them even harder.
+	tab = mustLoad(t, "id\n9223372036854775809\n1\n")
+	if got := tab.Dataset.Schema().Col(0).Type; got != table.String {
+		t.Fatalf("beyond-int64 integer column inferred %v, want string", got)
+	}
+	if tab.Dataset.StringAt(0, 0) != "9223372036854775809" {
+		t.Fatalf("beyond-int64 integer not preserved: %q", tab.Dataset.StringAt(0, 0))
+	}
+	// Small-integer columns still widen to float64 as before, and
+	// genuinely float-shaped big values ("1e300") stay float.
+	tab = mustLoad(t, "v\n3\n1.5\n1e300\n")
+	if got := tab.Dataset.Schema().Col(0).Type; got != table.Float64 {
+		t.Fatalf("small mixed column inferred %v, want float64", got)
+	}
+}
+
+func TestPaddedHeaderTrims(t *testing.T) {
+	// Header cells follow the same whitespace policy as data cells: a
+	// space-padded export must yield queryable column names.
+	tab := mustLoad(t, "order_ts, amount\n1, 2.5\n2, 5.0\n")
+	schema := tab.Dataset.Schema()
+	if _, ok := schema.Index("amount"); !ok {
+		t.Fatalf("padded header not trimmed: columns %v", schema.Names())
+	}
+	// Padding must not mask a duplicate.
+	if _, err := load(t, "a, a\n1,2\n"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("padded duplicate header: %v", err)
+	}
+}
+
+func TestSortColFallbacks(t *testing.T) {
+	if tab := mustLoad(t, "price,tag\n1.5,x\n2.5,y"); tab.SortCol != "price" {
+		t.Errorf("no int column: sort col %q, want first float", tab.SortCol)
+	}
+	if tab := mustLoad(t, "tag,other\nx,y\na,b"); tab.SortCol != "tag" {
+		t.Errorf("all strings: sort col %q, want first column", tab.SortCol)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name, csv, wantErr string
+	}{
+		{"empty file", "", "empty file"},
+		{"header only", "a,b\n", "no data rows"},
+		{"short row", "a,b,c\n1,2,3\n4,5\n", "line 3"},
+		{"long row", "a,b\n1,2\n3,4,5\n", "line 3"},
+		{"bare quote", "a,b\n\"x,2\ny\",3\n\"broken,4", "parse error"},
+		{"duplicate header", "a,a\n1,2\n", "duplicate header"},
+		{"empty header column", "a,\n1,2\n", "header column 1 is empty"},
+	}
+	for _, tc := range cases {
+		_, err := load(t, tc.csv)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	// ParseFloat admits NaN/Inf spellings; they must land as those
+	// values, not demote the column to string.
+	tab := mustLoad(t, "v\n1.5\nNaN\n+Inf\n")
+	schema := tab.Dataset.Schema()
+	if schema.Col(0).Type != table.Float64 {
+		t.Fatalf("column inferred %v, want float64", schema.Col(0).Type)
+	}
+	if !math.IsNaN(tab.Dataset.Float64At(0, 1)) || !math.IsInf(tab.Dataset.Float64At(0, 2), 1) {
+		t.Fatalf("special values = %v, %v", tab.Dataset.Float64At(0, 1), tab.Dataset.Float64At(0, 2))
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("orders.csv", "order_ts,amount\n1,2.5\n2,5.0\n")
+	write("events.csv", "ts,user\n10,alice\n20,bob\n")
+	write("notes.txt", "not a table")
+
+	tables, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("loaded %d tables, want 2", len(tables))
+	}
+	// Sorted by file name: events before orders.
+	if tables[0].Name != "events" || tables[1].Name != "orders" {
+		t.Fatalf("table order = %s, %s", tables[0].Name, tables[1].Name)
+	}
+	if tables[0].Dataset.NumRows() != 2 || tables[0].SortCol != "ts" {
+		t.Fatalf("events = %d rows sort %q", tables[0].Dataset.NumRows(), tables[0].SortCol)
+	}
+
+	// A directory with no CSVs is an error, not an empty server.
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+	// A broken file fails the whole load, with the path in the error.
+	write("bad.csv", "a,b\n1\n")
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "bad.csv") {
+		t.Errorf("broken file error = %v", err)
+	}
+}

@@ -89,10 +89,23 @@ func (l *Layout) CostCompiled(cq *prune.CompiledQuery) float64 {
 // equal to Cost(q); the evaluation also warms the layout's cost memo.
 func (l *Layout) CostSurvivors(q query.Query) (float64, []int) {
 	if l.eng == nil {
-		ids, c := prune.Compile(l.schema, q).Survivors(l.Part)
-		return c, ids
+		// Hand-built Layout literal (tests): the memo-free path is the
+		// whole evaluation.
+		return l.CostSurvivorsSnapshot(q)
 	}
 	return l.eng.CostSurvivors(q)
+}
+
+// CostSurvivorsSnapshot is CostSurvivors evaluated memo-free: it
+// compiles against the schema and sweeps the partitioning's immutable
+// statistics block without ever touching the layout's shared cost memo,
+// so concurrent readers holding the layout (serving snapshots, the
+// execution layer's store states) scale with cores instead of
+// serializing on the memo lock. The cost and skip-list are bit-for-bit
+// equal to CostSurvivors.
+func (l *Layout) CostSurvivorsSnapshot(q query.Query) (float64, []int) {
+	ids, c := prune.Compile(l.schema, q).Survivors(l.Part)
+	return c, ids
 }
 
 // CostSurvivorsCompiled is CostSurvivors for a pre-compiled query. A

@@ -169,11 +169,17 @@ func (p Predicate) MatchRow(d *table.Dataset, r int) bool {
 		}
 		return p.IsNumeric()
 	case table.Float64:
+		// Bounds must hold affirmatively: a NaN cell satisfies neither
+		// v >= lo nor v <= hi, so it never matches a bounded predicate.
+		// (The naive `v < lo → reject` structure would let NaN slip
+		// through every range — including contradictory ones — and make
+		// metadata pruning unsound, since partition min/max are folded
+		// from the finite values only.)
 		v := d.Float64At(ci, r)
-		if p.HasLo && v < p.LoF {
+		if p.HasLo && !(v >= p.LoF) {
 			return false
 		}
-		if p.HasHi && v > p.HiF {
+		if p.HasHi && !(v <= p.HiF) {
 			return false
 		}
 		return p.IsNumeric()

@@ -13,11 +13,23 @@
 // layout generation in progress; under overload, observations are
 // sampled (and counted) instead of applying backpressure to queries.
 //
+// With "execute": true a query request goes past costing: each shard
+// keeps an execution store (internal/exec) — the table's rows
+// materialized into one columnar block per partition of the serving
+// layout, built lazily on the first execute request so costing-only
+// deployments never pay for it — snapshot-swapped by the decision
+// consumer in lockstep with the optimizer snapshot whenever a
+// reorganization lands. The request
+// scans exactly the survivor partitions, re-checks predicates per row,
+// and returns matched-row counts plus requested aggregates (count, sum,
+// min, max) next to the cost, closing the loop the cost model predicts.
+//
 // Endpoints:
 //
 //	POST /v1/query                  predicates in → cost, decision state,
 //	                                and the survivor partition skip-list,
-//	                                per affected table
+//	                                per affected table; "execute" adds
+//	                                row counts and aggregates
 //	POST /v1/query/batch            the same for many queries in one round
 //	                                trip, with per-item (partial) failures
 //	GET  /v1/tables                 registered tables
@@ -33,17 +45,25 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 
 	"oreo"
+	"oreo/internal/exec"
 )
 
 // DefaultQueueSize bounds each shard's observation queue when Config
 // leaves it zero. One window's worth of headroom per the paper's
 // defaults, times a safety factor for bursts.
 const DefaultQueueSize = 1024
+
+// DefaultMaxBodyBytes caps request bodies when Config leaves
+// MaxBodyBytes zero. 1 MiB holds tens of thousands of wire predicates —
+// far beyond any legitimate batch — while keeping a single hostile
+// client from buffering unbounded JSON into server memory.
+const DefaultMaxBodyBytes = 1 << 20
 
 // Config parameterizes a Server.
 type Config struct {
@@ -52,15 +72,21 @@ type Config struct {
 	// queries are answered normally but sampled out of reorganization
 	// decisions (the Dropped metric counts them).
 	QueueSize int
+	// MaxBodyBytes caps each request body; oversized requests are
+	// answered 413 with the standard error shape. Zero selects
+	// DefaultMaxBodyBytes; negative disables the cap (trusted
+	// single-tenant deployments only).
+	MaxBodyBytes int64
 }
 
 // Server shards a MultiOptimizer's tables behind an HTTP API. Construct
 // with New, mount Handler, and Close on shutdown.
 type Server struct {
-	multi  *oreo.MultiOptimizer
-	names  []string
-	shards map[string]*shard
-	mux    *http.ServeMux
+	multi   *oreo.MultiOptimizer
+	names   []string
+	shards  map[string]*shard
+	mux     *http.ServeMux
+	maxBody int64
 }
 
 // New builds a server over the registered tables. The MultiOptimizer
@@ -77,11 +103,15 @@ func New(m *oreo.MultiOptimizer, cfg Config) (*Server, error) {
 	if cfg.QueueSize < 0 {
 		return nil, fmt.Errorf("serve: QueueSize must be positive, got %d", cfg.QueueSize)
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	s := &Server{
-		multi:  m,
-		names:  names,
-		shards: make(map[string]*shard, len(names)),
-		mux:    http.NewServeMux(),
+		multi:   m,
+		names:   names,
+		shards:  make(map[string]*shard, len(names)),
+		mux:     http.NewServeMux(),
+		maxBody: cfg.MaxBodyBytes,
 	}
 	for _, name := range names {
 		s.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize)
@@ -126,6 +156,9 @@ func (s *Server) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
 // schema; with routing, every predicate must land on at least one
 // table. Violations are client errors, not silent drops — a serving
 // API must not quietly answer a different question than it was asked.
+// The same discipline applies to execution aggregates: a requested
+// aggregate whose column no queried table has is an error, never a
+// silently missing result.
 func (s *Server) answer(req QueryRequest) ([]TableResult, int, error) {
 	q, err := decodeQuery(req)
 	if err != nil {
@@ -138,6 +171,15 @@ func (s *Server) answer(req QueryRequest) ([]TableResult, int, error) {
 		// client bug. Reject it in both addressing modes.
 		return nil, http.StatusBadRequest, fmt.Errorf("query has no predicates")
 	}
+	var aggs []exec.AggSpec
+	if req.Execute {
+		if aggs, err = decodeAggs(req.Aggs); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	} else if len(req.Aggs) > 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("aggs require execute")
+	}
+
 	if req.Table != "" {
 		sh, ok := s.shards[req.Table]
 		if !ok {
@@ -149,12 +191,26 @@ func (s *Server) answer(req QueryRequest) ([]TableResult, int, error) {
 				return nil, http.StatusBadRequest, fmt.Errorf("table %q has no column %q", req.Table, p.Col)
 			}
 		}
-		return []TableResult{sh.serveQuery(q)}, http.StatusOK, nil
+		if !req.Execute {
+			return []TableResult{sh.serveQuery(q)}, http.StatusOK, nil
+		}
+		res, err := sh.serveExecute(q, aggs)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return []TableResult{res}, http.StatusOK, nil
 	}
 
 	routed, unrouted := s.multi.Route(q)
 	if len(unrouted) > 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("no table has column %q", unrouted[0])
+	}
+	var perTableAggs map[string][]exec.AggSpec
+	if req.Execute {
+		var err error
+		if perTableAggs, err = s.routeAggs(aggs, routed); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
 	}
 	out := make([]TableResult, 0, len(routed))
 	for _, name := range s.names {
@@ -162,15 +218,81 @@ func (s *Server) answer(req QueryRequest) ([]TableResult, int, error) {
 		if !touched {
 			continue
 		}
-		out = append(out, s.shards[name].serveQuery(sub))
+		sh := s.shards[name]
+		if !req.Execute {
+			out = append(out, sh.serveQuery(sub))
+			continue
+		}
+		res, err := sh.serveExecute(sub, perTableAggs[name])
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		out = append(out, res)
 	}
 	return out, http.StatusOK, nil
 }
 
+// routeAggs narrows the aggregates to each queried table (counts apply
+// everywhere, column aggregates only where the column exists) and
+// validates the whole routing: every column-bearing aggregate must land
+// on at least one queried table (mirroring the unrouted-predicate rule)
+// and each narrowed list must be legal for its table's schema. Running
+// the full validation up front means a bad aggregate fails the request
+// before *any* shard has executed, counted, or fed its decision loop —
+// partial side effects on a 400 would skew metrics and teach the
+// optimizer from a query that was never answered.
+func (s *Server) routeAggs(aggs []exec.AggSpec, routed map[string]oreo.Query) (map[string][]exec.AggSpec, error) {
+	perTable := make(map[string][]exec.AggSpec, len(routed))
+	landed := make([]bool, len(aggs))
+	for name := range routed {
+		schema := s.shards[name].ds.Schema()
+		narrowed := make([]exec.AggSpec, 0, len(aggs))
+		for i, a := range aggs {
+			if a.Op != exec.AggCount {
+				if _, ok := schema.Index(a.Col); !ok {
+					continue
+				}
+			}
+			narrowed = append(narrowed, a)
+			landed[i] = true
+		}
+		if err := exec.ValidateAggs(schema, narrowed); err != nil {
+			return nil, err
+		}
+		perTable[name] = narrowed
+	}
+	for i, ok := range landed {
+		if !ok {
+			return nil, fmt.Errorf("no queried table has aggregate column %q", aggs[i].Col)
+		}
+	}
+	return perTable, nil
+}
+
+// decodeBody decodes a JSON request body under the configured size cap,
+// writing the error response itself on failure. An oversized body is
+// 413 with the standard error shape; everything else malformed is 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	results, status, err := s.answer(req)
@@ -183,8 +305,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -193,7 +314,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Results: make([]BatchItem, 0, len(req.Queries))}
 	for i, qr := range req.Queries {
-		item := BatchItem{Index: i}
+		item := BatchItem{Index: i, ID: qr.ID}
 		results, _, err := s.answer(qr)
 		if err != nil {
 			item.Error = err.Error()
@@ -240,19 +361,36 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	total := 0
 	names := append([]string(nil), s.names...)
 	sort.Strings(names)
+	resp := HealthResponse{Status: "ok", Tables: names}
 	for _, name := range names {
-		total += s.shards[name].copt.Stats().Queries
+		sh := s.shards[name]
+		// Shard counters are the serving truth: they count every
+		// answered request, including the ones overload sampled out of
+		// the decision loop. The decision-loop total (Queries) is kept
+		// alongside, explicitly labeled — summing only it undercounts
+		// under load, the exact bug this endpoint used to have.
+		resp.Served += sh.served.Load()
+		resp.Observed += sh.observed.Load()
+		resp.Dropped += sh.dropped.Load()
+		resp.Queries += sh.copt.Stats().Queries
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Tables: names, Queries: total})
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// writeJSON marshals before writing the status line, so an
+// unencodable value becomes an honest 500 instead of an empty body
+// under an already-committed 200.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, status = []byte(`{"error":"response not encodable"}`), http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	data = append(data, '\n')
+	_, _ = w.Write(data)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

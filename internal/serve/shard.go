@@ -6,26 +6,42 @@ import (
 	"sync/atomic"
 
 	"oreo"
+	"oreo/internal/exec"
 )
 
 // shard is one table's serving unit: a read-mostly optimizer plus the
 // bounded observation queue that decouples request handling from the
 // sequential decision path.
 //
-// The read path (serveQuery) is lock-free: it costs the query and
-// extracts the survivor skip-list against the atomically published
-// layout snapshot, then hands the query to the decision loop through a
-// non-blocking send. The write path is one background consumer goroutine
-// draining the queue into ConcurrentOptimizer.ProcessQuery, so the
-// mutex-serialized decision path never sits on a request's critical
-// path. When the queue is full the query is sampled out of
-// reorganization decisions (counted in dropped) rather than blocking
-// the request — under overload OREO sees a uniform sample of the
-// stream, which its sliding-window machinery is built for.
+// The read path (serveQuery / serveExecute) is lock-free: it costs the
+// query and extracts the survivor skip-list against the atomically
+// published layout snapshot — and, for execute requests, scans the
+// matching execution store — then hands the query to the decision loop
+// through a non-blocking send. The write path is one background
+// consumer goroutine draining the queue into
+// ConcurrentOptimizer.ProcessQuery, so the mutex-serialized decision
+// path never sits on a request's critical path. When the queue is full
+// the query is sampled out of reorganization decisions (counted in
+// dropped) rather than blocking the request — under overload OREO sees
+// a uniform sample of the stream, which its sliding-window machinery is
+// built for.
 type shard struct {
 	table string
 	ds    *oreo.Dataset
 	copt  *oreo.ConcurrentOptimizer
+
+	// store is the execution state: the materialized per-partition row
+	// blocks paired with the exact layout they were arranged by. It is
+	// built lazily by the first execute request (storeMu serializes
+	// that one build), so costing-only deployments never pay the second
+	// copy of the data; once it exists, the consumer rebuilds and swaps
+	// it after each reorganization, in lockstep with the optimizer
+	// snapshot it publishes, so execute requests read a (layout, data)
+	// pair that is always internally consistent — during a swap a
+	// request may execute on the outgoing layout one last time, never
+	// on a torn mix.
+	store   atomic.Pointer[execState]
+	storeMu sync.Mutex
 
 	queue     chan oreo.Query
 	closeOnce sync.Once
@@ -41,6 +57,21 @@ type shard struct {
 	observed atomic.Uint64 // queries enqueued for the decision loop
 	dropped  atomic.Uint64 // queue-full samples
 	costBits atomic.Uint64 // sum of served costs, as float64 bits
+	// compiles counts snapshot compile-and-sweep evaluations served on
+	// the read path — the memo-bypassing complement of the engine's
+	// decision-path hit/miss counters.
+	compiles atomic.Uint64
+	// executions / execRows count row-level scans and the rows they
+	// examined.
+	executions atomic.Uint64
+	execRows   atomic.Uint64
+}
+
+// execState pairs a layout with the execution store materialized for
+// it. Swapped atomically as one unit; see shard.store.
+type execState struct {
+	layout *oreo.Layout
+	store  *exec.Store
 }
 
 func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize int) *shard {
@@ -57,12 +88,43 @@ func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize int)
 
 // consume is the single decision consumer: it drains observed queries
 // into the full OREO decision path, republishing the layout snapshot
-// after each one.
+// after each one and rebuilding the execution store (if one has been
+// materialized) whenever the serving layout changed. The rebuild (a
+// full data rewrite) runs here, on the decision goroutine — it is the
+// physical reorganization cost the optimizer's α models, and it must
+// never land on a request.
 func (s *shard) consume() {
 	defer s.wg.Done()
 	for q := range s.queue {
 		s.copt.ProcessQuery(q)
+		if st := s.store.Load(); st != nil {
+			if cur := s.copt.CurrentLayout(); cur != st.layout {
+				s.store.Store(&execState{layout: cur, store: exec.MustNewStore(s.ds, cur.Part)})
+			}
+		}
 	}
+}
+
+// execStore returns the execution state, materializing it on first use.
+// The build is serialized under storeMu (concurrent first-execute
+// requests wait rather than each copying the table); afterwards loads
+// are lock-free. The state may trail the optimizer's serving layout
+// until the consumer's next rebuild — serveExecute reports that window
+// as an in-flight reorganization — but it is always an internally
+// consistent (layout, data) pair.
+func (s *shard) execStore() *execState {
+	if st := s.store.Load(); st != nil {
+		return st
+	}
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if st := s.store.Load(); st != nil {
+		return st
+	}
+	lay := s.copt.CurrentLayout()
+	st := &execState{layout: lay, store: exec.MustNewStore(s.ds, lay.Part)}
+	s.store.Store(st)
+	return st
 }
 
 // close stops the shard: no further observations are accepted, the
@@ -96,13 +158,9 @@ func (s *shard) observe(q oreo.Query) bool {
 	}
 }
 
-// serveQuery answers one routed query: the lock-free snapshot read path
-// (OptimizerSnapshot.CostQuery) for cost and skip-list, then a
-// non-blocking observation handoff.
-func (s *shard) serveQuery(q oreo.Query) TableResult {
-	snap := s.copt.Snapshot()
-	dec := snap.CostQuery(q)
-
+// record runs the shared read-path bookkeeping — observation handoff
+// and serving counters — and returns whether the query was observed.
+func (s *shard) record(q oreo.Query, cost float64) bool {
 	observed := s.observe(q)
 	if observed {
 		s.observed.Add(1)
@@ -110,7 +168,18 @@ func (s *shard) serveQuery(q oreo.Query) TableResult {
 		s.dropped.Add(1)
 	}
 	s.served.Add(1)
-	s.addCost(dec.Cost)
+	s.compiles.Add(1)
+	s.addCost(cost)
+	return observed
+}
+
+// serveQuery answers one routed query: the lock-free snapshot read path
+// (OptimizerSnapshot.CostQuery) for cost and skip-list, then a
+// non-blocking observation handoff.
+func (s *shard) serveQuery(q oreo.Query) TableResult {
+	snap := s.copt.Snapshot()
+	dec := snap.CostQuery(q)
+	observed := s.record(q, dec.Cost)
 
 	res := TableResult{
 		Table:              s.table,
@@ -119,12 +188,71 @@ func (s *shard) serveQuery(q oreo.Query) TableResult {
 		NumPartitions:      dec.Layout.Part.NumPartitions,
 		SurvivorPartitions: dec.SurvivorPartitions(),
 		Observed:           observed,
+		QueryID:            q.ID,
 	}
 	if snap.Pending != nil {
 		res.Reorganizing = true
 		res.PendingLayout = snap.Pending.Name
 	}
 	return res
+}
+
+// serveExecute answers one routed query *and* executes it: cost and
+// skip-list are evaluated against the execution state's layout (not the
+// possibly newer optimizer snapshot, so pruning and data always agree),
+// then the store scans exactly the survivor partitions, re-checking
+// predicates per row and folding the requested aggregates. Errors are
+// client errors (invalid aggregates) and leave every counter untouched.
+func (s *shard) serveExecute(q oreo.Query, aggs []exec.AggSpec) (TableResult, error) {
+	// Validate before materializing: on a cold shard the lazy store
+	// build is a full second copy of the table, and a request that is
+	// going to be rejected must not leave that (permanent) footprint.
+	if err := exec.ValidateAggs(s.ds.Schema(), aggs); err != nil {
+		return TableResult{}, err
+	}
+	st := s.execStore()
+	cost, ids := st.layout.CostSurvivorsSnapshot(q)
+	if ids == nil {
+		ids = []int{}
+	}
+	scan, err := st.store.Scan(q, ids, aggs, exec.Options{})
+	if err != nil {
+		return TableResult{}, err
+	}
+	observed := s.record(q, cost)
+	s.executions.Add(1)
+	s.execRows.Add(uint64(scan.RowsExamined))
+
+	res := TableResult{
+		Table:              s.table,
+		Cost:               cost,
+		Layout:             st.layout.Name,
+		NumPartitions:      st.layout.Part.NumPartitions,
+		SurvivorPartitions: ids,
+		Observed:           observed,
+		QueryID:            q.ID,
+		Execution: &ExecutionJSON{
+			MatchedRows:     scan.Matched,
+			PartitionsRead:  scan.PartitionsRead,
+			PartitionsTotal: st.layout.Part.NumPartitions,
+			RowsExamined:    scan.RowsExamined,
+			RowsTotal:       st.store.TotalRows(),
+			Aggregates:      encodeAggs(scan.Aggs),
+		},
+	}
+	if snap := s.copt.Snapshot(); snap.Pending != nil {
+		res.Reorganizing = true
+		res.PendingLayout = snap.Pending.Name
+	} else if snap.Serving != st.layout {
+		// The optimizer already switched but the store rebuild has not
+		// landed: the physical swap is still in flight, and answers
+		// keep coming from the outgoing layout until it does. Report
+		// that honestly — a monitor polling for "reorganization done"
+		// must not be told done while execution still reads old blocks.
+		res.Reorganizing = true
+		res.PendingLayout = snap.Serving.Name
+	}
+	return res, nil
 }
 
 // addCost accumulates a served cost into the float-bits counter.
@@ -158,12 +286,15 @@ func (s *shard) stats() StatsResponse {
 		MemoMisses:  memo.Misses,
 		MemoEntries: memo.Entries,
 
-		Served:        s.served.Load(),
-		Observed:      s.observed.Load(),
-		Dropped:       s.dropped.Load(),
-		ServedCostSum: math.Float64frombits(s.costBits.Load()),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		Served:            s.served.Load(),
+		Observed:          s.observed.Load(),
+		Dropped:           s.dropped.Load(),
+		ServedCostSum:     math.Float64frombits(s.costBits.Load()),
+		SnapshotCompiles:  s.compiles.Load(),
+		Executions:        s.executions.Load(),
+		ExecutionRowsRead: s.execRows.Load(),
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     cap(s.queue),
 	}
 }
 

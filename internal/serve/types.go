@@ -2,14 +2,23 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"oreo"
+	"oreo/internal/exec"
 )
 
 // PredicateJSON is the wire form of one predicate. It mirrors the
 // query-log encoding in internal/persist: numeric predicates carry both
 // the int64 and float64 bound families and the evaluator selects by the
 // column's schema type, so every constructible predicate round-trips.
+//
+// Clients must therefore populate the family matching the target
+// column's type (or both, as captured logs do): bounds of the other
+// family read as their zero values. This matters most with CSV-booted
+// tables, where one fractional cell legally infers an expected-integer
+// column as float64 — check GET /v1/tables/{t}/layout or the boot log
+// for the inferred types before hand-writing integer-only bounds.
 type PredicateJSON struct {
 	Col   string   `json:"col"`
 	HasLo bool     `json:"has_lo,omitempty"`
@@ -25,10 +34,71 @@ type PredicateJSON struct {
 // batch). Table restricts the query to one registered table; when empty
 // the predicates are routed to every table whose schema contains their
 // column, the multi-table rule of multitable.Route.
+//
+// With Execute set, the server does not stop at the skip-list: it scans
+// the survivor partitions of its materialized per-layout store,
+// re-checks the predicates per row, and returns matched-row counts (and
+// any requested Aggs) in each TableResult.Execution. ID, when set, is
+// echoed back on every result so log-replay clients can correlate
+// answers with their captured queries.
 type QueryRequest struct {
 	Table string          `json:"table,omitempty"`
 	ID    int             `json:"id,omitempty"`
 	Preds []PredicateJSON `json:"preds"`
+	// Execute requests row-level execution against the survivor
+	// partitions in addition to costing.
+	Execute bool `json:"execute,omitempty"`
+	// Aggs are the aggregates to fold over the matched rows; only
+	// consulted when Execute is set. On a routed (table-less) query each
+	// aggregate runs on the queried tables that have its column.
+	Aggs []AggregateJSON `json:"aggs,omitempty"`
+}
+
+// AggregateJSON requests one execution aggregate.
+type AggregateJSON struct {
+	// Op is one of "count", "sum", "min", "max".
+	Op string `json:"op"`
+	// Col names the aggregated column; ignored for "count".
+	Col string `json:"col,omitempty"`
+}
+
+// AggregateResultJSON is one computed aggregate. Type tells which value
+// field carries the result: "int64" → value_i (counts, integer sums and
+// extremes), "float64" → value_f, "string" → value_s.
+//
+// JSON numbers cannot carry NaN or ±Inf, so a non-finite float result
+// (a sum folding a NaN cell, or overflowing) is spelled in value_s —
+// "NaN", "+Inf", or "-Inf" — with value_f zero. Finite results leave
+// value_s empty for float64-typed aggregates.
+type AggregateResultJSON struct {
+	Op  string `json:"op"`
+	Col string `json:"col,omitempty"`
+	// Type is the result type: "int64", "float64", or "string".
+	Type string `json:"type"`
+	// Valid is false for min/max over zero matched rows (no extreme
+	// exists) and for an int64 sum that overflowed (no representable
+	// result); counts are always valid.
+	Valid  bool    `json:"valid"`
+	ValueI int64   `json:"value_i"`
+	ValueF float64 `json:"value_f"`
+	ValueS string  `json:"value_s"`
+}
+
+// ExecutionJSON is the row-level half of an executed query's answer:
+// what a scan over exactly the survivor partitions found. RowsExamined
+// over RowsTotal reproduces the reported Cost — the paper's c(s, q)
+// made observable — while MatchedRows counts the rows that actually
+// satisfied every predicate after the per-row re-check.
+type ExecutionJSON struct {
+	MatchedRows     int `json:"matched_rows"`
+	PartitionsRead  int `json:"partitions_read"`
+	PartitionsTotal int `json:"partitions_total"`
+	RowsExamined    int `json:"rows_examined"`
+	RowsTotal       int `json:"rows_total"`
+	// Aggregates holds one entry per requested aggregate, in request
+	// order (absent aggregates were requested on a column this table
+	// does not have — routed queries only).
+	Aggregates []AggregateResultJSON `json:"aggregates,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/query/batch.
@@ -59,6 +129,14 @@ type TableResult struct {
 	// loop. False means the observation queue was full and the query was
 	// sampled out of reorganization decisions (it was still answered).
 	Observed bool `json:"observed"`
+	// QueryID echoes the request's ID (absent when the request carried
+	// none — an explicit ID of 0 is indistinguishable from no ID, so
+	// replay clients should number from 1).
+	QueryID int `json:"query_id,omitempty"`
+	// Execution reports the row-level scan outcome when the request set
+	// Execute. The scan ran against the store snapshot paired with the
+	// layout named above, reading only SurvivorPartitions.
+	Execution *ExecutionJSON `json:"execution,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /v1/query: one result
@@ -73,7 +151,11 @@ type QueryResponse struct {
 type BatchItem struct {
 	// Index is the query's position in the request, echoed back so
 	// partial failures stay attributable.
-	Index   int           `json:"index"`
+	Index int `json:"index"`
+	// ID echoes the query's wire ID, so clients replaying captured logs
+	// can correlate each answer with its source query even after
+	// reordering (absent when the request carried none).
+	ID      int           `json:"id,omitempty"`
 	Results []TableResult `json:"results,omitempty"`
 	Error   string        `json:"error,omitempty"`
 }
@@ -112,18 +194,34 @@ type StatsResponse struct {
 	Phases           int     `json:"phases"`
 	CompetitiveBound float64 `json:"competitive_bound"`
 
-	// Costing-memo effectiveness for the serving layout.
+	// Costing-memo effectiveness for the serving layout. These count
+	// the *decision path* only: window re-costing, admission checks, and
+	// candidate evaluation inside the background decision loop. The
+	// request read path deliberately bypasses the memo (it compiles
+	// fresh against the immutable snapshot so requests never serialize
+	// on the memo lock) and is counted by SnapshotCompiles instead — in
+	// a serve-only deployment with a quiet decision loop these stay
+	// near zero while SnapshotCompiles tracks the request rate.
 	MemoHits    uint64 `json:"memo_hits"`
 	MemoMisses  uint64 `json:"memo_misses"`
 	MemoEntries int    `json:"memo_entries"`
 
-	// Shard serving metrics.
+	// Shard serving metrics (the request read path).
 	Served        uint64  `json:"served"`
 	Observed      uint64  `json:"observed"`
 	Dropped       uint64  `json:"dropped"`
 	ServedCostSum float64 `json:"served_cost_sum"`
-	QueueDepth    int     `json:"queue_depth"`
-	QueueCapacity int     `json:"queue_capacity"`
+	// SnapshotCompiles counts the lock-free compile-and-sweep
+	// evaluations the read path served against layout snapshots — the
+	// memo-bypassing complement of MemoHits/MemoMisses above.
+	SnapshotCompiles uint64 `json:"snapshot_compiles"`
+	// Executions counts served requests that also ran a row-level scan
+	// over their survivor partitions, and ExecutionRowsRead the rows
+	// those scans examined.
+	Executions        uint64 `json:"executions"`
+	ExecutionRowsRead uint64 `json:"execution_rows_read"`
+	QueueDepth        int    `json:"queue_depth"`
+	QueueCapacity     int    `json:"queue_capacity"`
 }
 
 // TraceEventJSON is one decision-trace event.
@@ -140,10 +238,20 @@ type TraceResponse struct {
 	Events []TraceEventJSON `json:"events"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. The three shard totals
+// are the authoritative serving view: Served counts every answered
+// request, split into Observed (enqueued for the decision loop) and
+// Dropped (sampled out under overload). Queries counts what the
+// decision loops have actually *processed* so far — it trails Observed
+// while queues drain and excludes Dropped entirely, so it understates
+// traffic under load and must not be read as a request count.
 type HealthResponse struct {
 	Status string   `json:"status"`
 	Tables []string `json:"tables"`
+	// Served / Observed / Dropped are summed over all table shards.
+	Served   uint64 `json:"served"`
+	Observed uint64 `json:"observed"`
+	Dropped  uint64 `json:"dropped"`
 	// Queries is the total processed by the decision loops across all
 	// tables (observed queries that have drained, plus any direct use).
 	Queries int `json:"queries"`
@@ -172,6 +280,49 @@ func decodePred(p PredicateJSON) (oreo.Predicate, error) {
 		Col: p.Col, HasLo: p.HasLo, HasHi: p.HasHi,
 		LoI: p.LoI, HiI: p.HiI, LoF: p.LoF, HiF: p.HiF, In: p.In,
 	}, nil
+}
+
+// decodeAggs validates and converts the wire aggregates. Column
+// existence is checked later, against each answering table's schema.
+func decodeAggs(aggs []AggregateJSON) ([]exec.AggSpec, error) {
+	out := make([]exec.AggSpec, 0, len(aggs))
+	for i, a := range aggs {
+		op, err := exec.ParseAggOp(a.Op)
+		if err != nil {
+			return nil, fmt.Errorf("agg %d: %w", i, err)
+		}
+		if op != exec.AggCount && a.Col == "" {
+			return nil, fmt.Errorf("agg %d: %s requires a column", i, op)
+		}
+		out = append(out, exec.AggSpec{Op: op, Col: a.Col})
+	}
+	return out, nil
+}
+
+// encodeAggs converts computed aggregates to their wire form. Non-
+// finite float results are moved into value_s (encoding/json cannot
+// represent them as numbers, and a failed encode after the status line
+// would hand the client an empty 200).
+func encodeAggs(vals []exec.AggValue) []AggregateResultJSON {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]AggregateResultJSON, len(vals))
+	for i, v := range vals {
+		a := AggregateResultJSON{
+			Op: v.Op.String(), Col: v.Col, Type: v.Type.String(),
+			Valid: v.Valid, ValueI: v.I, ValueF: v.F, ValueS: v.S,
+		}
+		if math.IsNaN(a.ValueF) || math.IsInf(a.ValueF, 0) {
+			a.ValueS = fmt.Sprintf("%+g", a.ValueF)
+			if math.IsNaN(a.ValueF) {
+				a.ValueS = "NaN"
+			}
+			a.ValueF = 0
+		}
+		out[i] = a
+	}
+	return out
 }
 
 // decodeQuery converts a request into an oreo.Query, validating every

@@ -135,6 +135,38 @@ func (b *Builder) AppendRow(vals ...Value) {
 	b.numRows++
 }
 
+// AppendRows bulk-appends the rows of d at the given indices. The
+// dataset must have been built over the builder's exact schema; cells
+// are copied column by column from the typed backing slices, skipping
+// the per-cell boxing and re-validation of AppendRow — the fast path
+// for regrouping a dataset's rows (the execution layer rebuilds its
+// per-partition blocks this way on every reorganization).
+func (b *Builder) AppendRows(d *Dataset, rows []int) {
+	if d.schema != b.schema {
+		panic("table: AppendRows across different schemas")
+	}
+	for c := 0; c < b.schema.NumCols(); c++ {
+		switch b.schema.Col(c).Type {
+		case Int64:
+			src := d.ints[c]
+			for _, r := range rows {
+				b.ints[c] = append(b.ints[c], src[r])
+			}
+		case Float64:
+			src := d.floats[c]
+			for _, r := range rows {
+				b.floats[c] = append(b.floats[c], src[r])
+			}
+		case String:
+			src := d.strs[c]
+			for _, r := range rows {
+				b.strs[c] = append(b.strs[c], src[r])
+			}
+		}
+	}
+	b.numRows += len(rows)
+}
+
 // NumRows returns the number of rows appended so far.
 func (b *Builder) NumRows() int { return b.numRows }
 

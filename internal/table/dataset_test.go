@@ -153,3 +153,46 @@ func TestLargeRandomRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendRowsBulkCopy(t *testing.T) {
+	d := buildTestDataset(t, 10)
+	b := NewBuilder(d.Schema(), 4)
+	b.AppendRow(Int(100), Float(50), Str("z"))
+	b.AppendRows(d, []int{7, 2, 2, 9})
+	out := b.Build()
+	if out.NumRows() != 5 {
+		t.Fatalf("NumRows = %d, want 5", out.NumRows())
+	}
+	// Bulk-copied cells match the source rows, in index order, mixed
+	// freely with AppendRow rows.
+	wantIDs := []int64{100, 7, 2, 2, 9}
+	for r, want := range wantIDs {
+		if got := out.Int64At(0, r); got != want {
+			t.Errorf("row %d id = %d, want %d", r, got, want)
+		}
+	}
+	if out.Float64At(1, 1) != 3.5 {
+		t.Errorf("copied float cell = %v, want 3.5", out.Float64At(1, 1))
+	}
+	// String column: each copied row matches its source row (b row r
+	// came from d row wantIDs[r]).
+	for r, src := range []int{7, 2, 2, 9} {
+		if got, want := out.StringAt(2, r+1), d.StringAt(2, src); got != want {
+			t.Errorf("string cell row %d = %q, want %q", r+1, got, want)
+		}
+	}
+
+	// A dataset over a different (even identically shaped) schema must
+	// be rejected: bulk copy trusts the schema pointer.
+	other := NewBuilder(testSchema(), 1)
+	other.AppendRow(Int(1), Float(1), Str("x"))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AppendRows across schemas did not panic")
+			}
+		}()
+		b2 := NewBuilder(d.Schema(), 1)
+		b2.AppendRows(other.Build(), []int{0})
+	}()
+}

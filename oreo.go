@@ -87,6 +87,32 @@
 // with its statistics block and cost memo, so a restarted server
 // resumes on its converged layout with a hot memo.
 //
+// # Execution
+//
+// The execution layer (internal/exec) closes the serving loop: it is
+// where layout decisions finally pay off as bytes not read. An
+// exec.Store materializes the table's rows into one column-major block
+// per partition of a layout; a scan takes a query plus the survivor
+// skip-list, reads exactly the listed blocks, re-checks every predicate
+// per row (row semantics identical to Query.MatchRow), and folds
+// matched rows into counts and aggregates (count, sum, min, max). The
+// fraction of rows a scan examines is exactly the c(s, q) the cost
+// model predicted, and the load-bearing property — enforced by fuzzed
+// tests in internal/exec — is that a scan over only the survivor
+// partitions returns bitwise-identical results to a full scan, across
+// layouts, queries, and reorganizations.
+//
+// The serving layer executes on request: POST /v1/query with
+// "execute": true scans the shard's store and returns matched-row
+// counts and aggregates next to the cost. Each shard's store is
+// rebuilt by its decision consumer whenever a reorganization lands and
+// atomically swapped in lockstep with the optimizer snapshot, so the
+// lock-free read path always sees a consistent (layout, data) pair.
+// Real data comes in through internal/ingest: CSV files with header
+// rows become typed datasets via schema inference (int64 → float64 →
+// string widening), booted by oreoserve -csv DIR — see
+// examples/execution for the loop in miniature.
+//
 // The subpackages under internal/ implement the substrates (columnar
 // tables, query model, the pruning engine, layout generators, the
 // D-UMTS reorganizer, the layout manager, baselines, the experiment
