@@ -1,0 +1,263 @@
+// Package client is the typed Go SDK for OREO's serving API.
+//
+// It speaks both wire surfaces of the server (internal/serve behind
+// cmd/oreoserve): the frozen v1 unary endpoints and the v2 streaming
+// bulk endpoint built for query-log replay. The package imports only
+// the standard library — embedding it pulls in zero OREO internals —
+// and its predicate encoding is exactly the query-log format, so a
+// captured production log is a valid request stream as-is.
+//
+//	c, err := client.New("http://localhost:8080")
+//	results, err := c.Query(ctx, client.Query{
+//		Table: "orders",
+//		Preds: []client.Predicate{client.IntRange("order_ts", 100, 900)},
+//	})
+//
+// For bulk replay, Stream opens one POST /v2/query/stream connection
+// and pipelines NDJSON both ways; Replay drives a whole query slice
+// through it with concurrent send/receive:
+//
+//	items, err := c.Replay(ctx, queries, nil)
+//
+// Failures surface as *APIError carrying the HTTP status and server
+// message; errors.Is(err, client.ErrNotFound) (and ErrInvalid,
+// ErrTooLarge) matches without status-code arithmetic at call sites.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Sentinel errors for errors.Is matching against *APIError answers.
+var (
+	// ErrInvalid matches any 400: malformed predicate shape, unknown
+	// column, empty batch, aggregates without execute.
+	ErrInvalid = errors.New("invalid request")
+	// ErrNotFound matches any 404: unknown table.
+	ErrNotFound = errors.New("not found")
+	// ErrTooLarge matches any 413: request body over the server's cap.
+	ErrTooLarge = errors.New("request too large")
+)
+
+// APIError is a non-2xx server answer, rebuilt from the standard error
+// body. It wraps the matching sentinel so call sites use errors.Is.
+type APIError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Message is the server's error text, verbatim.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server answered %d: %s", e.StatusCode, e.Message)
+}
+
+// Is maps status codes onto the package sentinels, so
+// errors.Is(err, ErrNotFound) works on any error this SDK returns.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrInvalid:
+		return e.StatusCode == http.StatusBadRequest
+	case ErrNotFound:
+		return e.StatusCode == http.StatusNotFound
+	case ErrTooLarge:
+		return e.StatusCode == http.StatusRequestEntityTooLarge
+	}
+	return false
+}
+
+// Client talks to one OREO server. It is safe for concurrent use; all
+// methods honor their context.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// timeouts, transports, instrumentation). The default is a dedicated
+// client with no global timeout — streams are long-lived by design;
+// bound individual calls with their context instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL (scheme + host[:port],
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Query answers one query: per-table cost, survivor skip-list, and —
+// with Execute set — row counts and aggregates.
+func (c *Client) Query(ctx context.Context, q Query) ([]TableResult, error) {
+	var resp struct {
+		Results []TableResult `json:"results"`
+	}
+	if err := c.post(ctx, "/v1/query", q, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Batch answers many queries in one round trip under the server's
+// partial-failure contract: the call fails only if the whole batch
+// does; per-query failures come back in each item's Error.
+func (c *Client) Batch(ctx context.Context, queries []Query) ([]BatchItem, error) {
+	req := struct {
+		Queries []Query `json:"queries"`
+	}{queries}
+	var resp struct {
+		Results []BatchItem `json:"results"`
+	}
+	if err := c.post(ctx, "/v1/query/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Tables lists the served tables in registration order.
+func (c *Client) Tables(ctx context.Context) ([]string, error) {
+	var resp struct {
+		Tables []string `json:"tables"`
+	}
+	if err := c.get(ctx, "/v1/tables", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Layout reports a table's serving layout and partition row counts.
+func (c *Client) Layout(ctx context.Context, table string) (*Layout, error) {
+	var l Layout
+	if err := c.get(ctx, "/v1/tables/"+url.PathEscape(table)+"/layout", &l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// TableStats reports a table's optimizer counters and serving metrics.
+func (c *Client) TableStats(ctx context.Context, table string) (*TableStats, error) {
+	var s TableStats
+	if err := c.get(ctx, "/v1/tables/"+url.PathEscape(table)+"/stats", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Trace reports a table's decision trace (empty unless the server was
+// configured with tracing).
+func (c *Client) Trace(ctx context.Context, table string) (*Trace, error) {
+	var tr Trace
+	if err := c.get(ctx, "/v1/tables/"+url.PathEscape(table)+"/trace", &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Health reports server liveness and cross-table serving totals.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.get(ctx, "/healthz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// LoadTrace parses a query-log / trace file (JSON lines, the
+// internal/persist encoding) into replayable queries. Blank lines are
+// skipped; any malformed line fails loudly with its line number —
+// silently dropping captured queries would bias a replay.
+func LoadTrace(r io.Reader) ([]Query, error) {
+	dec := json.NewDecoder(r)
+	var out []Query
+	for lineNo := 1; ; lineNo++ {
+		// Query-log lines may carry fields a serving request does not
+		// (template identity, for one); they are ignored, not errors.
+		var q struct {
+			ID    int         `json:"id"`
+			Table string      `json:"table,omitempty"`
+			Preds []Predicate `json:"preds"`
+		}
+		if err := dec.Decode(&q); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("client: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, Query{Table: q.Table, ID: q.ID, Preds: q.Preds})
+	}
+	return out, nil
+}
+
+// post sends a JSON body and decodes a JSON answer.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// get fetches and decodes a JSON answer.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeAPIError rebuilds the typed error from the standard error
+// body, falling back to the raw bytes for non-JSON answers (proxies,
+// the mux's own 404/405 text).
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err == nil && e.Error != "" {
+		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}

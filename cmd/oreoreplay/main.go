@@ -12,14 +12,32 @@
 //
 // Replaying the same log twice with the same seed is bit-identical, so
 // logs are the unit of exchange for debugging reorganization decisions.
+//
+// Serve mode replays the log against a LIVE oreoserve instance instead
+// of an in-process simulation, streaming every query through one
+// POST /v2/query/stream connection via the client SDK and reporting
+// wall-clock throughput next to the served cost ledger:
+//
+//	oreoreplay -mode serve -url http://localhost:8080 -in workload.jsonl
+//	oreoreplay -mode serve -url http://localhost:8080 -in workload.jsonl -table orders -execute
+//
+// -table pins every query to one served table, overriding any table
+// addressing captured in the log (without it, each line keeps its own
+// — and lines with none route by predicate, the server's multi-table
+// rule); -execute asks the
+// server to scan the survivor partitions and count matched rows, which
+// the summary then totals.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
+	"oreo/client"
 	"oreo/internal/experiments"
 	"oreo/internal/persist"
 	"oreo/internal/policy"
@@ -29,7 +47,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "replay", "record | replay")
+		mode     = flag.String("mode", "replay", "record | replay | serve")
 		dataset  = flag.String("dataset", "tpch", "built-in dataset: tpch|tpcds|telemetry")
 		rows     = flag.Int("rows", 100000, "dataset rows (replay)")
 		queries  = flag.Int("queries", 30000, "stream length (record)")
@@ -41,6 +59,9 @@ func main() {
 		alpha    = flag.Float64("alpha", 80, "relative reorganization cost")
 		delay    = flag.Int("delay", 0, "background-reorganization delay (queries)")
 		seed     = flag.Int64("seed", 1, "seed for data, workload, and policies")
+		url      = flag.String("url", "", "base URL of a live oreoserve (serve mode)")
+		table    = flag.String("table", "", "pin every query to one served table (serve mode; overrides the log's addressing, empty keeps it)")
+		execute  = flag.Bool("execute", false, "ask the server to execute each query and report matched rows (serve mode)")
 	)
 	flag.Parse()
 
@@ -50,6 +71,8 @@ func main() {
 		err = record(*dataset, *queries, *segments, *out, *seed)
 	case "replay":
 		err = replay(*dataset, *rows, *in, *polName, *gen, *alpha, *delay, *seed)
+	case "serve":
+		err = serveReplay(*url, *in, *table, *execute)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -157,5 +180,87 @@ func replay(dataset string, rows int, in, polName, genName string, alpha float64
 	fmt.Printf("query cost %.1f + reorg cost %.1f (%d switches) = total %.1f\n",
 		res.QueryCost, res.ReorgCost, res.Switches, res.Total())
 	fmt.Printf("final layout: %s\n", res.FinalLayout)
+	return nil
+}
+
+// serveReplay streams a captured query log through a live server's
+// /v2/query/stream endpoint via the client SDK and reports wall-clock
+// QPS next to the cost the server billed — the live-system counterpart
+// of the in-process replay mode, and the fastest way to feed a
+// production log into a running optimizer.
+func serveReplay(url, in, table string, execute bool) error {
+	if url == "" {
+		return fmt.Errorf("-url is required in serve mode")
+	}
+	if in == "" {
+		return fmt.Errorf("-in is required in serve mode")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	qs, err := client.LoadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(qs) == 0 {
+		return fmt.Errorf("query log %s is empty", in)
+	}
+	for i := range qs {
+		// IDs number from 1 so every answer is attributable (a wire ID
+		// of 0 means "no ID"). -table overrides the log's addressing;
+		// without it, lines keep whatever table they captured (none
+		// means predicate routing, the server's multi-table rule).
+		qs[i].ID = i + 1
+		if table != "" {
+			qs[i].Table = table
+		}
+		qs[i].Execute = execute
+	}
+
+	c, err := client.New(url)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	items, err := c.Replay(context.Background(), qs, nil)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var (
+		answered, failed, matched int
+		costSum                   float64
+	)
+	for _, it := range items {
+		if it.Error != "" {
+			failed++
+			if failed == 1 {
+				fmt.Fprintf(os.Stderr, "first failure (query %d): %s\n", it.ID, it.Error)
+			}
+			continue
+		}
+		answered++
+		for _, r := range it.Results {
+			costSum += r.Cost
+			if r.Execution != nil {
+				matched += r.Execution.MatchedRows
+			}
+		}
+	}
+
+	qps := float64(len(items)) / elapsed.Seconds()
+	fmt.Printf("replayed %d queries from %s to %s in %v (%.0f qps)\n",
+		len(items), in, url, elapsed.Round(time.Millisecond), qps)
+	fmt.Printf("answered %d, failed %d; served cost %.2f (avg %.4f/query)\n",
+		answered, failed, costSum, costSum/float64(max(answered, 1)))
+	if execute {
+		fmt.Printf("matched rows %d\n", matched)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d queries failed", failed, len(items))
+	}
 	return nil
 }

@@ -62,6 +62,16 @@ func main() {
 		queue   = flag.Int("queue", serve.DefaultQueueSize, "observation queue size per table")
 		traceN  = flag.Int("trace", 256, "decision-trace capacity per table (0 disables /trace)")
 		stateIn = flag.String("state", "", "directory for warm-start snapshots (load at boot, save at shutdown)")
+
+		// Connection hygiene. Without a header timeout a client that
+		// dribbles header bytes holds a connection (and its goroutine)
+		// forever — the classic slow-loris. The read timeout bounds the
+		// WHOLE body read, so it defaults off: /v2/query/stream requests
+		// legitimately stay open for as long as a replay runs. Set it
+		// only on deployments that never stream.
+		readHeaderTO = flag.Duration("read-header-timeout", 10*time.Second, "time limit to receive request headers")
+		readTO       = flag.Duration("read-timeout", 0, "time limit to read an entire request body (0 = none; bounds /v2/query/stream uploads too — leave 0 when streaming)")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "time an idle keep-alive connection is held open")
 	)
 	flag.Parse()
 
@@ -98,7 +108,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("oreoserve: %v", err)
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+	}
 	go func() {
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("oreoserve: %v", err)

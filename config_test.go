@@ -1,6 +1,9 @@
 package oreo
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestInitialTakesPrecedenceOverInitialSort(t *testing.T) {
 	ds := buildEventsTable(t, 300)
@@ -35,6 +38,49 @@ func TestPartitionsDerivationClamps(t *testing.T) {
 	}
 	if opt2.cfg.Partitions != 128 {
 		t.Errorf("big table partitions = %d, want 128", opt2.cfg.Partitions)
+	}
+}
+
+// TestNegativeConfigRejected pins the satellite contract: every
+// count-valued knob rejects negatives with a descriptive error naming
+// the field, instead of flowing into the policy layers where each
+// would fail somewhere different (or, worse, silently act as a
+// default while looking configured).
+func TestNegativeConfigRejected(t *testing.T) {
+	ds := buildEventsTable(t, 300)
+	cases := []struct {
+		field string
+		cfg   Config
+	}{
+		{"Partitions", Config{InitialSort: []string{"ts"}, Partitions: -1}},
+		{"Period", Config{InitialSort: []string{"ts"}, Period: -5}},
+		{"MaxStates", Config{InitialSort: []string{"ts"}, MaxStates: -2}},
+		{"TraceCapacity", Config{InitialSort: []string{"ts"}, TraceCapacity: -1}},
+		{"ReorgDelay", Config{InitialSort: []string{"ts"}, ReorgDelay: -10}},
+	}
+	for _, tc := range cases {
+		_, err := New(ds, tc.cfg)
+		if err == nil {
+			t.Errorf("negative %s accepted", tc.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("negative %s: error %q does not name the field", tc.field, err)
+		}
+	}
+}
+
+// TestZeroCountConfigStillDefaults guards the other half of the
+// contract: zero remains the documented "pick the default / disable"
+// value for every knob the negative check now covers.
+func TestZeroCountConfigStillDefaults(t *testing.T) {
+	ds := buildEventsTable(t, 300)
+	opt, err := New(ds, Config{InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatalf("all-zero count config rejected: %v", err)
+	}
+	if opt.cfg.Partitions == 0 {
+		t.Error("Partitions not derived from table size")
 	}
 }
 

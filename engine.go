@@ -1,0 +1,42 @@
+package oreo
+
+// Engine is the uniform in-process serving surface: everything a
+// caller needs to drive OREO's online loop — feed queries through the
+// decision path, read the layout in effect, watch an in-flight
+// background reorganization, and observe the cumulative counters —
+// independent of which concurrency regime sits behind it.
+//
+// Three implementations ship with the package:
+//
+//   - *Optimizer: the sequential engine (single goroutine).
+//   - *ConcurrentOptimizer: the read-mostly engine; ProcessQuery
+//     serializes, every read is lock-free against a published snapshot.
+//   - MultiOptimizer per-table shards, via MultiOptimizer.Engine: each
+//     table's independent engine in a multi-table deployment.
+//
+// Serving layers and harnesses written against Engine run unchanged
+// over any of them, which is what lets one benchmark or transport host
+// swap regimes without touching request logic. Engine is the decision
+// surface only — lock-free costing without decision side effects lives
+// on ConcurrentOptimizer.CostQuery / OptimizerSnapshot, which
+// sequential Optimizers cannot offer.
+type Engine interface {
+	// ProcessQuery feeds one query through the full decision path —
+	// admission, D-UMTS counters, possible reorganization — and costs
+	// it on the layout in effect.
+	ProcessQuery(Query) Decision
+	// CurrentLayout returns the layout queries are currently served on.
+	CurrentLayout() *Layout
+	// PendingLayout returns the target of an in-flight background
+	// reorganization, or nil when none is in flight.
+	PendingLayout() *Layout
+	// Stats returns cumulative counters and the worst-case bound.
+	Stats() Stats
+}
+
+// Compile-time proof that both optimizer regimes present the same
+// serving surface; MultiOptimizer.Engine covers the sharded case.
+var (
+	_ Engine = (*Optimizer)(nil)
+	_ Engine = (*ConcurrentOptimizer)(nil)
+)

@@ -1,0 +1,132 @@
+// Client SDK: drive a live OREO server end to end with the typed Go
+// client — unary queries with typed predicates, executed aggregates,
+// typed error mapping, and a bulk replay through the v2 stream
+// endpoint. This is the loop a downstream service embeds: the client
+// package imports only the standard library, so none of OREO's
+// internals leak into its build.
+//
+// Run with:
+//
+//	go run ./examples/client
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"oreo"
+	"oreo/client"
+	"oreo/internal/serve"
+)
+
+func main() {
+	// A small "orders" table, arrival-ordered, served over HTTP on an
+	// ephemeral port — a stand-in for a production oreoserve.
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	const rows = 20000
+	rng := rand.New(rand.NewSource(1))
+	b := oreo.NewDatasetBuilder(schema, rows)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	for i := 0; i < rows; i++ {
+		b.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[rng.Intn(len(statuses))]), oreo.Float(rng.Float64()*500))
+	}
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", b.Build(), oreo.Config{
+		Alpha: 40, Partitions: 16, WindowSize: 100,
+		InitialSort: []string{"order_ts"}, Seed: 7,
+	}); err != nil {
+		panic(err)
+	}
+	srv, err := serve.New(m, serve.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// ---- Everything below is what a downstream service writes. ----
+
+	ctx := context.Background()
+	c, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+
+	// One unary query: typed predicates in, cost + skip-list out.
+	results, err := c.Query(ctx, client.Query{
+		Table: "orders",
+		Preds: []client.Predicate{client.IntRange("order_ts", 4000, 6000)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	r := results[0]
+	fmt.Printf("layout %q costs %.3f for order_ts in [4000, 6000]; read partitions %v\n",
+		r.Layout, r.Cost, r.SurvivorPartitions)
+
+	// Execution: the server scans the survivor partitions and folds
+	// aggregates next to the cost.
+	results, err = c.Query(ctx, client.Query{
+		Table:   "orders",
+		Execute: true,
+		Preds:   []client.Predicate{client.StrIn("status", "pending", "returned")},
+		Aggs:    []client.Aggregate{client.Count(), client.Sum("amount")},
+	})
+	if err != nil {
+		panic(err)
+	}
+	ex := results[0].Execution
+	fmt.Printf("executed: %d matched rows, sum(amount) = %.2f (examined %d of %d rows)\n",
+		ex.MatchedRows, ex.Aggregates[1].ValueF, ex.RowsExamined, ex.RowsTotal)
+
+	// Errors come back typed: no status-code arithmetic at call sites.
+	if _, err := c.Query(ctx, client.Query{
+		Table: "shipments",
+		Preds: []client.Predicate{client.IntGE("order_ts", 1)},
+	}); errors.Is(err, client.ErrNotFound) {
+		fmt.Println("unknown table surfaces as client.ErrNotFound:", err)
+	}
+
+	// Bulk replay: a captured workload streamed through one
+	// /v2/query/stream connection — the decision loop sees every query,
+	// the transport cost is paid once per stream, not once per query.
+	queries := make([]client.Query, 1000)
+	for i := range queries {
+		lo := rng.Int63n(rows - 1500)
+		queries[i] = client.Query{
+			ID: i + 1, Table: "orders",
+			Preds: []client.Predicate{client.IntRange("order_ts", lo, lo+1500)},
+		}
+	}
+	items, err := c.Replay(ctx, queries, nil)
+	if err != nil {
+		panic(err)
+	}
+	var costSum float64
+	for _, it := range items {
+		costSum += it.Results[0].Cost
+	}
+	fmt.Printf("replayed %d queries over one stream; served cost %.1f\n", len(items), costSum)
+
+	// The decision loop saw the replay: the optimizer's counters moved.
+	st, err := c.TableStats(ctx, "orders")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("server stats: served %d, observed %d, reorganizations %d\n",
+		st.Served, st.Observed, st.Reorganizations)
+}

@@ -23,6 +23,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"oreo/internal/query"
@@ -125,6 +126,13 @@ type Options struct {
 	// matches, a pruned scan and a full scan emit the *same sequence*,
 	// which is what the equality property tests compare.
 	CollectRows bool
+	// Context, when non-nil, is checked between partition blocks: a
+	// canceled scan stops reading and returns the context's error. Rows
+	// inside one block are never interrupted (a block is the unit of
+	// I/O), so cancellation granularity is one partition. Serving
+	// transports pass the request context here so a disconnected client
+	// stops consuming scan time.
+	Context context.Context
 }
 
 // Result is one scan's outcome.
@@ -176,6 +184,11 @@ func (s *Store) Scan(q query.Query, survivors []int, aggs []AggSpec, opts Option
 		res.RowIDs = []int{}
 	}
 	for _, pid := range survivors {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return Result{}, fmt.Errorf("exec: scan canceled: %w", err)
+			}
+		}
 		blk := s.blocks[pid]
 		n := blk.NumRows()
 		res.PartitionsRead++

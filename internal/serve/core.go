@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"oreo"
+	"oreo/internal/exec"
+)
+
+// CoreConfig parameterizes a Core.
+type CoreConfig struct {
+	// QueueSize bounds each table's decision-observation queue; zero
+	// selects DefaultQueueSize. When a shard's queue is full, new
+	// queries are answered normally but sampled out of reorganization
+	// decisions (the Dropped metric counts them).
+	QueueSize int
+}
+
+// Core is the transport-neutral serving core: one place that owns
+// request validation, predicate routing, costing, execution, and the
+// observation hand-off into the decision loops. Transports — the HTTP
+// codecs in this package (v1 and v2), a future gRPC surface, or an
+// embedding process calling it directly — decode bytes into the typed
+// request structs, call Core, and encode the typed responses back out.
+// No request semantics live in any codec.
+//
+// All failure returns are *Error values carrying an ErrorCode, so a
+// transport maps outcomes without parsing message text. Methods taking
+// a context honor cancellation between units of work (per query in a
+// batch, per partition block in an execution scan); a canceled request
+// is abandoned without feeding the decision loop.
+//
+// Construct with NewCore, or let New build one inside an HTTP Server.
+type Core struct {
+	multi  *oreo.MultiOptimizer
+	names  []string
+	shards map[string]*shard
+}
+
+// NewCore builds a serving core over the registered tables. The
+// MultiOptimizer (and its per-table Optimizers) must not be used
+// directly afterwards: every shard owns its table's decision path.
+func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
+	names := m.Tables()
+	if len(names) == 0 {
+		return nil, errInvalid("serve: no tables registered")
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.QueueSize < 0 {
+		return nil, errInvalid("serve: QueueSize must be positive, got %d", cfg.QueueSize)
+	}
+	c := &Core{
+		multi:  m,
+		names:  names,
+		shards: make(map[string]*shard, len(names)),
+	}
+	for _, name := range names {
+		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize)
+	}
+	return c, nil
+}
+
+// Tables returns the served table names in registration order.
+func (c *Core) Tables() []string { return append([]string(nil), c.names...) }
+
+// Close shuts the shards down gracefully: observation queues stop
+// accepting, their consumers drain what was already queued, and the
+// call returns when every decision loop is quiet. Call after the
+// transport has stopped accepting requests.
+func (c *Core) Close() {
+	for _, name := range c.names {
+		c.shards[name].close()
+	}
+}
+
+// Snapshot returns the named table's current optimizer snapshot — the
+// hook a host process uses to persist serving state at shutdown.
+func (c *Core) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
+	sh, ok := c.shards[table]
+	if !ok {
+		return oreo.OptimizerSnapshot{}, false
+	}
+	return sh.copt.Snapshot(), true
+}
+
+// Answer resolves one decoded query to per-table results. With an
+// explicit table, every predicate must name a column of that table's
+// schema; with routing, every predicate must land on at least one
+// table. Violations are client errors, not silent drops — a serving
+// API must not quietly answer a different question than it was asked.
+// The same discipline applies to execution aggregates: a requested
+// aggregate whose column no queried table has is an error, never a
+// silently missing result.
+func (c *Core) Answer(ctx context.Context, req QueryRequest) ([]TableResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, errCanceled(err)
+	}
+	q, err := decodeQuery(req)
+	if err != nil {
+		return nil, errInvalid("%s", err)
+	}
+	if len(q.Preds) == 0 {
+		// A predicate-free query is a full scan on every layout; it
+		// carries no signal for reorganization (Route excludes such
+		// queries for exactly that reason) and is almost certainly a
+		// client bug. Reject it in both addressing modes.
+		return nil, errInvalid("query has no predicates")
+	}
+	var aggs []exec.AggSpec
+	if req.Execute {
+		if aggs, err = decodeAggs(req.Aggs); err != nil {
+			return nil, errInvalid("%s", err)
+		}
+	} else if len(req.Aggs) > 0 {
+		return nil, errInvalid("aggs require execute")
+	}
+
+	if req.Table != "" {
+		sh, ok := c.shards[req.Table]
+		if !ok {
+			return nil, errNotFound("unknown table %q", req.Table)
+		}
+		schema := sh.ds.Schema()
+		for _, p := range q.Preds {
+			if _, ok := schema.Index(p.Col); !ok {
+				return nil, errInvalid("table %q has no column %q", req.Table, p.Col)
+			}
+		}
+		if !req.Execute {
+			return []TableResult{sh.serveQuery(q)}, nil
+		}
+		res, err := sh.serveExecute(ctx, q, aggs)
+		if err != nil {
+			return nil, coreErr(err)
+		}
+		return []TableResult{res}, nil
+	}
+
+	routed, unrouted := c.multi.Route(q)
+	if len(unrouted) > 0 {
+		return nil, errInvalid("no table has column %q", unrouted[0])
+	}
+	var perTableAggs map[string][]exec.AggSpec
+	if req.Execute {
+		var err error
+		if perTableAggs, err = c.routeAggs(aggs, routed); err != nil {
+			return nil, coreErr(err)
+		}
+	}
+	out := make([]TableResult, 0, len(routed))
+	for _, name := range c.names {
+		sub, touched := routed[name]
+		if !touched {
+			continue
+		}
+		sh := c.shards[name]
+		if !req.Execute {
+			out = append(out, sh.serveQuery(sub))
+			continue
+		}
+		res, err := sh.serveExecute(ctx, sub, perTableAggs[name])
+		if err != nil {
+			return nil, coreErr(err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Batch answers many queries in one call with the partial-failure
+// contract: a bad query fails its item, never the batch. The only
+// whole-batch failures are an empty request and a canceled context —
+// cancellation is checked between items, so a transport whose client
+// disconnected stops burning shard time mid-batch.
+func (c *Core) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	if len(req.Queries) == 0 {
+		return BatchResponse{}, errInvalid("empty batch")
+	}
+	resp := BatchResponse{Results: make([]BatchItem, 0, len(req.Queries))}
+	for i, qr := range req.Queries {
+		if err := ctx.Err(); err != nil {
+			return BatchResponse{}, errCanceled(err)
+		}
+		item := BatchItem{Index: i, ID: qr.ID}
+		results, err := c.Answer(ctx, qr)
+		if err != nil {
+			item.Error = err.Error()
+		} else {
+			item.Results = results
+		}
+		resp.Results = append(resp.Results, item)
+	}
+	return resp, nil
+}
+
+// Layout reports the named table's serving layout and partition sizes.
+func (c *Core) Layout(table string) (LayoutResponse, error) {
+	sh, ok := c.shards[table]
+	if !ok {
+		return LayoutResponse{}, errNotFound("unknown table %q", table)
+	}
+	return sh.layoutInfo(), nil
+}
+
+// Stats reports the named table's optimizer counters, memo
+// effectiveness, and shard serving metrics from one snapshot.
+func (c *Core) Stats(table string) (StatsResponse, error) {
+	sh, ok := c.shards[table]
+	if !ok {
+		return StatsResponse{}, errNotFound("unknown table %q", table)
+	}
+	return sh.stats(), nil
+}
+
+// Trace reports the named table's decision trace (empty unless the
+// optimizer was configured with TraceCapacity).
+func (c *Core) Trace(table string) (TraceResponse, error) {
+	sh, ok := c.shards[table]
+	if !ok {
+		return TraceResponse{}, errNotFound("unknown table %q", table)
+	}
+	return TraceResponse{Table: sh.table, Events: sh.traceEvents()}, nil
+}
+
+// Health reports liveness and the cross-table serving totals.
+func (c *Core) Health() HealthResponse {
+	names := append([]string(nil), c.names...)
+	sort.Strings(names)
+	resp := HealthResponse{Status: "ok", Tables: names}
+	for _, name := range names {
+		sh := c.shards[name]
+		// Shard counters are the serving truth: they count every
+		// answered request, including the ones overload sampled out of
+		// the decision loop. The decision-loop total (Queries) is kept
+		// alongside, explicitly labeled — summing only it undercounts
+		// under load, the exact bug this endpoint used to have.
+		resp.Served += sh.served.Load()
+		resp.Observed += sh.observed.Load()
+		resp.Dropped += sh.dropped.Load()
+		resp.Queries += sh.copt.Stats().Queries
+	}
+	return resp
+}
+
+// routeAggs narrows the aggregates to each queried table (counts apply
+// everywhere, column aggregates only where the column exists) and
+// validates the whole routing: every column-bearing aggregate must land
+// on at least one queried table (mirroring the unrouted-predicate rule)
+// and each narrowed list must be legal for its table's schema. Running
+// the full validation up front means a bad aggregate fails the request
+// before *any* shard has executed, counted, or fed its decision loop —
+// partial side effects on a 400 would skew metrics and teach the
+// optimizer from a query that was never answered.
+func (c *Core) routeAggs(aggs []exec.AggSpec, routed map[string]oreo.Query) (map[string][]exec.AggSpec, error) {
+	perTable := make(map[string][]exec.AggSpec, len(routed))
+	landed := make([]bool, len(aggs))
+	for name := range routed {
+		schema := c.shards[name].ds.Schema()
+		narrowed := make([]exec.AggSpec, 0, len(aggs))
+		for i, a := range aggs {
+			if a.Op != exec.AggCount {
+				if _, ok := schema.Index(a.Col); !ok {
+					continue
+				}
+			}
+			narrowed = append(narrowed, a)
+			landed[i] = true
+		}
+		if err := exec.ValidateAggs(schema, narrowed); err != nil {
+			return nil, errInvalid("%s", err)
+		}
+		perTable[name] = narrowed
+	}
+	for i, ok := range landed {
+		if !ok {
+			return nil, errInvalid("no queried table has aggregate column %q", aggs[i].Col)
+		}
+	}
+	return perTable, nil
+}
+
+// coreErr wraps an error from a lower layer as a typed *Error,
+// preserving one that already is. Execution-path failures (invalid
+// aggregates, canceled scans) surface through here.
+func coreErr(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return errCanceled(err)
+	}
+	return errInvalid("%s", err)
+}

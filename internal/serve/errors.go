@@ -1,0 +1,62 @@
+package serve
+
+import "fmt"
+
+// ErrorCode classifies a Core failure so transports can map it without
+// parsing message text: HTTP picks a status code, gRPC would pick a
+// status, and the client SDK re-materializes a typed error. The message
+// strings themselves are part of the /v1 wire contract (golden-tested),
+// so codes classify — they never replace — the messages.
+type ErrorCode string
+
+const (
+	// CodeInvalid marks a malformed or unanswerable request: bad
+	// predicate shape, unknown column, empty batch, aggregates without
+	// execute. HTTP 400.
+	CodeInvalid ErrorCode = "invalid_request"
+	// CodeNotFound marks a request addressing an unregistered table.
+	// HTTP 404.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeCanceled marks a request abandoned because its context was
+	// canceled (client disconnect, deadline). Transports usually cannot
+	// answer these at all; HTTP maps it 499-style to 400.
+	CodeCanceled ErrorCode = "canceled"
+)
+
+// Error is the typed failure every Core method returns. It implements
+// error; transports switch on Code and clients on the rebuilt code.
+type Error struct {
+	Code    ErrorCode
+	Message string
+}
+
+func (e *Error) Error() string { return e.Message }
+
+func errInvalid(format string, args ...any) *Error {
+	return &Error{Code: CodeInvalid, Message: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) *Error {
+	return &Error{Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
+}
+
+func errCanceled(err error) *Error {
+	return &Error{Code: CodeCanceled, Message: err.Error()}
+}
+
+// httpStatus maps an error coming out of Core to the status the v1
+// contract has always used: unknown table 404, everything else a client
+// sent wrong 400. Unknown error values (never produced by Core today)
+// map to 500 so a future internal failure is not misbilled to the
+// client.
+func httpStatus(err error) int {
+	if e, ok := err.(*Error); ok {
+		switch e.Code {
+		case CodeNotFound:
+			return 404
+		case CodeInvalid, CodeCanceled:
+			return 400
+		}
+	}
+	return 500
+}

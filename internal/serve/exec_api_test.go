@@ -203,7 +203,7 @@ func TestRoutedExecuteFailsBeforeAnyShardExecutes(t *testing.T) {
 		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, data)
 	}
 	for _, table := range []string{"orders", "events"} {
-		sh := s.shards[table]
+		sh := s.core.shards[table]
 		if served := sh.served.Load(); served != 0 {
 			t.Errorf("shard %s served %d queries for a rejected request", table, served)
 		}
@@ -356,7 +356,7 @@ func TestExecuteAcrossReorganization(t *testing.T) {
 	// The executed layout genuinely switched, and the shard's store
 	// followed it: its state pairs the new layout with a store of the
 	// same partitioning.
-	sh := s.shards["orders"]
+	sh := s.core.shards["orders"]
 	st := sh.store.Load()
 	if st.store.Partitioning() != st.layout.Part {
 		t.Error("execution store not in lockstep with its layout")
@@ -456,7 +456,7 @@ func TestHealthReportsShardCounters(t *testing.T) {
 	// Saturate the size-1 queue through the shard so some observations
 	// drop; health must count them all, not just what the decision loop
 	// managed to process.
-	sh := s.shards["orders"]
+	sh := s.core.shards["orders"]
 	const burst = 120
 	for i := 0; i < burst; i++ {
 		sh.serveQuery(oreo.Query{ID: i, Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 50)}})
@@ -493,7 +493,7 @@ func TestStatsReadPathCounters(t *testing.T) {
 	}
 	// Costing-only traffic never materializes the execution store: the
 	// second copy of the data is paid on the first execute, not at boot.
-	if srv.shards["orders"].store.Load() != nil {
+	if srv.core.shards["orders"].store.Load() != nil {
 		t.Error("execution store materialized by costing-only traffic")
 	}
 	// A rejected execute (bad aggregate) must not materialize it either:
@@ -501,7 +501,7 @@ func TestStatsReadPathCounters(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/query", QueryRequest{Table: "orders", Execute: true,
 		Preds: []PredicateJSON{{Col: "order_ts", HasLo: true, LoI: 1}},
 		Aggs:  []AggregateJSON{{Op: "sum", Col: "status"}}})
-	if srv.shards["orders"].store.Load() != nil {
+	if srv.core.shards["orders"].store.Load() != nil {
 		t.Error("execution store materialized by a rejected execute request")
 	}
 	for i := 0; i < executed; i++ {
@@ -528,7 +528,7 @@ func TestStatsReadPathCounters(t *testing.T) {
 	if st.ExecutionRowsRead == 0 {
 		t.Error("execution_rows_read stayed zero after executed scans")
 	}
-	if srv.shards["orders"].store.Load() == nil {
+	if srv.core.shards["orders"].store.Load() == nil {
 		t.Error("execution store missing after executed scans")
 	}
 }

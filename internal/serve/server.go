@@ -1,7 +1,15 @@
-// Package serve is OREO's online serving layer: a long-lived, sharded
-// HTTP service over a MultiOptimizer, the subsystem that turns the
-// in-process optimizer into something a query-execution fleet can sit
-// behind.
+// Package serve is OREO's online serving layer, split into a
+// transport-neutral core and thin wire codecs over it.
+//
+// Core owns every request semantic: validation, predicate routing
+// across tables, costing and survivor skip-list extraction against
+// lock-free layout snapshots, row-level execution, and the observation
+// hand-off into each table's decision loop. It speaks typed
+// request/response structs and typed errors (*Error with an ErrorCode),
+// takes a context.Context, and knows nothing about HTTP — which is what
+// lets one implementation sit behind multiple transports: the v1 and v2
+// HTTP surfaces here today, a gRPC surface or replica fan-out tomorrow,
+// and direct in-process embedding always.
 //
 // Requests are handled per table on independent shards. Each shard runs
 // in a read-mostly regime: costing and survivor skip-list extraction —
@@ -19,12 +27,16 @@
 // layout, built lazily on the first execute request so costing-only
 // deployments never pay for it — snapshot-swapped by the decision
 // consumer in lockstep with the optimizer snapshot whenever a
-// reorganization lands. The request
-// scans exactly the survivor partitions, re-checks predicates per row,
-// and returns matched-row counts plus requested aggregates (count, sum,
-// min, max) next to the cost, closing the loop the cost model predicts.
+// reorganization lands. The request scans exactly the survivor
+// partitions, re-checks predicates per row, and returns matched-row
+// counts plus requested aggregates (count, sum, min, max) next to the
+// cost, closing the loop the cost model predicts.
 //
-// Endpoints:
+// # Wire surfaces
+//
+// Server mounts two versioned HTTP surfaces over one Core.
+//
+// /v1 is the original, frozen contract — byte-for-byte, golden-tested:
 //
 //	POST /v1/query                  predicates in → cost, decision state,
 //	                                and the survivor partition skip-list,
@@ -38,9 +50,23 @@
 //	GET  /v1/tables/{table}/trace   decision trace (needs TraceCapacity)
 //	GET  /healthz                   liveness + per-table registry
 //
+// /v2 carries the same request/response shapes on the same paths, plus
+// the streaming bulk endpoint built for log replay:
+//
+//	POST /v2/query/stream           NDJSON in → NDJSON out: one
+//	                                QueryRequest per line, one BatchItem
+//	                                per line back, answered in order from
+//	                                the lock-free snapshot path;
+//	                                ?flush_every=N controls flushing
+//
+// A replay client streams a captured query log through one connection
+// and one encoder, amortizing the per-request HTTP and JSON overhead
+// that dominates POST /v1/query at volume (see BenchmarkStreamVsUnary).
+//
 // The wire predicate encoding matches the query-log format of
 // internal/persist, so captured production logs replay against the
-// server unchanged.
+// server unchanged. The public client package speaks both surfaces
+// with stdlib-only dependencies.
 package serve
 
 import (
@@ -48,10 +74,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 
 	"oreo"
-	"oreo/internal/exec"
 )
 
 // DefaultQueueSize bounds each shard's observation queue when Config
@@ -62,7 +86,9 @@ const DefaultQueueSize = 1024
 // DefaultMaxBodyBytes caps request bodies when Config leaves
 // MaxBodyBytes zero. 1 MiB holds tens of thousands of wire predicates —
 // far beyond any legitimate batch — while keeping a single hostile
-// client from buffering unbounded JSON into server memory.
+// client from buffering unbounded JSON into server memory. On the
+// stream endpoint the same figure caps each NDJSON line instead of the
+// (unbounded, by design) body.
 const DefaultMaxBodyBytes = 1 << 20
 
 // Config parameterizes a Server.
@@ -75,198 +101,74 @@ type Config struct {
 	// MaxBodyBytes caps each request body; oversized requests are
 	// answered 413 with the standard error shape. Zero selects
 	// DefaultMaxBodyBytes; negative disables the cap (trusted
-	// single-tenant deployments only).
+	// single-tenant deployments only). Stream requests are capped per
+	// line, not per body.
 	MaxBodyBytes int64
 }
 
-// Server shards a MultiOptimizer's tables behind an HTTP API. Construct
-// with New, mount Handler, and Close on shutdown.
+// Server is the HTTP codec over a serving Core: it decodes bytes,
+// calls Core, and encodes the answer — no request semantics live here.
+// Construct with New, mount Handler, and Close on shutdown.
 type Server struct {
-	multi   *oreo.MultiOptimizer
-	names   []string
-	shards  map[string]*shard
+	core    *Core
 	mux     *http.ServeMux
 	maxBody int64
 }
 
-// New builds a server over the registered tables. The MultiOptimizer
-// (and its per-table Optimizers) must not be used directly afterwards:
-// every shard owns its table's decision path.
+// New builds an HTTP server over the registered tables. The
+// MultiOptimizer (and its per-table Optimizers) must not be used
+// directly afterwards: every shard owns its table's decision path.
 func New(m *oreo.MultiOptimizer, cfg Config) (*Server, error) {
-	names := m.Tables()
-	if len(names) == 0 {
-		return nil, fmt.Errorf("serve: no tables registered")
+	core, err := NewCore(m, CoreConfig{QueueSize: cfg.QueueSize})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.QueueSize == 0 {
-		cfg.QueueSize = DefaultQueueSize
-	}
-	if cfg.QueueSize < 0 {
-		return nil, fmt.Errorf("serve: QueueSize must be positive, got %d", cfg.QueueSize)
-	}
+	return NewServer(core, cfg), nil
+}
+
+// NewServer mounts the HTTP codec over an existing Core — the path for
+// hosts that share one Core between transports. The Server does not
+// take ownership: closing it is the caller's Close on the Core.
+func NewServer(core *Core, cfg Config) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{
-		multi:   m,
-		names:   names,
-		shards:  make(map[string]*shard, len(names)),
-		mux:     http.NewServeMux(),
-		maxBody: cfg.MaxBodyBytes,
-	}
-	for _, name := range names {
-		s.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize)
-	}
+	s := &Server{core: core, mux: http.NewServeMux(), maxBody: cfg.MaxBodyBytes}
 
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
-	s.mux.HandleFunc("GET /v1/tables/{table}/layout", s.handleLayout)
-	s.mux.HandleFunc("GET /v1/tables/{table}/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/tables/{table}/trace", s.handleTrace)
+	// Both versions are codecs over the same Core. v1 is the frozen
+	// compatibility surface; v2 adds the streaming bulk endpoint.
+	for _, v := range []string{"/v1", "/v2"} {
+		s.mux.HandleFunc("POST "+v+"/query", s.handleQuery)
+		s.mux.HandleFunc("POST "+v+"/query/batch", s.handleBatch)
+		s.mux.HandleFunc("GET "+v+"/tables", s.handleTables)
+		s.mux.HandleFunc("GET "+v+"/tables/{table}/layout", s.handleLayout)
+		s.mux.HandleFunc("GET "+v+"/tables/{table}/stats", s.handleStats)
+		s.mux.HandleFunc("GET "+v+"/tables/{table}/trace", s.handleTrace)
+	}
+	s.mux.HandleFunc("POST /v2/query/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	return s, nil
+	return s
 }
+
+// Core returns the serving core behind the HTTP codec, for hosts that
+// want to answer in-process requests or mount additional transports
+// over the same shards.
+func (s *Server) Core() *Core { return s.core }
 
 // Handler returns the server's HTTP handler, for mounting into an
 // http.Server (the caller owns listening and TLS).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close shuts the shards down gracefully: observation queues stop
-// accepting, their consumers drain what was already queued, and the
-// call returns when every decision loop is quiet. Call after the HTTP
-// listener has stopped accepting requests.
-func (s *Server) Close() {
-	for _, name := range s.names {
-		s.shards[name].close()
-	}
-}
+// Close shuts the core's shards down gracefully: observation queues
+// stop accepting, their consumers drain what was already queued, and
+// the call returns when every decision loop is quiet. Call after the
+// HTTP listener has stopped accepting requests.
+func (s *Server) Close() { s.core.Close() }
 
 // Snapshot returns the named table's current optimizer snapshot — the
 // hook a host process uses to persist serving state at shutdown.
 func (s *Server) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
-	sh, ok := s.shards[table]
-	if !ok {
-		return oreo.OptimizerSnapshot{}, false
-	}
-	return sh.copt.Snapshot(), true
-}
-
-// answer resolves one decoded query to per-table results. With an
-// explicit table, every predicate must name a column of that table's
-// schema; with routing, every predicate must land on at least one
-// table. Violations are client errors, not silent drops — a serving
-// API must not quietly answer a different question than it was asked.
-// The same discipline applies to execution aggregates: a requested
-// aggregate whose column no queried table has is an error, never a
-// silently missing result.
-func (s *Server) answer(req QueryRequest) ([]TableResult, int, error) {
-	q, err := decodeQuery(req)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	if len(q.Preds) == 0 {
-		// A predicate-free query is a full scan on every layout; it
-		// carries no signal for reorganization (Route excludes such
-		// queries for exactly that reason) and is almost certainly a
-		// client bug. Reject it in both addressing modes.
-		return nil, http.StatusBadRequest, fmt.Errorf("query has no predicates")
-	}
-	var aggs []exec.AggSpec
-	if req.Execute {
-		if aggs, err = decodeAggs(req.Aggs); err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-	} else if len(req.Aggs) > 0 {
-		return nil, http.StatusBadRequest, fmt.Errorf("aggs require execute")
-	}
-
-	if req.Table != "" {
-		sh, ok := s.shards[req.Table]
-		if !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table)
-		}
-		schema := sh.ds.Schema()
-		for _, p := range q.Preds {
-			if _, ok := schema.Index(p.Col); !ok {
-				return nil, http.StatusBadRequest, fmt.Errorf("table %q has no column %q", req.Table, p.Col)
-			}
-		}
-		if !req.Execute {
-			return []TableResult{sh.serveQuery(q)}, http.StatusOK, nil
-		}
-		res, err := sh.serveExecute(q, aggs)
-		if err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-		return []TableResult{res}, http.StatusOK, nil
-	}
-
-	routed, unrouted := s.multi.Route(q)
-	if len(unrouted) > 0 {
-		return nil, http.StatusBadRequest, fmt.Errorf("no table has column %q", unrouted[0])
-	}
-	var perTableAggs map[string][]exec.AggSpec
-	if req.Execute {
-		var err error
-		if perTableAggs, err = s.routeAggs(aggs, routed); err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-	}
-	out := make([]TableResult, 0, len(routed))
-	for _, name := range s.names {
-		sub, touched := routed[name]
-		if !touched {
-			continue
-		}
-		sh := s.shards[name]
-		if !req.Execute {
-			out = append(out, sh.serveQuery(sub))
-			continue
-		}
-		res, err := sh.serveExecute(sub, perTableAggs[name])
-		if err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-		out = append(out, res)
-	}
-	return out, http.StatusOK, nil
-}
-
-// routeAggs narrows the aggregates to each queried table (counts apply
-// everywhere, column aggregates only where the column exists) and
-// validates the whole routing: every column-bearing aggregate must land
-// on at least one queried table (mirroring the unrouted-predicate rule)
-// and each narrowed list must be legal for its table's schema. Running
-// the full validation up front means a bad aggregate fails the request
-// before *any* shard has executed, counted, or fed its decision loop —
-// partial side effects on a 400 would skew metrics and teach the
-// optimizer from a query that was never answered.
-func (s *Server) routeAggs(aggs []exec.AggSpec, routed map[string]oreo.Query) (map[string][]exec.AggSpec, error) {
-	perTable := make(map[string][]exec.AggSpec, len(routed))
-	landed := make([]bool, len(aggs))
-	for name := range routed {
-		schema := s.shards[name].ds.Schema()
-		narrowed := make([]exec.AggSpec, 0, len(aggs))
-		for i, a := range aggs {
-			if a.Op != exec.AggCount {
-				if _, ok := schema.Index(a.Col); !ok {
-					continue
-				}
-			}
-			narrowed = append(narrowed, a)
-			landed[i] = true
-		}
-		if err := exec.ValidateAggs(schema, narrowed); err != nil {
-			return nil, err
-		}
-		perTable[name] = narrowed
-	}
-	for i, ok := range landed {
-		if !ok {
-			return nil, fmt.Errorf("no queried table has aggregate column %q", aggs[i].Col)
-		}
-	}
-	return perTable, nil
+	return s.core.Snapshot(table)
 }
 
 // decodeBody decodes a JSON request body under the configured size cap,
@@ -295,9 +197,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	results, status, err := s.answer(req)
+	results, err := s.core.Answer(r.Context(), req)
 	if err != nil {
-		writeError(w, status, err)
+		writeError(w, httpStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Results: results})
@@ -308,75 +210,47 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+	resp, err := s.core.Batch(r.Context(), req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
 		return
-	}
-	resp := BatchResponse{Results: make([]BatchItem, 0, len(req.Queries))}
-	for i, qr := range req.Queries {
-		item := BatchItem{Index: i, ID: qr.ID}
-		results, _, err := s.answer(qr)
-		if err != nil {
-			item.Error = err.Error()
-		} else {
-			item.Results = results
-		}
-		resp.Results = append(resp.Results, item)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"tables": append([]string(nil), s.names...)})
-}
-
-// tableShard resolves the {table} path value, writing the 404 itself
-// when the table is unknown.
-func (s *Server) tableShard(w http.ResponseWriter, r *http.Request) (*shard, bool) {
-	name := r.PathValue("table")
-	sh, ok := s.shards[name]
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", name))
-		return nil, false
-	}
-	return sh, true
+	writeJSON(w, http.StatusOK, map[string][]string{"tables": s.core.Tables()})
 }
 
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
-	if sh, ok := s.tableShard(w, r); ok {
-		writeJSON(w, http.StatusOK, sh.layoutInfo())
+	resp, err := s.core.Layout(r.PathValue("table"))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
 	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if sh, ok := s.tableShard(w, r); ok {
-		writeJSON(w, http.StatusOK, sh.stats())
+	resp, err := s.core.Stats(r.PathValue("table"))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
 	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if sh, ok := s.tableShard(w, r); ok {
-		writeJSON(w, http.StatusOK, TraceResponse{Table: sh.table, Events: sh.traceEvents()})
+	resp, err := s.core.Trace(r.PathValue("table"))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
 	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	names := append([]string(nil), s.names...)
-	sort.Strings(names)
-	resp := HealthResponse{Status: "ok", Tables: names}
-	for _, name := range names {
-		sh := s.shards[name]
-		// Shard counters are the serving truth: they count every
-		// answered request, including the ones overload sampled out of
-		// the decision loop. The decision-loop total (Queries) is kept
-		// alongside, explicitly labeled — summing only it undercounts
-		// under load, the exact bug this endpoint used to have.
-		resp.Served += sh.served.Load()
-		resp.Observed += sh.observed.Load()
-		resp.Dropped += sh.dropped.Load()
-		resp.Queries += sh.copt.Stats().Queries
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.core.Health())
 }
 
 // writeJSON marshals before writing the status line, so an

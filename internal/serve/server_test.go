@@ -21,6 +21,13 @@ import (
 // for reference checks.
 func newFixtureServer(t *testing.T, queueSize int) (*Server, *httptest.Server) {
 	t.Helper()
+	return newFixtureServerCfg(t, Config{QueueSize: queueSize})
+}
+
+// newFixtureServerCfg is newFixtureServer with an explicit
+// serve.Config, for tests that need a non-default body cap.
+func newFixtureServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(4))
 
 	orders := oreo.NewSchema(
@@ -55,7 +62,7 @@ func newFixtureServer(t *testing.T, queueSize int) (*Server, *httptest.Server) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(m, Config{QueueSize: queueSize})
+	s, err := New(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +384,7 @@ func TestQueueOverloadSamples(t *testing.T) {
 	// Saturate a size-1 queue directly through the shard: with the
 	// consumer racing, at least one of a burst must be sampled out, and
 	// every one must still be answered.
-	sh := s.shards["orders"]
+	sh := s.core.shards["orders"]
 	const burst = 200
 	for i := 0; i < burst; i++ {
 		res := sh.serveQuery(oreo.Query{ID: i, Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 10)}})
@@ -399,7 +406,7 @@ func TestQueueOverloadSamples(t *testing.T) {
 func TestServeAfterCloseDoesNotPanic(t *testing.T) {
 	s, _ := newFixtureServer(t, 8)
 	s.Close()
-	sh := s.shards["orders"]
+	sh := s.core.shards["orders"]
 	res := sh.serveQuery(oreo.Query{Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 100)}})
 	if res.Observed {
 		t.Error("query observed after close")

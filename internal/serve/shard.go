@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -202,8 +203,9 @@ func (s *shard) serveQuery(q oreo.Query) TableResult {
 // possibly newer optimizer snapshot, so pruning and data always agree),
 // then the store scans exactly the survivor partitions, re-checking
 // predicates per row and folding the requested aggregates. Errors are
-// client errors (invalid aggregates) and leave every counter untouched.
-func (s *shard) serveExecute(q oreo.Query, aggs []exec.AggSpec) (TableResult, error) {
+// client errors (invalid aggregates) or a canceled context, and leave
+// every counter untouched.
+func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggSpec) (TableResult, error) {
 	// Validate before materializing: on a cold shard the lazy store
 	// build is a full second copy of the table, and a request that is
 	// going to be rejected must not leave that (permanent) footprint.
@@ -215,7 +217,7 @@ func (s *shard) serveExecute(q oreo.Query, aggs []exec.AggSpec) (TableResult, er
 	if ids == nil {
 		ids = []int{}
 	}
-	scan, err := st.store.Scan(q, ids, aggs, exec.Options{})
+	scan, err := st.store.Scan(q, ids, aggs, exec.Options{Context: ctx})
 	if err != nil {
 		return TableResult{}, err
 	}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// streamPost sends an NDJSON body to /v2/query/stream and returns the
+// decoded response items.
+func streamPost(t *testing.T, url, body string) []BatchItem {
+	t.Helper()
+	resp, err := http.Post(url+"/v2/query/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type %q", ct)
+	}
+	var items []BatchItem
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var it BatchItem
+		if err := dec.Decode(&it); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding stream response: %v", err)
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	_, ts := newFixtureServer(t, 64)
+
+	body := strings.Join([]string{
+		`{"id":1,"table":"orders","preds":[{"col":"order_ts","has_lo":true,"has_hi":true,"lo_i":100,"hi_i":900}]}`,
+		``, // blank separator line: skipped, consumes no index
+		`{"id":2,"preds":[{"col":"user","in":["alice"]}]}`,
+		`this is not json`,
+		`{"id":4,"table":"nope","preds":[{"col":"x","has_lo":true,"lo_i":1}]}`,
+		`{"id":5,"table":"orders","preds":[{"col":"order_ts","has_lo":true,"lo_i":3999}]}`,
+	}, "\n") + "\n"
+
+	items := streamPost(t, ts.URL, body)
+	if len(items) != 5 {
+		t.Fatalf("%d stream items, want 5: %+v", len(items), items)
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Errorf("item %d echoes index %d", i, it.Index)
+		}
+	}
+	if items[0].ID != 1 || items[0].Error != "" || len(items[0].Results) != 1 || items[0].Results[0].Table != "orders" {
+		t.Errorf("item 0 = %+v", items[0])
+	}
+	if items[0].Results[0].QueryID != 1 {
+		t.Errorf("item 0 result does not echo query id: %+v", items[0].Results[0])
+	}
+	if items[1].ID != 2 || items[1].Error != "" || len(items[1].Results) != 1 || items[1].Results[0].Table != "events" {
+		t.Errorf("routed item 1 = %+v", items[1])
+	}
+	if items[2].Error == "" || !strings.Contains(items[2].Error, "decoding request") {
+		t.Errorf("malformed line item = %+v", items[2])
+	}
+	if items[3].Error == "" || !strings.Contains(items[3].Error, "unknown table") {
+		t.Errorf("unknown-table item = %+v", items[3])
+	}
+	if items[4].Error != "" || len(items[4].Results) != 1 {
+		t.Errorf("item 4 after failures = %+v", items[4])
+	}
+}
+
+// TestStreamMatchesUnary pins the protocol equivalence the redesign
+// promises: a query answered over /v2/query/stream returns exactly the
+// per-table results the same query gets from /v1/query. Streaming
+// changes the framing, never the answer.
+func TestStreamMatchesUnary(t *testing.T) {
+	_, ts := newFixtureServer(t, 256)
+
+	queries := []string{
+		`{"table":"orders","preds":[{"col":"order_ts","has_lo":true,"has_hi":true,"lo_i":500,"hi_i":1500}]}`,
+		`{"preds":[{"col":"user","in":["bob","carol"]}]}`,
+		`{"table":"orders","execute":true,"preds":[{"col":"amount","has_lo":true,"lo_f":50}],"aggs":[{"op":"count"}]}`,
+	}
+
+	// Unary first, stream second: both observe, so serve identical
+	// snapshots only if the decision loop hasn't reorganized between
+	// them — with the paper-default alpha and a handful of queries it
+	// cannot.
+	var want [][]TableResult
+	for _, q := range queries {
+		resp, data := postJSON(t, ts.URL+"/v1/query", json.RawMessage(q))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unary status %d: %s", resp.StatusCode, data)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, qr.Results)
+	}
+
+	items := streamPost(t, ts.URL, strings.Join(queries, "\n")+"\n")
+	if len(items) != len(queries) {
+		t.Fatalf("%d items, want %d", len(items), len(queries))
+	}
+	for i, it := range items {
+		if it.Error != "" {
+			t.Fatalf("stream item %d failed: %s", i, it.Error)
+		}
+		if !reflect.DeepEqual(it.Results, want[i]) {
+			t.Errorf("stream item %d = %+v\nunary = %+v", i, it.Results, want[i])
+		}
+	}
+}
+
+func TestStreamFlushEveryValidation(t *testing.T) {
+	_, ts := newFixtureServer(t, 64)
+	for _, bad := range []string{"0", "-3", "x"} {
+		resp, err := http.Post(ts.URL+"/v2/query/stream?flush_every="+bad, "application/x-ndjson", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("flush_every=%s: status %d, want 400 (%s)", bad, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestStreamLineCap pins the per-line size discipline: the stream
+// endpoint has no body cap (streams are unbounded by design) but caps
+// each line at MaxBodyBytes, terminating with an explicit error item
+// so truncation is never silent.
+func TestStreamLineCap(t *testing.T) {
+	_, ts := newFixtureServerCfg(t, Config{QueueSize: 64, MaxBodyBytes: 512})
+
+	ok := `{"table":"orders","preds":[{"col":"order_ts","has_lo":true,"lo_i":1}]}`
+	long := `{"table":"orders","preds":[{"col":"status","in":["` + strings.Repeat("x", 2048) + `"]}]}`
+	items := streamPost(t, ts.URL, ok+"\n"+long+"\n")
+	if len(items) != 2 {
+		t.Fatalf("%d items, want 2 (answer + terminal error): %+v", len(items), items)
+	}
+	if items[0].Error != "" {
+		t.Errorf("in-cap line failed: %+v", items[0])
+	}
+	if items[1].Error == "" || !strings.Contains(items[1].Error, "exceeds 512 bytes") {
+		t.Errorf("terminal item = %+v, want line-cap error", items[1])
+	}
+}
+
+// TestStreamPingPong drives the stream full-duplex with flush_every=1:
+// send one line, read its answer before sending the next. This is the
+// interactive regime — and the transport pattern the client SDK's
+// Stream relies on — so it must not deadlock on buffering anywhere in
+// the server.
+func TestStreamPingPong(t *testing.T) {
+	_, ts := newFixtureServer(t, 64)
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v2/query/stream?flush_every=1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	type roundTrip struct {
+		resp *http.Response
+		err  error
+	}
+	rtc := make(chan roundTrip, 1)
+	go func() {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		rtc <- roundTrip{resp, err}
+	}()
+
+	send := func(line string) {
+		if _, err := io.WriteString(pw, line+"\n"); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+
+	// First line, then wait for the response headers + first answer.
+	send(`{"id":1,"table":"orders","preds":[{"col":"order_ts","has_lo":true,"lo_i":100}]}`)
+	var rt roundTrip
+	select {
+	case rt = <-rtc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no response headers within 10s: stream is not duplex")
+	}
+	if rt.err != nil {
+		t.Fatal(rt.err)
+	}
+	defer rt.resp.Body.Close()
+	sc := bufio.NewScanner(rt.resp.Body)
+
+	recv := func(wantID int) BatchItem {
+		t.Helper()
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				lineCh <- fmt.Sprintf("SCAN FAILED: %v", sc.Err())
+			}
+		}()
+		select {
+		case line := <-lineCh:
+			var it BatchItem
+			if err := json.Unmarshal([]byte(line), &it); err != nil {
+				t.Fatalf("bad stream line %q: %v", line, err)
+			}
+			if it.ID != wantID {
+				t.Fatalf("answer id %d, want %d", it.ID, wantID)
+			}
+			return it
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no answer for id %d within 10s: per-line flush not honored", wantID)
+			return BatchItem{}
+		}
+	}
+
+	first := recv(1)
+	if first.Error != "" || len(first.Results) != 1 {
+		t.Fatalf("first answer = %+v", first)
+	}
+
+	// Now the pong: a second line sent only after the first answer
+	// arrived, proving the server isn't just draining the whole body.
+	send(`{"id":2,"preds":[{"col":"user","in":["alice"]}]}`)
+	second := recv(2)
+	if second.Error != "" || len(second.Results) != 1 || second.Results[0].Table != "events" {
+		t.Fatalf("second answer = %+v", second)
+	}
+
+	pw.Close()
+	if sc.Scan() {
+		t.Fatalf("unexpected trailing line %q", sc.Text())
+	}
+}

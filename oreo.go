@@ -71,21 +71,48 @@
 // metadata could not rule the query out, extracted from the compiled
 // engine's survivor bitmask. An execution layer reads exactly those
 // partitions and provably skips the rest — the cost is the listed
-// partitions' row mass over the table size, bit-for-bit.
+// partitions' row mass over the table size, bit-for-bit. The list is
+// never nil: a zero decision and an unsatisfiable query both yield an
+// empty slice, so wire encoders emit [] on every path.
 //
-// For online serving, ConcurrentOptimizer runs a read-mostly mode: the
-// sequential decision path serializes on a mutex, but it republishes an
-// immutable OptimizerSnapshot (serving layout, pending reorganization,
-// counters) through an atomic pointer after every query, so
-// CurrentLayout, Stats, Snapshot, and the CostQuery costing/skip-list
-// path are all lock-free and scale with cores. The HTTP serving layer
-// (internal/serve, booted by cmd/oreoserve) shards request handling per
-// table over MultiOptimizer: requests are answered from snapshots while
-// observations drain into the decision path through a bounded queue and
-// one background consumer per table — see examples/serving for the
-// end-to-end loop. SaveState/LoadState round-trip a layout together
-// with its statistics block and cost memo, so a restarted server
-// resumes on its converged layout with a hot memo.
+// In process, the serving surface is the Engine interface: ProcessQuery
+// plus the layout/stats reads, satisfied by three regimes. Optimizer is
+// the sequential engine. ConcurrentOptimizer is the read-mostly engine:
+// the decision path serializes on a mutex but republishes an immutable
+// OptimizerSnapshot (serving layout, pending reorganization, counters)
+// through an atomic pointer after every query, so CurrentLayout, Stats,
+// Snapshot, and the CostQuery costing/skip-list path are all lock-free
+// and scale with cores. MultiOptimizer.Engine exposes each table's
+// shard as its own engine, routed by predicate (Route).
+//
+// Over the wire, the stack is a transport-neutral core under versioned
+// codecs. serve.Core (internal/serve) owns every request semantic —
+// validation, routing, costing, execution, the observation hand-off
+// into per-table decision loops, typed errors, context cancellation —
+// and knows nothing about HTTP; requests are answered from snapshots
+// while observations drain through a bounded queue and one background
+// consumer per table. The HTTP codecs mount two surfaces over it:
+//
+//   - /v1 — the original unary contract, frozen byte-for-byte and
+//     pinned by golden-file tests; captured-log replay clients keep
+//     working across every future redesign.
+//   - /v2 — the same shapes plus POST /v2/query/stream: NDJSON in,
+//     NDJSON out, one query per line answered in order from the
+//     lock-free snapshot path, flush-controlled. Log replay pays
+//     connection and encoder setup once per stream instead of once per
+//     query (≥3x unary throughput on a 1k-query replay; measured ~8x —
+//     see BenchmarkStreamVsUnary).
+//
+// cmd/oreoserve boots the stack (with slow-loris header/idle timeouts
+// as flags); the public client package is the typed Go SDK — stdlib-
+// only, speaking both surfaces with the query-log predicate encoding,
+// mapping failures back to typed errors, and bulk-replaying traces
+// through one stream (Client.Replay; cmd/oreoreplay -mode serve drives
+// it against a live server and reports QPS). See examples/serving for
+// the raw wire loop and examples/client for the SDK loop.
+// SaveState/LoadState round-trip a layout together with its statistics
+// block and cost memo, so a restarted server resumes on its converged
+// layout with a hot memo.
 //
 // # Execution
 //
@@ -283,12 +310,16 @@ type Decision struct {
 // on the sequential decision path, which answers costs from the memo)
 // pay nothing; each call on a ProcessQuery decision re-evaluates one
 // metadata sweep, while CostQuery decisions carry it pre-computed.
+//
+// The result is never nil — a zero Decision yields an empty list, the
+// same shape an unsatisfiable query does — so wire encoders emit []
+// on every path, never null.
 func (d Decision) SurvivorPartitions() []int {
 	if d.survivors != nil {
 		return d.survivors
 	}
 	if d.Layout == nil {
-		return nil
+		return []int{}
 	}
 	_, ids := d.Layout.CostSurvivors(d.query)
 	if ids == nil {
@@ -362,6 +393,28 @@ func New(ds *Dataset, cfg Config) (*Optimizer, error) {
 	}
 	if cfg.WindowSize < 0 {
 		return nil, fmt.Errorf("oreo: WindowSize must be positive, got %d", cfg.WindowSize)
+	}
+	// The remaining count-valued knobs reject negatives outright rather
+	// than letting them flow into the policy layers, where each would
+	// fail somewhere different and worse: a negative Partitions panics
+	// the partitioner, a negative Period turns candidate generation off
+	// silently, negative MaxStates disables the state-space cap it was
+	// meant to tighten, and negative TraceCapacity/ReorgDelay read as
+	// their zero defaults while looking like configuration.
+	if cfg.Partitions < 0 {
+		return nil, fmt.Errorf("oreo: Partitions must be non-negative (0 derives from table size), got %d", cfg.Partitions)
+	}
+	if cfg.Period < 0 {
+		return nil, fmt.Errorf("oreo: Period must be non-negative (0 means WindowSize), got %d", cfg.Period)
+	}
+	if cfg.MaxStates < 0 {
+		return nil, fmt.Errorf("oreo: MaxStates must be non-negative (0 means unbounded), got %d", cfg.MaxStates)
+	}
+	if cfg.TraceCapacity < 0 {
+		return nil, fmt.Errorf("oreo: TraceCapacity must be non-negative (0 disables tracing), got %d", cfg.TraceCapacity)
+	}
+	if cfg.ReorgDelay < 0 {
+		return nil, fmt.Errorf("oreo: ReorgDelay must be non-negative (0 applies switches immediately), got %d", cfg.ReorgDelay)
 	}
 	if cfg.Partitions == 0 {
 		cfg.Partitions = ds.NumRows() / 1500

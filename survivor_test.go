@@ -7,6 +7,33 @@ import (
 	"oreo/internal/query"
 )
 
+// TestSurvivorPartitionsNeverNil pins both halves of the wire-shape
+// contract: a zero Decision (no layout — the not-yet-served case a
+// transport can hit) and an unsatisfiable query (layout, empty mask)
+// must BOTH return an empty non-nil list. Encoders serialize the two
+// identically as [], never null depending on which path produced the
+// decision.
+func TestSurvivorPartitionsNeverNil(t *testing.T) {
+	var zero Decision
+	if got := zero.SurvivorPartitions(); got == nil || len(got) != 0 {
+		t.Fatalf("zero decision survivors = %#v, want non-nil empty", got)
+	}
+
+	ds := buildEventsTable(t, 500)
+	opt, err := New(ds, Config{Partitions: 8, InitialSort: []string{"ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ts is in [0, 500); this range is unsatisfiable on every partition.
+	dec := opt.ProcessQuery(Query{Preds: []Predicate{IntRange("ts", 10_000, 20_000)}})
+	if got := dec.SurvivorPartitions(); got == nil || len(got) != 0 {
+		t.Fatalf("unsatisfiable-query survivors = %#v, want non-nil empty", got)
+	}
+	if dec.Cost != 0 {
+		t.Fatalf("unsatisfiable-query cost = %v, want 0", dec.Cost)
+	}
+}
+
 // TestDecisionSurvivorPartitions is the satellite contract for the
 // survivor return path: the skip-list the public API reports must agree
 // with interpreted per-partition prunable checks (query.MayMatch over
