@@ -13,6 +13,7 @@ import (
 
 	"oreo"
 	"oreo/client"
+	"oreo/internal/replica"
 	"oreo/internal/serve"
 )
 
@@ -381,5 +382,92 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := client.New("http://host:8080/"); err != nil {
 		t.Errorf("trailing slash rejected: %v", err)
+	}
+}
+
+// TestSubscribeAndFollowerHealth covers the SDK's replication surface:
+// Subscribe tails the leader's decision stream (snapshots first, then
+// one decision per processed query) and Health exposes the
+// follower-aware fields (role, layout epochs).
+func TestSubscribeAndFollowerHealth(t *testing.T) {
+	orders := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	ob := oreo.NewDatasetBuilder(orders, 2000)
+	for i := 0; i < 2000; i++ {
+		ob.AppendRow(oreo.Int(int64(i)), oreo.Float(float64(i%100)))
+	}
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", ob.Build(), oreo.Config{
+		Partitions: 8, InitialSort: []string{"order_ts"}, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(m, serve.Config{Advertise: "http://leader.example:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := replica.NewPublisher(s.Core(), replica.PublisherConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Mount(s)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	sub, err := c.Subscribe(ctx, client.SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	first, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != "snapshot" || first.Table != "orders" || first.Epoch != 0 {
+		t.Fatalf("first record = %+v, want orders snapshot at epoch 0", first)
+	}
+	if first.Generation == "" || len(first.State) == 0 {
+		t.Fatalf("snapshot record missing generation or state: %+v", first)
+	}
+
+	// One served query becomes one decision record at epoch 1.
+	if _, err := c.Query(ctx, client.Query{
+		Table: "orders",
+		Preds: []client.Predicate{client.IntRange("order_ts", 10, 500)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Type != "decision" || dec.Epoch != 1 || dec.Stats == nil || dec.Stats.Queries != 1 {
+		t.Fatalf("decision record = %+v", dec)
+	}
+
+	// Unknown tables are rejected with the typed error.
+	if _, err := c.Subscribe(ctx, client.SubscribeOptions{Tables: []string{"nope"}}); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("unknown-table subscribe error = %v", err)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "leader" || h.Advertise != "http://leader.example:8080" {
+		t.Fatalf("health role/advertise = %q/%q", h.Role, h.Advertise)
+	}
+	if h.LayoutEpochs["orders"] != 1 {
+		t.Fatalf("layout epoch = %d, want 1", h.LayoutEpochs["orders"])
 	}
 }

@@ -1,0 +1,130 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ReplicationRecord is one line of the leader's decision stream
+// (POST /v2/replication/subscribe), as consumed by monitoring and
+// log-shipping tools. Type is "snapshot", "decision", or "resume";
+// Epoch is the table's monotonic decision sequence number.
+//
+// State (snapshot records) and Layout (switch decisions) are carried
+// as raw JSON: rebuilding a servable layout requires the table's data
+// and OREO's internal framing, which is the job of a follower process
+// (oreoserve -follow), not of this dependency-free SDK. The raw
+// payloads round-trip losslessly for archival replay.
+type ReplicationRecord struct {
+	Type       string  `json:"type"`
+	Table      string  `json:"table"`
+	Epoch      uint64  `json:"epoch"`
+	Generation string  `json:"generation,omitempty"`
+	Cost       float64 `json:"cost,omitempty"`
+	Switched   bool    `json:"switched,omitempty"`
+	Pending    string  `json:"pending,omitempty"`
+	// Stats are the leader's post-decision optimizer counters
+	// (snapshot and decision records).
+	Stats *ReplicationStats `json:"stats,omitempty"`
+	// State / Layout are the opaque persist-format payloads.
+	State  json.RawMessage `json:"state,omitempty"`
+	Layout json.RawMessage `json:"layout,omitempty"`
+}
+
+// ReplicationStats mirrors the optimizer counters replicated with each
+// record.
+type ReplicationStats struct {
+	Queries          int     `json:"Queries"`
+	Reorganizations  int     `json:"Reorganizations"`
+	QueryCost        float64 `json:"QueryCost"`
+	ReorgCost        float64 `json:"ReorgCost"`
+	States           int     `json:"States"`
+	MaxStates        int     `json:"MaxStates"`
+	Phases           int     `json:"Phases"`
+	CompetitiveBound float64 `json:"CompetitiveBound"`
+}
+
+// SubscribeOptions parameterizes a Subscribe call.
+type SubscribeOptions struct {
+	// Tables restricts the subscription; empty subscribes to every
+	// served table.
+	Tables []string
+	// Generation and Positions resume a previous subscription: when
+	// they match the leader's state, the leader answers resume records
+	// instead of re-sending snapshots.
+	Generation string
+	Positions  map[string]uint64
+}
+
+// Subscription is one open replication stream. Recv returns records in
+// stream order and io.EOF when the leader closes; Close releases the
+// connection. Not safe for concurrent use.
+type Subscription struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+// Subscribe opens the leader's decision stream — the feed a lag
+// monitor, an audit log shipper, or a warm-standby builder tails. The
+// first records are per-table snapshots (or resumes, when Options
+// positions match); every subsequent record is one decision. Cancel
+// ctx or Close the subscription to stop.
+func (c *Client) Subscribe(ctx context.Context, opts SubscribeOptions) (*Subscription, error) {
+	body, err := json.Marshal(struct {
+		Version    int               `json:"version"`
+		Tables     []string          `json:"tables,omitempty"`
+		Generation string            `json:"generation,omitempty"`
+		Positions  map[string]uint64 `json:"positions,omitempty"`
+	}{1, opts.Tables, opts.Generation, opts.Positions})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding subscribe request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v2/replication/subscribe", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: building subscribe request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: subscribe: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// Snapshot records carry full layout assignments; size the line cap
+	// for large tables rather than failing mid-stream.
+	sc.Buffer(make([]byte, 0, 64*1024), 256<<20)
+	return &Subscription{resp: resp, sc: sc}, nil
+}
+
+// Recv returns the next stream record, or io.EOF when the leader
+// closed the stream.
+func (s *Subscription) Recv() (*ReplicationRecord, error) {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec ReplicationRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("client: decoding stream record: %w", err)
+		}
+		return &rec, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading stream: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// Close releases the stream's connection. Always call it (usually
+// deferred); safe after Recv returned an error.
+func (s *Subscription) Close() error { return s.resp.Body.Close() }

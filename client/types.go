@@ -188,12 +188,29 @@ type Trace struct {
 	Events []TraceEvent `json:"events"`
 }
 
-// Health is GET /healthz.
+// Health is GET /healthz. It is follower-aware: Role distinguishes a
+// leader (owns the decision loops) from a follower (replicates the
+// leader's decision stream), Upstream names a follower's leader, and
+// LayoutEpochs carries each table's monotonic decision sequence
+// number on both sides — replication lag for a table is the leader's
+// reading minus the follower's.
 type Health struct {
-	Status   string   `json:"status"`
-	Tables   []string `json:"tables"`
-	Served   uint64   `json:"served"`
-	Observed uint64   `json:"observed"`
-	Dropped  uint64   `json:"dropped"`
-	Queries  int      `json:"queries"`
+	// Status is "ok", or "initializing" on a follower that has not yet
+	// applied a first snapshot for every table.
+	Status string `json:"status"`
+	// Role is "leader" or "follower". Servers predating replication
+	// leave it empty.
+	Role string `json:"role"`
+	// Upstream is the leader URL a follower replicates from; Advertise
+	// is the URL a leader tells operators to point followers at.
+	Upstream  string   `json:"upstream,omitempty"`
+	Advertise string   `json:"advertise,omitempty"`
+	Tables    []string `json:"tables"`
+	// LayoutEpochs maps table name to its decision epoch: decisions
+	// processed on a leader, last applied epoch on a follower.
+	LayoutEpochs map[string]uint64 `json:"layout_epochs"`
+	Served       uint64            `json:"served"`
+	Observed     uint64            `json:"observed"`
+	Dropped      uint64            `json:"dropped"`
+	Queries      int               `json:"queries"`
 }

@@ -27,6 +27,20 @@
 // (DIR/<table>.state.json) at boot — resuming each table's converged
 // layout with a hot cost memo — and writes fresh snapshots on graceful
 // shutdown (SIGINT/SIGTERM).
+//
+// With -follow URL the process boots as a read replica instead of a
+// leader: it loads the same data (same -csv/-tables/-rows/-seed flags
+// as the leader), runs no optimizer, subscribes to the leader's
+// decision stream at URL, and serves the full read surface
+// bit-identically to the leader while forwarding observed queries back
+// upstream. A leader serves the replication endpoints automatically;
+// -advertise names the URL operators should point followers at
+// (surfaced on /healthz):
+//
+//	oreoserve -addr :8080 -csv ./data -advertise http://leader:8080 &
+//	oreoserve -addr :8081 -csv ./data -follow http://leader:8080 &
+//	curl -s localhost:8080/healthz | jq .layout_epochs   # leader epochs
+//	curl -s localhost:8081/healthz | jq .layout_epochs   # follower epochs = lag
 package main
 
 import (
@@ -46,6 +60,7 @@ import (
 
 	"oreo"
 	"oreo/internal/ingest"
+	"oreo/internal/replica"
 	"oreo/internal/serve"
 )
 
@@ -63,6 +78,12 @@ func main() {
 		traceN  = flag.Int("trace", 256, "decision-trace capacity per table (0 disables /trace)")
 		stateIn = flag.String("state", "", "directory for warm-start snapshots (load at boot, save at shutdown)")
 
+		// Replication topology. A leader always serves the replication
+		// endpoints; -follow turns the process into a read replica of
+		// the named leader instead.
+		follow    = flag.String("follow", "", "leader URL to follow as a read replica (no local optimizer)")
+		advertise = flag.String("advertise", "", "URL followers should subscribe to, shown on /healthz (leader only)")
+
 		// Connection hygiene. Without a header timeout a client that
 		// dribbles header bytes holds a connection (and its goroutine)
 		// forever — the classic slow-loris. The read timeout bounds the
@@ -75,39 +96,79 @@ func main() {
 	)
 	flag.Parse()
 
-	m := oreo.NewMulti()
-	var names []string
-	for _, src := range buildSources(*csvDir, *tables, *rows, *seed) {
-		name, ds, sortCol := src.name, src.ds, src.sortCol
-		cfg := oreo.Config{
-			Alpha:         *alpha,
-			WindowSize:    *window,
-			Partitions:    *parts,
-			InitialSort:   []string{sortCol},
-			Seed:          *seed,
-			TraceCapacity: *traceN,
-		}
-		if *stateIn != "" {
-			if initial, warm := loadState(statePath(*stateIn, name), ds); initial != nil {
-				cfg.Initial = initial
-				cfg.InitialSort = nil
-				log.Printf("table %s: resumed layout %q (warm=%v, memo entries=%d)",
-					name, initial.Name, warm, initial.Engine().Stats().Entries)
-			}
-		}
-		if err := m.AddTable(name, ds, cfg); err != nil {
-			log.Fatalf("oreoserve: %v", err)
-		}
-		names = append(names, name)
-	}
-	if len(names) == 0 {
+	sources := buildSources(*csvDir, *tables, *rows, *seed)
+	if len(sources) == 0 {
 		log.Fatal("oreoserve: no tables")
 	}
-
-	srv, err := serve.New(m, serve.Config{QueueSize: *queue})
-	if err != nil {
-		log.Fatalf("oreoserve: %v", err)
+	var names []string
+	for _, src := range sources {
+		names = append(names, src.name)
 	}
+
+	var (
+		srv *serve.Server
+		fol *replica.Follower
+	)
+	if *follow != "" {
+		// Follower: same data, no optimizer — state is replicated from
+		// the leader, so warm-start snapshots have nothing to add.
+		if *stateIn != "" {
+			log.Print("oreoserve: -state ignored in follower mode (state replicates from the leader)")
+		}
+		var tabs []replica.TableData
+		for _, src := range sources {
+			tabs = append(tabs, replica.TableData{Name: src.name, Dataset: src.ds})
+		}
+		var err error
+		fol, err = replica.NewFollower(replica.FollowerConfig{Upstream: *follow, Tables: tabs})
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		srv = serve.NewServer(fol.Core(), serve.Config{})
+		go func() {
+			// Don't block boot on catch-up: /healthz honestly reports
+			// "initializing" until the first snapshots land.
+			if err := fol.WaitReady(context.Background()); err != nil {
+				log.Fatalf("oreoserve: replication failed: %v", err)
+			}
+			log.Printf("oreoserve: follower caught up with %s", *follow)
+		}()
+	} else {
+		m := oreo.NewMulti()
+		for _, src := range sources {
+			name, ds, sortCol := src.name, src.ds, src.sortCol
+			cfg := oreo.Config{
+				Alpha:         *alpha,
+				WindowSize:    *window,
+				Partitions:    *parts,
+				InitialSort:   []string{sortCol},
+				Seed:          *seed,
+				TraceCapacity: *traceN,
+			}
+			if *stateIn != "" {
+				if initial, warm := loadState(statePath(*stateIn, name), ds); initial != nil {
+					cfg.Initial = initial
+					cfg.InitialSort = nil
+					log.Printf("table %s: resumed layout %q (warm=%v, memo entries=%d)",
+						name, initial.Name, warm, initial.Engine().Stats().Entries)
+				}
+			}
+			if err := m.AddTable(name, ds, cfg); err != nil {
+				log.Fatalf("oreoserve: %v", err)
+			}
+		}
+		var err error
+		srv, err = serve.New(m, serve.Config{QueueSize: *queue, Advertise: *advertise})
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		pub, err := replica.NewPublisher(srv.Core(), replica.PublisherConfig{})
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+		pub.Mount(srv)
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -120,22 +181,34 @@ func main() {
 			log.Fatalf("oreoserve: %v", err)
 		}
 	}()
-	log.Printf("oreoserve: serving tables %v on %s", names, *addr)
+	if fol != nil {
+		log.Printf("oreoserve: following %s, serving tables %v on %s", *follow, names, *addr)
+	} else {
+		log.Printf("oreoserve: serving tables %v on %s", names, *addr)
+	}
 
+	// SIGINT and SIGTERM both take the graceful path: stop accepting,
+	// drain, and (leaders with -state) persist serving state — a ^C in
+	// a terminal must not cost the warm start a supervisor's TERM keeps.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("oreoserve: shutting down")
 
 	// Stop accepting requests, then drain the decision loops, then
-	// persist serving state so the next boot starts hot.
+	// persist serving state so the next boot starts hot. A follower
+	// closes both its replication loop and the server over the shared
+	// core; Core.Close is idempotent by contract.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("oreoserve: http shutdown: %v", err)
 	}
+	if fol != nil {
+		fol.Close()
+	}
 	srv.Close()
-	if *stateIn != "" {
+	if *stateIn != "" && fol == nil {
 		for _, name := range names {
 			snap, ok := srv.Snapshot(name)
 			if !ok {

@@ -1,0 +1,199 @@
+// Replication: scale the read path horizontally with a leader + two
+// followers sharing one decision stream.
+//
+// One process — the leader — runs the optimizer and publishes every
+// decision as an epoch-numbered record; the followers run no optimizer
+// at all, rebuild the leader's layouts against their own copy of the
+// data, and serve the full read surface bit-identically while
+// forwarding the queries they answer back upstream so the leader keeps
+// learning from edge traffic. The example drives a drifting workload
+// at the leader until it reorganizes, shows both followers converging
+// to the same layout epoch, replays a query log against a follower
+// through the client SDK's stream endpoint, and cross-checks a few
+// answers against the leader bit for bit.
+//
+// Run with:
+//
+//	go run ./examples/replication
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"oreo"
+	"oreo/client"
+	"oreo/internal/replica"
+	"oreo/internal/serve"
+)
+
+const rows = 20000
+
+// buildOrders is deterministic and closed-form: every process of the
+// "cluster" loads byte-identical data, the precondition replication
+// verifies through the snapshot's statistics-block gate.
+func buildOrders() *oreo.Dataset {
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	b := oreo.NewDatasetBuilder(schema, rows)
+	for i := 0; i < rows; i++ {
+		b.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[i%4]), oreo.Float(float64(i%500)+0.25))
+	}
+	return b.Build()
+}
+
+func serveOn(h http.Handler) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }
+}
+
+func main() {
+	ctx := context.Background()
+
+	// --- The leader: optimizer + decision-stream publisher. ---
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", buildOrders(), oreo.Config{
+		Alpha: 4, WindowSize: 60, Partitions: 16,
+		InitialSort: []string{"order_ts"}, Seed: 7,
+	}); err != nil {
+		panic(err)
+	}
+	leaderSrv, err := serve.New(m, serve.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer leaderSrv.Close()
+	pub, err := replica.NewPublisher(leaderSrv.Core(), replica.PublisherConfig{
+		Logf: func(string, ...any) {}, // quiet for the demo
+	})
+	if err != nil {
+		panic(err)
+	}
+	pub.Mount(leaderSrv)
+	leaderURL, stopLeader := serveOn(leaderSrv.Handler())
+	defer stopLeader()
+	fmt.Printf("leader serving on %s\n", leaderURL)
+
+	// --- Two followers: same data, no optimizer, one subscription each. ---
+	followers := make([]*replica.Follower, 2)
+	urls := make([]string, 2)
+	for i := range followers {
+		fol, err := replica.NewFollower(replica.FollowerConfig{
+			Upstream: leaderURL,
+			Tables:   []replica.TableData{{Name: "orders", Dataset: buildOrders()}},
+			Logf:     func(string, ...any) {},
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer fol.Close()
+		folSrv := serve.NewServer(fol.Core(), serve.Config{})
+		url, stop := serveOn(folSrv.Handler())
+		defer stop()
+		if err := fol.WaitReady(ctx); err != nil {
+			panic(err)
+		}
+		followers[i], urls[i] = fol, url
+		fmt.Printf("follower %d serving on %s (caught up)\n", i+1, url)
+	}
+
+	// --- Drive a drifting workload at the leader until it reorganizes. ---
+	leader := leaderSrv.Core()
+	for i := 0; i < 400; i++ {
+		var req serve.QueryRequest
+		if i < 200 { // time-range phase
+			lo := int64((i * 131) % (rows - 1000))
+			req = serve.QueryRequest{Table: "orders", Preds: []serve.PredicateJSON{
+				{Col: "order_ts", HasLo: true, HasHi: true, LoI: lo, HiI: lo + 999},
+			}}
+		} else { // value-range phase: a different layout wins
+			lo := float64((i * 37) % 400)
+			req = serve.QueryRequest{Table: "orders", Preds: []serve.PredicateJSON{
+				{Col: "amount", HasLo: true, HasHi: true, LoF: lo, HiF: lo + 40},
+			}}
+		}
+		if _, err := leader.Answer(ctx, req); err != nil {
+			panic(err)
+		}
+	}
+	waitEpoch := func(pos func() uint64, want uint64) {
+		for pos() != want {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	leaderPos := func() uint64 { e, _, _ := leader.ReplicaPosition("orders"); return e }
+	waitEpoch(leaderPos, 400)
+	_, snap, _ := leader.ReplicaPosition("orders")
+	fmt.Printf("\nleader after 400 queries: epoch %d, layout %q, %d reorganizations\n",
+		leaderPos(), snap.Serving.Name, snap.Stats.Reorganizations)
+
+	// --- Both followers converge to the same epoch and layout. ---
+	for i, fol := range followers {
+		waitEpoch(func() uint64 { return fol.Position("orders") }, 400)
+		_, fsnap, _ := fol.Core().ReplicaPosition("orders")
+		fmt.Printf("follower %d: epoch %d, layout %q\n", i+1, fol.Position("orders"), fsnap.Serving.Name)
+	}
+
+	// --- SDK stream replay against follower 1, executed. ---
+	c, err := client.New(urls[0])
+	if err != nil {
+		panic(err)
+	}
+	queries := make([]client.Query, 500)
+	for i := range queries {
+		lo := int64((i * 37) % (rows - 100))
+		queries[i] = client.Query{
+			Table: "orders", ID: i + 1, Execute: true,
+			Preds: []client.Predicate{client.IntRange("order_ts", lo, lo+99)},
+		}
+	}
+	start := time.Now()
+	items, err := c.Replay(ctx, queries, nil)
+	if err != nil {
+		panic(err)
+	}
+	matched := 0
+	for _, it := range items {
+		for _, r := range it.Results {
+			matched += r.Execution.MatchedRows
+		}
+	}
+	fmt.Printf("\nreplayed %d executed queries at follower 1 in %v: matched %d rows (want %d)\n",
+		len(items), time.Since(start).Round(time.Millisecond), matched, len(queries)*100)
+
+	// --- The loop closes: the replay's forwarded observations drain
+	// into the leader's decision loop (epoch 400 → 900), and the
+	// resulting decisions stream back to both followers. ---
+	waitEpoch(leaderPos, 900)
+	for _, fol := range followers {
+		waitEpoch(func() uint64 { return fol.Position("orders") }, 900)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after the replay's observations drained: follower 1 /healthz role=%s epoch=%d (leader %d)\n",
+		h.Role, h.LayoutEpochs["orders"], leaderPos())
+
+	// --- Cross-check at the shared epoch: follower answers are
+	// bit-identical to the leader's. ---
+	probe := oreo.Query{Preds: []oreo.Predicate{oreo.IntRange("order_ts", 1000, 4999)}}
+	_, ls, _ := leader.ReplicaPosition("orders")
+	_, fs, _ := followers[0].Core().ReplicaPosition("orders")
+	ld, fd := ls.CostQuery(probe), fs.CostQuery(probe)
+	fmt.Printf("\nprobe cost: leader %.6f, follower %.6f, survivors %d vs %d — bit-identical: %v\n",
+		ld.Cost, fd.Cost, len(ld.SurvivorPartitions()), len(fd.SurvivorPartitions()),
+		ld.Cost == fd.Cost && len(ld.SurvivorPartitions()) == len(fd.SurvivorPartitions()))
+}

@@ -7,6 +7,14 @@
 // partition metadata is *recomputed* from the dataset at load time
 // rather than trusted from disk, so stale or tampered files can never
 // produce unsound skipping.
+//
+// The framing is exposed in two layers so other subsystems can reuse it
+// without going through a file: CaptureLayout/CaptureState build the
+// JSON-marshalable document types (LayoutDoc, StateDoc) in memory, and
+// their Bind methods rebind a document to a live dataset. The
+// replication decision stream (internal/replica) embeds these documents
+// verbatim in its wire records, so a follower rebuilds layouts through
+// exactly the integrity-checked path a restarting server does.
 package persist
 
 import (
@@ -21,8 +29,10 @@ import (
 // FormatVersion identifies the on-disk layout encoding.
 const FormatVersion = 1
 
-// layoutFile is the serialized form.
-type layoutFile struct {
+// LayoutDoc is the serialized form of a layout: the row→partition
+// assignment and enough shape to validate a rebind. Partition metadata
+// is deliberately absent — it is recomputed from the dataset on Bind.
+type LayoutDoc struct {
 	Version       int      `json:"version"`
 	Name          string   `json:"name"`
 	NumPartitions int      `json:"num_partitions"`
@@ -33,12 +43,12 @@ type layoutFile struct {
 	RLE []int `json:"rle"`
 }
 
-// newLayoutFile builds the serialized form of a layout.
-func newLayoutFile(l *layout.Layout) (layoutFile, error) {
+// CaptureLayout builds the serialized form of a layout in memory.
+func CaptureLayout(l *layout.Layout) (*LayoutDoc, error) {
 	if l == nil || l.Part == nil {
-		return layoutFile{}, fmt.Errorf("persist: nil layout")
+		return nil, fmt.Errorf("persist: nil layout")
 	}
-	return layoutFile{
+	return &LayoutDoc{
 		Version:       FormatVersion,
 		Name:          l.Name,
 		NumPartitions: l.Part.NumPartitions,
@@ -50,12 +60,12 @@ func newLayoutFile(l *layout.Layout) (layoutFile, error) {
 
 // SaveLayout writes the layout to w.
 func SaveLayout(w io.Writer, l *layout.Layout) error {
-	f, err := newLayoutFile(l)
+	f, err := CaptureLayout(l)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(&f)
+	return enc.Encode(f)
 }
 
 // LoadLayout reads a layout written by SaveLayout and rebinds it to the
@@ -63,7 +73,7 @@ func SaveLayout(w io.Writer, l *layout.Layout) error {
 // the same schema (column names, in order) and row count as the one the
 // layout was saved against.
 func LoadLayout(r io.Reader, ds *table.Dataset) (*layout.Layout, error) {
-	var f layoutFile
+	var f LayoutDoc
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("persist: decoding layout: %w", err)
@@ -71,12 +81,13 @@ func LoadLayout(r io.Reader, ds *table.Dataset) (*layout.Layout, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", f.Version, FormatVersion)
 	}
-	return bindLayout(&f, ds)
+	return f.Bind(ds)
 }
 
-// bindLayout rebinds a decoded layout file to the dataset, validating
-// shape and recomputing all partition metadata.
-func bindLayout(f *layoutFile, ds *table.Dataset) (*layout.Layout, error) {
+// Bind rebinds a layout document to the dataset, validating shape and
+// recomputing all partition metadata from the live data — nothing in
+// the document ever feeds partition skipping directly.
+func (f *LayoutDoc) Bind(ds *table.Dataset) (*layout.Layout, error) {
 	if f.NumRows != ds.NumRows() {
 		return nil, fmt.Errorf("persist: layout covers %d rows, dataset has %d", f.NumRows, ds.NumRows())
 	}

@@ -28,24 +28,33 @@ import (
 // block recomputed from the dataset, and on any mismatch the memo is
 // discarded, because its costs describe different data. A stale state
 // file therefore degrades to a cold start, never to wrong answers.
+//
+// The same framing doubles as the replication snapshot: a leader
+// captures its serving state with CaptureState, ships the StateDoc
+// inside a stream record, and the follower Binds it against its local
+// copy of the data. There the statistics-block gate carries a stronger
+// meaning — a mismatch proves the follower's data differs from the
+// leader's, so replication treats warm=false as a fatal divergence
+// rather than a cold start.
 
 // StateFormatVersion identifies the on-disk warm-start encoding.
 const StateFormatVersion = 1
 
-// stateFile is the serialized form of a warm-start snapshot.
-type stateFile struct {
-	Version int        `json:"version"`
-	Layout  layoutFile `json:"layout"`
-	Stats   statsFile  `json:"stats"`
-	Memo    []memoFile `json:"memo,omitempty"`
+// StateDoc is the serialized form of a warm-start snapshot: the layout
+// document plus the statistics block and cost memo captured with it.
+type StateDoc struct {
+	Version int       `json:"version"`
+	Layout  LayoutDoc `json:"layout"`
+	Stats   StatsDoc  `json:"stats"`
+	Memo    []MemoDoc `json:"memo,omitempty"`
 }
 
-// statsFile mirrors table.StatsBlock's numeric content. Floats are
+// StatsDoc mirrors table.StatsBlock's numeric content. Floats are
 // stored as IEEE-754 bit patterns: JSON cannot represent NaN (which
 // legitimately appears as poisoned float metadata), and bit patterns
 // make the load-time comparison exact rather than subject to any
 // formatting round trip.
-type statsFile struct {
+type StatsDoc struct {
 	NumParts int      `json:"num_parts"`
 	NumCols  int      `json:"num_cols"`
 	Rows     []int    `json:"rows"`
@@ -57,16 +66,16 @@ type statsFile struct {
 	NonEmpty []uint64 `json:"non_empty"`
 }
 
-// memoFile is one memo entry: the query's binary structural fingerprint
+// MemoDoc is one memo entry: the query's binary structural fingerprint
 // (base64, as fingerprints are not valid UTF-8) and its memoized cost.
-type memoFile struct {
+type MemoDoc struct {
 	FP   string  `json:"fp"`
 	Cost float64 `json:"cost"`
 }
 
-// newStatsFile snapshots a statistics block.
-func newStatsFile(b *table.StatsBlock) statsFile {
-	f := statsFile{
+// newStatsDoc snapshots a statistics block.
+func newStatsDoc(b *table.StatsBlock) StatsDoc {
+	f := StatsDoc{
 		NumParts: b.NumParts,
 		NumCols:  b.NumCols,
 		Rows:     append([]int(nil), b.Rows...),
@@ -88,7 +97,7 @@ func newStatsFile(b *table.StatsBlock) statsFile {
 
 // matchesBlock reports whether the saved statistics equal the block
 // recomputed from the live dataset, bit for bit.
-func (f *statsFile) matchesBlock(b *table.StatsBlock) bool {
+func (f *StatsDoc) matchesBlock(b *table.StatsBlock) bool {
 	if f.NumParts != b.NumParts || f.NumCols != b.NumCols ||
 		len(f.Rows) != len(b.Rows) || len(f.MinI) != len(b.MinI) ||
 		len(f.MaxI) != len(b.MaxI) || len(f.MinFBits) != len(b.MinF) ||
@@ -134,44 +143,54 @@ func (f *statsFile) matchesBlock(b *table.StatsBlock) bool {
 	return true
 }
 
-// SaveState writes a warm-start snapshot of the layout: the
-// row→partition assignment, the column-major statistics block, and the
-// cost memo (least recently used first, preserving eviction order).
-func SaveState(w io.Writer, l *layout.Layout) error {
-	lf, err := newLayoutFile(l)
+// CaptureState builds a warm-start snapshot of the layout in memory:
+// the row→partition assignment, the column-major statistics block, and
+// the cost memo (least recently used first, preserving eviction order).
+func CaptureState(l *layout.Layout) (*StateDoc, error) {
+	lf, err := CaptureLayout(l)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	f := stateFile{
+	f := &StateDoc{
 		Version: StateFormatVersion,
-		Layout:  lf,
-		Stats:   newStatsFile(l.Part.Stats()),
+		Layout:  *lf,
+		Stats:   newStatsDoc(l.Part.Stats()),
 	}
 	if eng := l.Engine(); eng != nil {
 		for _, en := range eng.ExportMemo() {
-			f.Memo = append(f.Memo, memoFile{
+			f.Memo = append(f.Memo, MemoDoc{
 				FP:   base64.StdEncoding.EncodeToString([]byte(en.FP)),
 				Cost: en.Cost,
 			})
 		}
 	}
-	return json.NewEncoder(w).Encode(&f)
+	return f, nil
 }
 
-// LoadState reads a warm-start snapshot and rebinds it to the dataset.
-// The layout's partition metadata is recomputed from the dataset (as
-// LoadLayout does); the memo is installed only when the recomputed
-// statistics block matches the saved one bit-for-bit. The boolean
-// reports whether the memo was installed (a "warm" restart).
-func LoadState(r io.Reader, ds *table.Dataset) (*layout.Layout, bool, error) {
-	var f stateFile
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, false, fmt.Errorf("persist: decoding state: %w", err)
+// SaveState writes a warm-start snapshot of the layout; see
+// CaptureState for what it carries.
+func SaveState(w io.Writer, l *layout.Layout) error {
+	f, err := CaptureState(l)
+	if err != nil {
+		return err
 	}
+	return json.NewEncoder(w).Encode(f)
+}
+
+// Bind rebinds a state document to the dataset. The layout's partition
+// metadata is recomputed from the dataset (as LayoutDoc.Bind does); the
+// memo is installed only when the recomputed statistics block matches
+// the saved one bit-for-bit. The boolean reports whether the memo was
+// installed (a "warm" restart). warm=false with a nil error means the
+// layout itself is usable but the saved statistics (or memo) did not
+// survive verification — for a restart that is a cold boot, for a
+// replication snapshot it is a data divergence the caller must treat as
+// fatal.
+func (f *StateDoc) Bind(ds *table.Dataset) (*layout.Layout, bool, error) {
 	if f.Version != StateFormatVersion {
 		return nil, false, fmt.Errorf("persist: unsupported state version %d (want %d)", f.Version, StateFormatVersion)
 	}
-	l, err := bindLayout(&f.Layout, ds)
+	l, err := f.Layout.Bind(ds)
 	if err != nil {
 		return nil, false, err
 	}
@@ -194,4 +213,14 @@ func LoadState(r io.Reader, ds *table.Dataset) (*layout.Layout, bool, error) {
 	}
 	l.Engine().SeedMemo(entries)
 	return l, true, nil
+}
+
+// LoadState reads a warm-start snapshot and rebinds it to the dataset;
+// see StateDoc.Bind for the integrity contract.
+func LoadState(r io.Reader, ds *table.Dataset) (*layout.Layout, bool, error) {
+	var f StateDoc
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, false, fmt.Errorf("persist: decoding state: %w", err)
+	}
+	return f.Bind(ds)
 }

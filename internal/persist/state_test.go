@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -161,5 +162,61 @@ func TestStateRejects(t *testing.T) {
 	bad = strings.Replace(buf.String(), `"cost":0.`, `"cost":7.`, 1)
 	if bad != buf.String() {
 		checkColdButLoaded("out-of-range cost", bad)
+	}
+}
+
+// TestCaptureBindInMemory pins the in-memory framing replication rides
+// on: CaptureState/Bind round-trip a layout without touching an
+// io.Writer, JSON-marshal losslessly (the wire embeds the documents
+// verbatim), and the statistics gate behaves identically to the
+// file path.
+func TestCaptureBindInMemory(t *testing.T) {
+	ds, l, qs := stateFixture(t, 600, 3)
+
+	doc, err := CaptureState(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire embeds the document inside a larger record: it must
+	// survive a JSON round trip bit-for-bit.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StateDoc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, warm, err := back.Bind(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("in-memory round trip reported cold")
+	}
+	for i, q := range qs {
+		if a, b := l.Cost(q), got.Cost(q); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("query %d: cost %v after round trip, want %v", i, b, a)
+		}
+	}
+
+	// The layout document alone round-trips too (decision records ship
+	// switched layouts this way, without stats or memo).
+	ld, err := CaptureLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebound, err := ld.Bind(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebound.Name != l.Name || rebound.Part.NumPartitions != l.Part.NumPartitions {
+		t.Fatalf("rebound layout = %s/%d, want %s/%d",
+			rebound.Name, rebound.Part.NumPartitions, l.Name, l.Part.NumPartitions)
+	}
+	for i, q := range qs {
+		if a, b := l.Cost(q), rebound.Cost(q); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("query %d: rebound cost %v, want %v", i, b, a)
+		}
 	}
 }

@@ -1,0 +1,513 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"oreo"
+	"oreo/internal/serve"
+)
+
+// Follower defaults.
+const (
+	DefaultForwardQueue    = 4096
+	DefaultForwardBatch    = 256
+	DefaultForwardInterval = 200 * time.Millisecond
+	DefaultReconnectMin    = 100 * time.Millisecond
+	DefaultReconnectMax    = 5 * time.Second
+
+	// maxStreamLine caps one decision-stream line. Snapshot records
+	// carry the layout RLE and statistics block, which grow with table
+	// size; 256 MiB covers hundreds of millions of rows while still
+	// bounding a runaway line.
+	maxStreamLine = 256 << 20
+)
+
+// TableData names one table a follower serves and the follower's local
+// copy of its rows. The data must be byte-identical to the leader's —
+// the snapshot's statistics block verifies this and replication fails
+// loudly on a mismatch.
+type TableData struct {
+	Name    string
+	Dataset *oreo.Dataset
+}
+
+// FollowerConfig parameterizes a Follower.
+type FollowerConfig struct {
+	// Upstream is the leader's base URL (scheme + host[:port]).
+	Upstream string
+	// Tables are the tables to replicate and serve; they must all be
+	// served by the leader.
+	Tables []TableData
+	// HTTPClient substitutes the transport (custom timeouts, TLS). The
+	// default is a dedicated client with no global timeout — the
+	// subscription stream is long-lived by design.
+	HTTPClient *http.Client
+	// ForwardQueue bounds the observation-forwarding buffer; zero
+	// selects DefaultForwardQueue, negative disables forwarding
+	// entirely (answers are still served; the leader just never sees
+	// this follower's traffic).
+	ForwardQueue int
+	// ForwardBatch is how many observations one upstream POST carries
+	// at most; zero selects DefaultForwardBatch.
+	ForwardBatch int
+	// ForwardInterval bounds how long a partial batch waits before
+	// being flushed; zero selects DefaultForwardInterval.
+	ForwardInterval time.Duration
+	// ReconnectMin/Max bound the exponential backoff between
+	// subscription attempts; zeros select the defaults.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Logf receives operational messages; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStats is a point-in-time view of a follower's replication
+// and forwarding counters.
+type FollowerStats struct {
+	// Snapshots / Decisions / Resumes count applied records; Gaps
+	// counts epoch discontinuities that forced a reconnect, and
+	// Reconnects the subscription attempts after the first.
+	Snapshots  uint64
+	Decisions  uint64
+	Resumes    uint64
+	Gaps       uint64
+	Reconnects uint64
+	// Forwarded / ForwardDropped / ForwardRejected count upstream
+	// observation outcomes (ForwardDropped includes local queue
+	// overflow and failed upstream posts).
+	Forwarded       uint64
+	ForwardDropped  uint64
+	ForwardRejected uint64
+}
+
+// Follower is the replica half of replication: it subscribes to a
+// leader's decision stream, applies every record to a replica
+// serve.Core (which serves the full read surface bit-identically to
+// the leader at the same epoch), and forwards answered queries back
+// upstream. Construct with NewFollower, mount Core() behind a
+// transport, WaitReady before advertising, Close on shutdown.
+type Follower struct {
+	cfg  FollowerConfig
+	core *serve.Core
+	hc   *http.Client
+	fwd  *forwarder // nil when forwarding is disabled
+	logf func(format string, args ...any)
+
+	datasets map[string]*oreo.Dataset
+	names    []string
+
+	mu        sync.Mutex
+	gen       string
+	positions map[string]uint64
+	layouts   map[string]*oreo.Layout
+	applied   map[string]bool
+
+	ready     chan struct{}
+	readyOnce sync.Once
+	failed    chan struct{}
+	failOnce  sync.Once
+	failErr   error
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	stats struct {
+		snapshots, decisions, resumes, gaps, reconnects atomicUint64
+	}
+}
+
+// NewFollower builds a follower and starts its replication loop. The
+// returned follower's Core answers unavailable until the first
+// snapshot lands (WaitReady blocks for that); it is usable behind
+// serve.NewServer immediately.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	u, err := url.Parse(cfg.Upstream)
+	if err != nil {
+		return nil, fmt.Errorf("replica: parsing upstream URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("replica: upstream URL %q must be http or https", cfg.Upstream)
+	}
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("replica: no tables to replicate")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.ForwardQueue == 0 {
+		cfg.ForwardQueue = DefaultForwardQueue
+	}
+	if cfg.ForwardBatch <= 0 {
+		cfg.ForwardBatch = DefaultForwardBatch
+	}
+	if cfg.ForwardInterval <= 0 {
+		cfg.ForwardInterval = DefaultForwardInterval
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = DefaultReconnectMin
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = DefaultReconnectMax
+	}
+	cfg.Upstream = strings.TrimRight(u.String(), "/")
+
+	f := &Follower{
+		cfg:       cfg,
+		hc:        cfg.HTTPClient,
+		logf:      cfg.Logf,
+		datasets:  make(map[string]*oreo.Dataset, len(cfg.Tables)),
+		positions: make(map[string]uint64, len(cfg.Tables)),
+		layouts:   make(map[string]*oreo.Layout, len(cfg.Tables)),
+		applied:   make(map[string]bool, len(cfg.Tables)),
+		ready:     make(chan struct{}),
+		failed:    make(chan struct{}),
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+
+	if cfg.ForwardQueue > 0 {
+		f.fwd = newForwarder(f.ctx, cfg.Upstream, f.hc, cfg.ForwardQueue, cfg.ForwardBatch, cfg.ForwardInterval, cfg.Logf, &f.wg)
+	}
+
+	replicaTables := make([]serve.ReplicaTable, 0, len(cfg.Tables))
+	for _, t := range cfg.Tables {
+		if t.Name == "" || t.Dataset == nil {
+			return nil, fmt.Errorf("replica: table entry missing name or dataset")
+		}
+		if _, dup := f.datasets[t.Name]; dup {
+			return nil, fmt.Errorf("replica: table %q listed twice", t.Name)
+		}
+		f.datasets[t.Name] = t.Dataset
+		f.names = append(f.names, t.Name)
+		name := t.Name
+		var forward func(oreo.Query) bool
+		if f.fwd != nil {
+			forward = func(q oreo.Query) bool { return f.fwd.enqueue(name, q) }
+		}
+		replicaTables = append(replicaTables, serve.ReplicaTable{Name: name, Dataset: t.Dataset, Forward: forward})
+	}
+	core, err := serve.NewReplicaCore(replicaTables, serve.CoreConfig{Upstream: cfg.Upstream})
+	if err != nil {
+		f.cancel()
+		return nil, fmt.Errorf("replica: building replica core: %w", err)
+	}
+	f.core = core
+
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Core returns the replica serving core, for mounting behind a
+// transport (serve.NewServer) or answering in-process requests.
+func (f *Follower) Core() *serve.Core { return f.core }
+
+// WaitReady blocks until every replicated table has applied its first
+// snapshot, the follower has failed terminally (data divergence), or
+// the context ends.
+func (f *Follower) WaitReady(ctx context.Context) error {
+	select {
+	case <-f.ready:
+		return nil
+	case <-f.failed:
+		return f.failErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err returns the terminal replication failure, if any: a follower
+// whose data diverges from the leader's stops replicating and reports
+// it here (and through WaitReady).
+func (f *Follower) Err() error {
+	select {
+	case <-f.failed:
+		return f.failErr
+	default:
+		return nil
+	}
+}
+
+// Position returns the last applied epoch for the table.
+func (f *Follower) Position(table string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.positions[table]
+}
+
+// Stats returns the follower's replication and forwarding counters.
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Snapshots:  f.stats.snapshots.Load(),
+		Decisions:  f.stats.decisions.Load(),
+		Resumes:    f.stats.resumes.Load(),
+		Gaps:       f.stats.gaps.Load(),
+		Reconnects: f.stats.reconnects.Load(),
+	}
+	if f.fwd != nil {
+		st.Forwarded = f.fwd.forwarded.Load()
+		st.ForwardDropped = f.fwd.dropped.Load()
+		st.ForwardRejected = f.fwd.rejected.Load()
+	}
+	return st
+}
+
+// Close stops the replication and forwarding loops and closes the
+// replica core. Idempotent; safe to combine with a Server.Close over
+// the same core.
+func (f *Follower) Close() {
+	f.cancel()
+	f.wg.Wait()
+	f.core.Close()
+}
+
+// fail records a terminal replication failure.
+func (f *Follower) fail(err error) {
+	f.failOnce.Do(func() {
+		f.failErr = err
+		close(f.failed)
+	})
+	f.logf("replica: follower stopped: %v", err)
+}
+
+// errDiverged marks failures that retrying cannot fix.
+var errDiverged = errors.New("replica: follower data diverges from leader")
+
+// errRejected marks subscriptions the leader permanently refuses — an
+// unknown table, a protocol-version mismatch, or an upstream that does
+// not serve replication at all. Retrying cannot fix a rejection, so it
+// is terminal like a divergence; transient upstream trouble (refused
+// connections, 5xx from a booting proxy) stays retryable.
+var errRejected = errors.New("replica: subscription rejected by leader")
+
+// run is the subscription loop: subscribe, apply until the stream
+// breaks, back off, repeat. Only a divergence failure is terminal.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.cfg.ReconnectMin
+	first := true
+	for {
+		if f.ctx.Err() != nil {
+			return
+		}
+		if !first {
+			f.stats.reconnects.Add(1)
+		}
+		applied, err := f.subscribeOnce()
+		if f.ctx.Err() != nil {
+			return
+		}
+		if err != nil && (errors.Is(err, errDiverged) || errors.Is(err, errRejected)) {
+			f.fail(err)
+			return
+		}
+		if err != nil {
+			f.logf("replica: subscription to %s ended: %v (retrying in %v)", f.cfg.Upstream, err, backoff)
+		} else {
+			f.logf("replica: subscription to %s closed (retrying in %v)", f.cfg.Upstream, backoff)
+		}
+		// A session that applied records earned a fresh backoff; a
+		// session that failed straight away backs off harder.
+		if applied > 0 {
+			backoff = f.cfg.ReconnectMin
+		} else if backoff *= 2; backoff > f.cfg.ReconnectMax {
+			backoff = f.cfg.ReconnectMax
+		}
+		first = false
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// subscribeOnce opens one subscription and applies records until the
+// stream ends. It returns how many records it applied (for backoff
+// bookkeeping) and the error that ended the stream.
+func (f *Follower) subscribeOnce() (applied int, err error) {
+	f.mu.Lock()
+	req := SubscribeRequest{
+		Version:    ProtocolVersion,
+		Tables:     append([]string(nil), f.names...),
+		Generation: f.gen,
+		Positions:  make(map[string]uint64, len(f.positions)),
+	}
+	for t, e := range f.positions {
+		if f.applied[t] {
+			req.Positions[t] = e
+		}
+	}
+	f.mu.Unlock()
+
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 0, fmt.Errorf("encoding subscribe request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(f.ctx, http.MethodPost,
+		f.cfg.Upstream+"/v2/replication/subscribe", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, fmt.Errorf("building subscribe request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := f.hc.Do(hreq)
+	if err != nil {
+		return 0, fmt.Errorf("subscribing: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+		msg := strings.TrimSpace(string(data))
+		// 400/404 are the leader's own rejection statuses (protocol
+		// mismatch, unknown table — including a pre-replication leader
+		// whose mux 404s the endpoint): permanent configuration errors
+		// that must fail loudly, not retry forever.
+		if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusNotFound {
+			return 0, fmt.Errorf("%w: answered %d: %s", errRejected, resp.StatusCode, msg)
+		}
+		return 0, fmt.Errorf("subscribe answered %d: %s", resp.StatusCode, msg)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return applied, fmt.Errorf("decoding stream record: %w", err)
+		}
+		if err := f.apply(&rec); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, fmt.Errorf("reading stream: %w", err)
+	}
+	return applied, nil // leader closed the stream cleanly
+}
+
+// apply applies one stream record to the replica core.
+func (f *Follower) apply(rec *Record) error {
+	ds, ok := f.datasets[rec.Table]
+	if !ok {
+		return fmt.Errorf("stream record for unsubscribed table %q", rec.Table)
+	}
+	switch rec.Type {
+	case RecordResume:
+		f.mu.Lock()
+		f.gen = rec.Generation
+		f.mu.Unlock()
+		f.stats.resumes.Add(1)
+		return nil
+
+	case RecordSnapshot:
+		if rec.State == nil {
+			return fmt.Errorf("snapshot record for %q has no state", rec.Table)
+		}
+		lay, warm, err := rec.State.Bind(ds)
+		if err != nil {
+			// The shape itself does not fit the local data: wrong table,
+			// wrong schema, wrong row count. Retrying cannot fix it.
+			return fmt.Errorf("%w: binding %q snapshot: %v", errDiverged, rec.Table, err)
+		}
+		if !warm {
+			// The layout bound, but the statistics block recomputed from
+			// the local data does not match the leader's bit-for-bit:
+			// the follower holds different rows. Serving from this state
+			// would answer bit-different costs — fail loudly instead.
+			return fmt.Errorf("%w: table %q statistics block mismatch (local data differs from leader's)", errDiverged, rec.Table)
+		}
+		if err := f.applySnap(rec, lay, ds); err != nil {
+			return err
+		}
+		f.stats.snapshots.Add(1)
+		return nil
+
+	case RecordDecision:
+		f.mu.Lock()
+		last, seen := f.positions[rec.Table], f.applied[rec.Table]
+		lay := f.layouts[rec.Table]
+		f.mu.Unlock()
+		if !seen {
+			return fmt.Errorf("decision record for %q before any snapshot", rec.Table)
+		}
+		if rec.Epoch <= last {
+			return nil // overlap after a (re-)snapshot; already covered
+		}
+		if rec.Epoch != last+1 {
+			f.stats.gaps.Add(1)
+			return fmt.Errorf("epoch gap on %q: have %d, got %d", rec.Table, last, rec.Epoch)
+		}
+		if rec.Switched {
+			if rec.Layout == nil {
+				return fmt.Errorf("switch record for %q carries no layout", rec.Table)
+			}
+			newLay, err := rec.Layout.Bind(ds)
+			if err != nil {
+				return fmt.Errorf("%w: binding %q switched layout: %v", errDiverged, rec.Table, err)
+			}
+			lay = newLay
+		}
+		if err := f.applySnap(rec, lay, ds); err != nil {
+			return err
+		}
+		f.stats.decisions.Add(1)
+		return nil
+
+	default:
+		// Forward compatibility: an unknown record type from a newer
+		// leader is skipped, not fatal — the epoch discipline catches
+		// anything that mattered.
+		f.logf("replica: skipping unknown record type %q", rec.Type)
+		return nil
+	}
+}
+
+// applySnap publishes (epoch, snapshot) into the core and updates the
+// follower's positions.
+func (f *Follower) applySnap(rec *Record, lay *oreo.Layout, ds *oreo.Dataset) error {
+	snap := oreo.OptimizerSnapshot{Serving: lay}
+	if rec.Stats != nil {
+		snap.Stats = *rec.Stats
+	}
+	if rec.Pending != "" {
+		// The pending layout's partitioning is never read on the
+		// follower (only its name, for reorganizing reports); a
+		// name-only stand-in keeps the wire record small.
+		snap.Pending = &oreo.Layout{Name: rec.Pending}
+	}
+	if err := f.core.ApplyReplica(rec.Table, rec.Epoch, snap); err != nil {
+		return fmt.Errorf("applying %q state: %w", rec.Table, err)
+	}
+	f.mu.Lock()
+	f.positions[rec.Table] = rec.Epoch
+	f.layouts[rec.Table] = lay
+	if rec.Generation != "" {
+		f.gen = rec.Generation
+	}
+	f.applied[rec.Table] = true
+	allApplied := len(f.applied) == len(f.names)
+	f.mu.Unlock()
+	if allApplied {
+		f.readyOnce.Do(func() { close(f.ready) })
+	}
+	return nil
+}

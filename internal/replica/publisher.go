@@ -1,0 +1,477 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"oreo"
+	"oreo/internal/persist"
+	"oreo/internal/serve"
+)
+
+// DefaultSubscriberQueue bounds each subscriber's pending-record
+// buffer. Deep enough to ride out flushes and scheduling hiccups at
+// full decision rate; overflow costs the subscriber one in-stream
+// re-snapshot, never the leader a stalled decision loop.
+const DefaultSubscriberQueue = 256
+
+// maxSubscribeBody caps the subscribe request body — a handful of
+// table names and positions, nowhere near this.
+const maxSubscribeBody = 1 << 20
+
+// maxObserveBody caps one forwarded-observation batch.
+const maxObserveBody = 8 << 20
+
+// PublisherConfig parameterizes a Publisher.
+type PublisherConfig struct {
+	// QueueSize bounds each subscriber's pending-record buffer; zero
+	// selects DefaultSubscriberQueue.
+	QueueSize int
+	// Logf receives operational messages (subscriber churn, forced
+	// re-snapshots); nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Publisher is the leader half of replication: attached to a leader
+// serve.Core, it observes every decision through the core's decision
+// hook, encodes each as one wire record, and fans it out to all
+// subscribed followers. It owns the two replication HTTP endpoints
+// (mount with Mount or the individual handlers).
+//
+// The publisher never blocks the decision path: the hook does one JSON
+// encode and N non-blocking channel sends. A subscriber that cannot
+// keep up overflows its bounded queue, and its writer repairs the gap
+// by discarding the backlog and re-snapshotting in-stream.
+type Publisher struct {
+	core      *serve.Core
+	gen       string
+	queueSize int
+	logf      func(format string, args ...any)
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+
+	published   atomic.Uint64 // decision records offered to subscribers
+	resnapshots atomic.Uint64 // in-stream gap repairs
+}
+
+// NewPublisher attaches a publisher to a leader core's decision hook.
+// There should be exactly one publisher per core — attaching a second
+// replaces the first's hook.
+func NewPublisher(core *serve.Core, cfg PublisherConfig) (*Publisher, error) {
+	if core == nil {
+		return nil, fmt.Errorf("replica: nil core")
+	}
+	if core.Role() != serve.RoleLeader {
+		return nil, fmt.Errorf("replica: publisher requires a leader core, got role %q", core.Role())
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = DefaultSubscriberQueue
+	}
+	if cfg.QueueSize < 0 {
+		return nil, fmt.Errorf("replica: QueueSize must be positive, got %d", cfg.QueueSize)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	p := &Publisher{
+		core:      core,
+		gen:       newGeneration(),
+		queueSize: cfg.QueueSize,
+		logf:      cfg.Logf,
+		subs:      make(map[*subscriber]struct{}),
+	}
+	core.SetDecisionHook(p.publish)
+	return p, nil
+}
+
+// Generation returns the leader's boot-unique stream identity.
+func (p *Publisher) Generation() string { return p.gen }
+
+// Subscribers reports the current subscriber count.
+func (p *Publisher) Subscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// Published reports decision records offered to subscribers, and
+// Resnapshots the in-stream gap repairs performed.
+func (p *Publisher) Published() uint64   { return p.published.Load() }
+func (p *Publisher) Resnapshots() uint64 { return p.resnapshots.Load() }
+
+// Mount registers the replication endpoints on a serve.Server:
+// POST /v2/replication/subscribe and POST /v2/replication/observe.
+func (p *Publisher) Mount(srv *serve.Server) {
+	srv.Mount("POST /v2/replication/subscribe", p.SubscribeHandler())
+	srv.Mount("POST /v2/replication/observe", p.ObserveHandler())
+}
+
+// Resync forces a fresh snapshot onto every current subscriber — the
+// operational "make the fleet re-sync now" lever (and the test hook
+// for the gap-repair path). Safe anytime.
+func (p *Publisher) Resync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for s := range p.subs {
+		s.markGapped()
+	}
+}
+
+// DropSubscribers severs every current subscriber's stream. Followers
+// reconnect on their own and negotiate resume-or-snapshot; the lever
+// exists for connection draining (and exercises the reconnect path in
+// tests).
+func (p *Publisher) DropSubscribers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for s := range p.subs {
+		s.dropOnce.Do(func() { close(s.drop) })
+	}
+}
+
+// subscriber is one follower connection's state.
+type subscriber struct {
+	tables map[string]bool // subscribed set; never empty
+	ch     chan []byte     // encoded records, bounded
+	kick   chan struct{}   // wakes the writer when gapped with an idle stream
+	gapped atomic.Bool
+
+	drop     chan struct{} // closed by DropSubscribers
+	dropOnce sync.Once
+}
+
+// markGapped flags the subscriber for an in-stream re-snapshot and
+// wakes its writer, so the repair happens even if no further decision
+// ever flows (the dropped record may have been the last one).
+func (s *subscriber) markGapped() {
+	s.gapped.Store(true)
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// offer hands an encoded record to the subscriber without blocking.
+func (s *subscriber) offer(data []byte) {
+	select {
+	case s.ch <- data:
+	default:
+		s.markGapped()
+	}
+}
+
+// publish is the decision hook: encode once, fan out non-blocking.
+// It runs on each table's decision consumer goroutine — serialized per
+// table, concurrent across tables — so per-table record order on every
+// subscriber channel matches epoch order.
+func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
+	p.mu.Lock()
+	var interested []*subscriber
+	for s := range p.subs {
+		if s.tables[table] {
+			interested = append(interested, s)
+		}
+	}
+	p.mu.Unlock()
+	if len(interested) == 0 {
+		return
+	}
+
+	rec := Record{
+		Type:     RecordDecision,
+		Table:    table,
+		Epoch:    upd.Epoch,
+		Cost:     upd.Cost,
+		Switched: upd.Switched,
+		Stats:    &upd.Snapshot.Stats,
+	}
+	if upd.Snapshot.Pending != nil {
+		rec.Pending = upd.Snapshot.Pending.Name
+	}
+	if upd.Switched {
+		doc, err := persist.CaptureLayout(upd.Snapshot.Serving)
+		if err != nil {
+			// A serving layout that cannot be captured cannot be
+			// replicated; force every interested subscriber through the
+			// snapshot path rather than shipping a decision they cannot
+			// apply. (Unreachable for layouts the optimizer produces.)
+			p.logf("replica: capturing switched layout for %s: %v", table, err)
+			for _, s := range interested {
+				s.markGapped()
+			}
+			return
+		}
+		rec.Layout = doc
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		p.logf("replica: encoding decision record for %s: %v", table, err)
+		for _, s := range interested {
+			s.markGapped()
+		}
+		return
+	}
+	p.published.Add(1)
+	for _, s := range interested {
+		s.offer(data)
+	}
+}
+
+// snapshotRecord captures one table's current state as a snapshot
+// record. The (epoch, snapshot) pair comes from the core's published
+// replication position, so it is coherent by construction.
+func (p *Publisher) snapshotRecord(table string) (*Record, error) {
+	epoch, snap, ok := p.core.ReplicaPosition(table)
+	if !ok {
+		return nil, fmt.Errorf("replica: no position for table %q", table)
+	}
+	state, err := persist.CaptureState(snap.Serving)
+	if err != nil {
+		return nil, fmt.Errorf("replica: capturing state for %q: %w", table, err)
+	}
+	rec := &Record{
+		Type:       RecordSnapshot,
+		Table:      table,
+		Epoch:      epoch,
+		Generation: p.gen,
+		State:      state,
+		Stats:      &snap.Stats,
+	}
+	if snap.Pending != nil {
+		rec.Pending = snap.Pending.Name
+	}
+	return rec, nil
+}
+
+// SubscribeHandler returns the POST /v2/replication/subscribe handler:
+// the NDJSON decision stream. See the package comment for the
+// protocol.
+func (p *Publisher) SubscribeHandler() http.Handler {
+	return http.HandlerFunc(p.handleSubscribe)
+}
+
+func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req SubscribeRequest
+	body := http.MaxBytesReader(w, r.Body, maxSubscribeBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding subscribe request: %v", err))
+		return
+	}
+	if req.Version > ProtocolVersion {
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("protocol version %d not supported (max %d)", req.Version, ProtocolVersion))
+		return
+	}
+	served := p.core.Tables()
+	servedSet := make(map[string]bool, len(served))
+	for _, t := range served {
+		servedSet[t] = true
+	}
+	tables := req.Tables
+	if len(tables) == 0 {
+		tables = served
+	}
+	set := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		if !servedSet[t] {
+			writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q", t))
+			return
+		}
+		set[t] = true
+	}
+
+	sub := &subscriber{
+		tables: set,
+		ch:     make(chan []byte, p.queueSize),
+		kick:   make(chan struct{}, 1),
+		drop:   make(chan struct{}),
+	}
+	// Register before capturing the initial snapshots: decisions
+	// processed while the snapshot is being written land in the queue
+	// and follow it; the follower skips the ones the snapshot already
+	// covers (epoch <= snapshot epoch), so the stream is gapless from
+	// the first byte.
+	p.mu.Lock()
+	p.subs[sub] = struct{}{}
+	n := len(p.subs)
+	p.mu.Unlock()
+	p.logf("replica: subscriber connected (%d active, tables %v)", n, tables)
+	defer func() {
+		p.mu.Lock()
+		delete(p.subs, sub)
+		n := len(p.subs)
+		p.mu.Unlock()
+		p.logf("replica: subscriber disconnected (%d active)", n)
+	}()
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+	bw := bufio.NewWriter(w)
+	writeRec := func(data []byte) bool {
+		if _, err := bw.Write(data); err != nil {
+			return false
+		}
+		return bw.WriteByte('\n') == nil
+	}
+	flush := func() {
+		_ = bw.Flush()
+		_ = rc.Flush()
+	}
+
+	// Initial records: resume where the follower's position matches,
+	// snapshot otherwise. Registration order keeps multi-table
+	// followers deterministic.
+	sendSnapshots := func(names []string) bool {
+		for _, t := range names {
+			if !set[t] {
+				continue
+			}
+			rec, err := p.snapshotRecord(t)
+			if err != nil {
+				p.logf("replica: %v", err)
+				return false
+			}
+			data, err := json.Marshal(rec)
+			if err != nil {
+				p.logf("replica: encoding snapshot for %s: %v", t, err)
+				return false
+			}
+			if !writeRec(data) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range served {
+		if !set[t] {
+			continue
+		}
+		epoch, _, ok := p.core.ReplicaPosition(t)
+		// Resume requires the follower to EXPLICITLY claim this table's
+		// position: a missing key must not read as "epoch 0" and match
+		// an idle table, or a follower that never applied the table's
+		// snapshot would be resumed into permanent unavailability.
+		pos, claimed := req.Positions[t]
+		if ok && req.Generation == p.gen && claimed && pos == epoch {
+			data, err := json.Marshal(&Record{Type: RecordResume, Table: t, Epoch: epoch, Generation: p.gen})
+			if err != nil || !writeRec(data) {
+				return
+			}
+			continue
+		}
+		if !sendSnapshots([]string{t}) {
+			return
+		}
+	}
+	flush()
+
+	ctx := r.Context()
+	for {
+		var data []byte
+		select {
+		case <-ctx.Done():
+			return
+		case <-sub.drop:
+			return
+		case <-sub.kick:
+			// Woken for a gap with an idle stream; handled below.
+		case data = <-sub.ch:
+		}
+		if sub.gapped.Swap(false) {
+			// The queue overflowed (or a resync was forced): whatever is
+			// buffered — including the record just dequeued — predates
+			// the gap. Discard it all and re-snapshot every subscribed
+			// table; records enqueued from here on carry epochs at or
+			// past the snapshots, and the follower drops the overlap.
+			for {
+				select {
+				case <-sub.ch:
+					continue
+				default:
+				}
+				break
+			}
+			p.resnapshots.Add(1)
+			p.logf("replica: subscriber lagged; re-snapshotting %d table(s) in-stream", len(set))
+			if !sendSnapshots(served) {
+				return
+			}
+			flush()
+			continue
+		}
+		if data == nil {
+			continue // spurious kick with no gap
+		}
+		if !writeRec(data) {
+			return
+		}
+		// Drain whatever else is ready before paying the flush, so a
+		// bulk replay amortizes syscalls without adding latency when
+		// the stream is quiet.
+	drain:
+		for {
+			select {
+			case more := <-sub.ch:
+				if sub.gapped.Load() {
+					// Overflow raced the drain: stop writing stale
+					// records; the next loop iteration repairs.
+					break drain
+				}
+				if !writeRec(more) {
+					return
+				}
+			default:
+				break drain
+			}
+		}
+		flush()
+	}
+}
+
+// ObserveHandler returns the POST /v2/replication/observe handler: the
+// landing point for follower-forwarded observations.
+func (p *Publisher) ObserveHandler() http.Handler {
+	return http.HandlerFunc(p.handleObserve)
+}
+
+func (p *Publisher) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	body := http.MaxBytesReader(w, r.Body, maxObserveBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding observe request: %v", err))
+		return
+	}
+	var resp ObserveResponse
+	for _, ob := range req.Observations {
+		q := oreo.Query{ID: ob.ID, Template: -1}
+		for _, pj := range ob.Preds {
+			q.Preds = append(q.Preds, predFromWire(pj))
+		}
+		ok, err := p.core.Observe(ob.Table, q)
+		switch {
+		case err != nil:
+			resp.Rejected++
+		case ok:
+			resp.Observed++
+		default:
+			resp.Dropped++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+// writeJSONError writes the server's standard error shape.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(serve.ErrorResponse{Error: msg})
+}

@@ -1,0 +1,198 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"oreo/client"
+	"oreo/internal/serve"
+)
+
+// newFollowerServer mounts a follower's core behind the standard HTTP
+// codec, exactly as oreoserve -follow does.
+func newFollowerServer(t *testing.T, fol *Follower) *httptest.Server {
+	t.Helper()
+	srv := serve.NewServer(fol.Core(), serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// replayQueries builds n closed-form shifted-window queries over
+// order_ts: each matches exactly 100 rows of the fixture, so totals
+// are checkable arithmetic, not measurements.
+func replayQueries(n, rows int, execute bool) []client.Query {
+	qs := make([]client.Query, n)
+	for i := range qs {
+		lo := int64((i * 37) % (rows - 100))
+		qs[i] = client.Query{
+			Table:   "orders",
+			ID:      i + 1,
+			Execute: execute,
+			Preds:   []client.Predicate{client.IntRange("order_ts", lo, lo+99)},
+		}
+	}
+	return qs
+}
+
+// TestFollowerStreamReplaySDK drives the public client SDK's stream
+// replay against a FOLLOWER: the follower answers the full
+// /v2/query/stream surface with correct closed-form executed results,
+// forwards every observation upstream, and ends up reporting the
+// leader's layout epoch.
+func TestFollowerStreamReplaySDK(t *testing.T) {
+	const rows, n = 3000, 300
+	leader, _, ts := newLeader(t, rows, 80, 0)
+	fol := newFollowerFixture(t, rows, ts.URL, true)
+	fts := newFollowerServer(t, fol)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := fol.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.New(fts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := c.Replay(ctx, replayQueries(n, rows, true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for i, it := range items {
+		if it.Error != "" {
+			t.Fatalf("item %d failed: %s", i, it.Error)
+		}
+		for _, r := range it.Results {
+			if r.Execution == nil {
+				t.Fatalf("item %d: no execution", i)
+			}
+			matched += r.Execution.MatchedRows
+		}
+	}
+	if want := n * 100; matched != want {
+		t.Fatalf("matched %d rows, want %d", matched, want)
+	}
+
+	// The observations must reach the leader's decision loop and the
+	// resulting epoch must come back: both /healthz readings converge.
+	waitFor(t, "leader processed forwarded replay", func() bool {
+		e, _, _ := leader.ReplicaPosition("orders")
+		return e == uint64(n)
+	})
+	waitFor(t, "follower reports leader epoch", func() bool {
+		h, err := c.Health(ctx)
+		return err == nil && h.LayoutEpochs["orders"] == uint64(n) && h.Role == "follower"
+	})
+}
+
+// TestReplicaScaleOutBar is the scale-out acceptance bar: aggregate
+// read throughput across leader + one follower must be at least 1.7x
+// the leader alone on the same 1k-query stream replay. Each stream is
+// processed sequentially per connection, so the second replica buys
+// near-linear aggregate throughput when cores are available.
+func TestReplicaScaleOutBar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale bar skipped in -short")
+	}
+	// Two concurrent streams each keep a server handler and a client
+	// send/recv pair busy; below four CPUs the bar measures scheduler
+	// contention, not scale-out.
+	if runtime.NumCPU() < 4 {
+		t.Skip("scale bar needs >= 4 CPUs")
+	}
+	const rows, n = 3000, 1000
+	_, _, ts := newLeader(t, rows, 80, 0)
+	// Forwarding off: the bar measures the read path, not the
+	// observation plumbing (which is sampled under load anyway).
+	fol := newFollowerFixture(t, rows, ts.URL, false)
+	fts := newFollowerServer(t, fol)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := fol.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	lc, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := client.New(fts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := replayQueries(n, rows, false)
+	replay := func(c *client.Client) error {
+		items, err := c.Replay(ctx, queries, nil)
+		if err != nil {
+			return err
+		}
+		if len(items) != n {
+			return fmt.Errorf("answered %d of %d", len(items), n)
+		}
+		return nil
+	}
+
+	// Warm both paths (connections, snapshot compiles) off the clock.
+	if err := replay(lc); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(fc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Best-of-3 on both measurements: the ceiling of this bar is only
+	// ~2x (two serving processes), so on a shared CI runner a single
+	// noisy run could eat the whole margin. The fastest of three is the
+	// least-contended measurement on each side.
+	const attempts = 3
+	leaderAlone := time.Duration(1<<63 - 1)
+	for a := 0; a < attempts; a++ {
+		start := time.Now()
+		if err := replay(lc); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < leaderAlone {
+			leaderAlone = d
+		}
+	}
+	baseQPS := float64(n) / leaderAlone.Seconds()
+
+	// Aggregate: both replicas concurrently, one stream each.
+	combined := time.Duration(1<<63 - 1)
+	for a := 0; a < attempts; a++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		start := time.Now()
+		for i, c := range []*client.Client{lc, fc} {
+			wg.Add(1)
+			go func(i int, c *client.Client) {
+				defer wg.Done()
+				errs[i] = replay(c)
+			}(i, c)
+		}
+		wg.Wait()
+		d := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d < combined {
+			combined = d
+		}
+	}
+	aggQPS := float64(2*n) / combined.Seconds()
+
+	t.Logf("leader alone: %d queries in %v (%.0f qps)", n, leaderAlone, baseQPS)
+	t.Logf("leader+follower: %d queries in %v (%.0f qps aggregate, %.2fx)", 2*n, combined, aggQPS, aggQPS/baseQPS)
+	if aggQPS < 1.7*baseQPS {
+		t.Fatalf("aggregate %.0f qps < 1.7x leader-alone %.0f qps (%.2fx)", aggQPS, baseQPS, aggQPS/baseQPS)
+	}
+}

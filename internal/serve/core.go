@@ -14,8 +14,16 @@ type CoreConfig struct {
 	// QueueSize bounds each table's decision-observation queue; zero
 	// selects DefaultQueueSize. When a shard's queue is full, new
 	// queries are answered normally but sampled out of reorganization
-	// decisions (the Dropped metric counts them).
+	// decisions (the Dropped metric counts them). Replica cores have no
+	// decision queues; the field is ignored there.
 	QueueSize int
+	// Advertise is the URL this (leader) core is reachable at for
+	// replication subscribers, surfaced on /healthz so operators can
+	// discover the topology with a curl. Informational only.
+	Advertise string
+	// Upstream is the leader URL a replica core follows, surfaced on
+	// /healthz. Set by NewReplicaCore callers; ignored on leaders.
+	Upstream string
 }
 
 // Core is the transport-neutral serving core: one place that owns
@@ -26,6 +34,16 @@ type CoreConfig struct {
 // request structs, call Core, and encode the typed responses back out.
 // No request semantics live in any codec.
 //
+// A Core runs in one of two roles. A leader (NewCore) owns its tables'
+// decision paths: every shard wraps an optimizer, observations drain
+// into decision loops, and an attached decision hook (SetDecisionHook)
+// sees every processed query — the replication publish point. A
+// replica (NewReplicaCore) owns no decisions at all: shard state is
+// applied from outside via ApplyReplica and observations are forwarded
+// upstream, but the whole read surface — unary, batch, stream,
+// execute, layout/stats/trace — answers identically, because it is the
+// same code reading the same published snapshot shape.
+//
 // All failure returns are *Error values carrying an ErrorCode, so a
 // transport maps outcomes without parsing message text. Methods taking
 // a context honor cancellation between units of work (per query in a
@@ -34,9 +52,12 @@ type CoreConfig struct {
 //
 // Construct with NewCore, or let New build one inside an HTTP Server.
 type Core struct {
-	multi  *oreo.MultiOptimizer
 	names  []string
 	shards map[string]*shard
+	role   string // "leader" or "follower"
+	// advertise / upstream are the healthz topology hints; see CoreConfig.
+	advertise string
+	upstream  string
 }
 
 // NewCore builds a serving core over the registered tables. The
@@ -54,9 +75,10 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 		return nil, errInvalid("serve: QueueSize must be positive, got %d", cfg.QueueSize)
 	}
 	c := &Core{
-		multi:  m,
-		names:  names,
-		shards: make(map[string]*shard, len(names)),
+		names:     names,
+		shards:    make(map[string]*shard, len(names)),
+		role:      RoleLeader,
+		advertise: cfg.Advertise,
 	}
 	for _, name := range names {
 		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize)
@@ -64,27 +86,171 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 	return c, nil
 }
 
+// ReplicaTable describes one table served by a replica core: the local
+// copy of the data and the function observations are forwarded
+// upstream through (nil drops them; false return means dropped, and
+// the shard counts it).
+type ReplicaTable struct {
+	Name    string
+	Dataset *oreo.Dataset
+	Forward func(oreo.Query) bool
+}
+
+// NewReplicaCore builds a core in replica mode: the same serving
+// surface as NewCore, but with no optimizers and no decision loops —
+// per-table state arrives through ApplyReplica (driven by a
+// replication follower, see internal/replica) and every table answers
+// unavailable until its first snapshot lands.
+func NewReplicaCore(tables []ReplicaTable, cfg CoreConfig) (*Core, error) {
+	if len(tables) == 0 {
+		return nil, errInvalid("serve: no tables registered")
+	}
+	c := &Core{
+		shards:   make(map[string]*shard, len(tables)),
+		role:     RoleFollower,
+		upstream: cfg.Upstream,
+	}
+	for _, t := range tables {
+		if t.Name == "" {
+			return nil, errInvalid("serve: empty replica table name")
+		}
+		if t.Dataset == nil {
+			return nil, errInvalid("serve: replica table %q has no dataset", t.Name)
+		}
+		if _, dup := c.shards[t.Name]; dup {
+			return nil, errInvalid("serve: replica table %q registered twice", t.Name)
+		}
+		c.names = append(c.names, t.Name)
+		c.shards[t.Name] = newReplicaShard(t.Name, t.Dataset, t.Forward)
+	}
+	return c, nil
+}
+
+// Role names for HealthResponse.Role.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
 // Tables returns the served table names in registration order.
 func (c *Core) Tables() []string { return append([]string(nil), c.names...) }
+
+// Role reports whether this core is a leader or a replica follower.
+func (c *Core) Role() string { return c.role }
 
 // Close shuts the shards down gracefully: observation queues stop
 // accepting, their consumers drain what was already queued, and the
 // call returns when every decision loop is quiet. Call after the
-// transport has stopped accepting requests.
+// transport has stopped accepting requests. Idempotent — a host that
+// closes both its server and its replication follower must not panic
+// on the second pass.
 func (c *Core) Close() {
 	for _, name := range c.names {
 		c.shards[name].close()
 	}
 }
 
-// Snapshot returns the named table's current optimizer snapshot — the
-// hook a host process uses to persist serving state at shutdown.
+// Snapshot returns the named table's current published snapshot — the
+// hook a host process uses to persist serving state at shutdown. ok is
+// false for unknown tables and for replica tables that have not
+// applied a snapshot yet.
 func (c *Core) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
 	sh, ok := c.shards[table]
 	if !ok {
 		return oreo.OptimizerSnapshot{}, false
 	}
-	return sh.copt.Snapshot(), true
+	st, err := sh.view()
+	if err != nil {
+		return oreo.OptimizerSnapshot{}, false
+	}
+	return st.snap, true
+}
+
+// ReplicaPosition returns the named table's replication position: the
+// monotonic decision epoch and the snapshot published at exactly that
+// epoch, as one coherent pair. On a leader this is what a replication
+// publisher snapshots for a new subscriber; on a follower it is the
+// applied position. ok is false for unknown tables and replica tables
+// with no snapshot yet.
+func (c *Core) ReplicaPosition(table string) (epoch uint64, snap oreo.OptimizerSnapshot, ok bool) {
+	sh, found := c.shards[table]
+	if !found {
+		return 0, oreo.OptimizerSnapshot{}, false
+	}
+	st, err := sh.view()
+	if err != nil {
+		return 0, oreo.OptimizerSnapshot{}, false
+	}
+	return st.epoch, st.snap, true
+}
+
+// ApplyReplica publishes an externally decoded (epoch, snapshot) pair
+// for the named replica table: the follower's write path. The epoch
+// must come from the leader's decision stream so /healthz lag reads
+// line up across the cluster. Fails on leaders — a leader's state is
+// written only by its own decision loops.
+func (c *Core) ApplyReplica(table string, epoch uint64, snap oreo.OptimizerSnapshot) error {
+	sh, ok := c.shards[table]
+	if !ok {
+		return errNotFound("unknown table %q", table)
+	}
+	if !sh.replica {
+		return errInvalid("table %q is not a replica", table)
+	}
+	if snap.Serving == nil {
+		return errInvalid("replica snapshot for %q has no serving layout", table)
+	}
+	sh.applyReplica(epoch, snap)
+	return nil
+}
+
+// SetDecisionHook attaches fn to every table's decision consumer: it
+// is called after each processed query with the table name and the
+// post-decision update, serialized per table (one consumer goroutine
+// each) but concurrent across tables. This is the replication publish
+// point. Safe to call on a running core; pass nil to detach.
+func (c *Core) SetDecisionHook(fn func(table string, upd DecisionUpdate)) {
+	for _, name := range c.names {
+		if fn == nil {
+			c.shards[name].onDecision.Store(nil)
+		} else {
+			f := fn
+			c.shards[name].onDecision.Store(&f)
+		}
+	}
+}
+
+// Observe injects one query into the named table's decision loop
+// without serving it — the landing point for observations forwarded by
+// replica followers, so queries answered at the edge still teach the
+// leader's optimizer. Non-blocking: false means the queue was full and
+// the observation was sampled out (counted in Dropped). Predicates
+// must name columns of the table's schema; violations are errors, not
+// silent drops, exactly as on the serving path.
+func (c *Core) Observe(table string, q oreo.Query) (bool, error) {
+	sh, ok := c.shards[table]
+	if !ok {
+		return false, errNotFound("unknown table %q", table)
+	}
+	if sh.replica {
+		return false, errInvalid("table %q is a replica; observations belong on the leader", table)
+	}
+	if len(q.Preds) == 0 {
+		return false, errInvalid("observation has no predicates")
+	}
+	schema := sh.ds.Schema()
+	for _, p := range q.Preds {
+		if _, ok := schema.Index(p.Col); !ok {
+			return false, errInvalid("table %q has no column %q", table, p.Col)
+		}
+	}
+	observed := sh.observe(q)
+	if observed {
+		sh.observed.Add(1)
+	} else {
+		sh.dropped.Add(1)
+	}
+	return observed, nil
 }
 
 // Answer resolves one decoded query to per-table results. With an
@@ -131,7 +297,11 @@ func (c *Core) Answer(ctx context.Context, req QueryRequest) ([]TableResult, err
 			}
 		}
 		if !req.Execute {
-			return []TableResult{sh.serveQuery(q)}, nil
+			res, err := sh.serveQuery(q)
+			if err != nil {
+				return nil, coreErr(err)
+			}
+			return []TableResult{res}, nil
 		}
 		res, err := sh.serveExecute(ctx, q, aggs)
 		if err != nil {
@@ -140,7 +310,7 @@ func (c *Core) Answer(ctx context.Context, req QueryRequest) ([]TableResult, err
 		return []TableResult{res}, nil
 	}
 
-	routed, unrouted := c.multi.Route(q)
+	routed, unrouted := c.route(q)
 	if len(unrouted) > 0 {
 		return nil, errInvalid("no table has column %q", unrouted[0])
 	}
@@ -158,17 +328,27 @@ func (c *Core) Answer(ctx context.Context, req QueryRequest) ([]TableResult, err
 			continue
 		}
 		sh := c.shards[name]
+		var res TableResult
+		var err error
 		if !req.Execute {
-			out = append(out, sh.serveQuery(sub))
-			continue
+			res, err = sh.serveQuery(sub)
+		} else {
+			res, err = sh.serveExecute(ctx, sub, perTableAggs[name])
 		}
-		res, err := sh.serveExecute(ctx, sub, perTableAggs[name])
 		if err != nil {
 			return nil, coreErr(err)
 		}
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// route splits the query's predicates by table over the core's own
+// shard registry — the one shared routing rule (oreo.RouteQuery), so
+// replica cores, which have no MultiOptimizer at all, route
+// bit-identically to their leader.
+func (c *Core) route(q oreo.Query) (routed map[string]oreo.Query, unrouted []string) {
+	return oreo.RouteQuery(q, c.names, func(name string) *oreo.Schema { return c.shards[name].ds.Schema() })
 }
 
 // Batch answers many queries in one call with the partial-failure
@@ -203,7 +383,11 @@ func (c *Core) Layout(table string) (LayoutResponse, error) {
 	if !ok {
 		return LayoutResponse{}, errNotFound("unknown table %q", table)
 	}
-	return sh.layoutInfo(), nil
+	res, err := sh.layoutInfo()
+	if err != nil {
+		return LayoutResponse{}, err
+	}
+	return res, nil
 }
 
 // Stats reports the named table's optimizer counters, memo
@@ -213,11 +397,16 @@ func (c *Core) Stats(table string) (StatsResponse, error) {
 	if !ok {
 		return StatsResponse{}, errNotFound("unknown table %q", table)
 	}
-	return sh.stats(), nil
+	res, err := sh.stats()
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	return res, nil
 }
 
 // Trace reports the named table's decision trace (empty unless the
-// optimizer was configured with TraceCapacity).
+// optimizer was configured with TraceCapacity; always empty on a
+// replica, which runs no decisions).
 func (c *Core) Trace(table string) (TraceResponse, error) {
 	sh, ok := c.shards[table]
 	if !ok {
@@ -226,11 +415,19 @@ func (c *Core) Trace(table string) (TraceResponse, error) {
 	return TraceResponse{Table: sh.table, Events: sh.traceEvents()}, nil
 }
 
-// Health reports liveness and the cross-table serving totals.
+// Health reports liveness, role, per-table layout epochs, and the
+// cross-table serving totals.
 func (c *Core) Health() HealthResponse {
 	names := append([]string(nil), c.names...)
 	sort.Strings(names)
-	resp := HealthResponse{Status: "ok", Tables: names}
+	resp := HealthResponse{
+		Status:       "ok",
+		Role:         c.role,
+		Upstream:     c.upstream,
+		Advertise:    c.advertise,
+		Tables:       names,
+		LayoutEpochs: make(map[string]uint64, len(names)),
+	}
 	for _, name := range names {
 		sh := c.shards[name]
 		// Shard counters are the serving truth: they count every
@@ -241,7 +438,16 @@ func (c *Core) Health() HealthResponse {
 		resp.Served += sh.served.Load()
 		resp.Observed += sh.observed.Load()
 		resp.Dropped += sh.dropped.Load()
-		resp.Queries += sh.copt.Stats().Queries
+		st, err := sh.view()
+		if err != nil {
+			// A replica table still waiting for its first snapshot: the
+			// process is up but not serving this table yet.
+			resp.Status = "initializing"
+			resp.LayoutEpochs[name] = 0
+			continue
+		}
+		resp.Queries += st.snap.Stats.Queries
+		resp.LayoutEpochs[name] = st.epoch
 	}
 	return resp
 }

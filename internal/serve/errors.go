@@ -21,6 +21,11 @@ const (
 	// canceled (client disconnect, deadline). Transports usually cannot
 	// answer these at all; HTTP maps it 499-style to 400.
 	CodeCanceled ErrorCode = "canceled"
+	// CodeUnavailable marks a request the server cannot answer *yet*: a
+	// replica table that has not applied its first snapshot from the
+	// leader. The request was well-formed; retrying it after catch-up
+	// succeeds. HTTP 503.
+	CodeUnavailable ErrorCode = "unavailable"
 )
 
 // Error is the typed failure every Core method returns. It implements
@@ -44,6 +49,10 @@ func errCanceled(err error) *Error {
 	return &Error{Code: CodeCanceled, Message: err.Error()}
 }
 
+func errUnavailable(format string, args ...any) *Error {
+	return &Error{Code: CodeUnavailable, Message: fmt.Sprintf(format, args...)}
+}
+
 // httpStatus maps an error coming out of Core to the status the v1
 // contract has always used: unknown table 404, everything else a client
 // sent wrong 400. Unknown error values (never produced by Core today)
@@ -56,6 +65,8 @@ func httpStatus(err error) int {
 			return 404
 		case CodeInvalid, CodeCanceled:
 			return 400
+		case CodeUnavailable:
+			return 503
 		}
 	}
 	return 500

@@ -104,6 +104,9 @@ type Config struct {
 	// single-tenant deployments only). Stream requests are capped per
 	// line, not per body.
 	MaxBodyBytes int64
+	// Advertise is the URL this server is reachable at for replication
+	// subscribers, surfaced on /healthz (see CoreConfig.Advertise).
+	Advertise string
 }
 
 // Server is the HTTP codec over a serving Core: it decodes bytes,
@@ -119,7 +122,7 @@ type Server struct {
 // MultiOptimizer (and its per-table Optimizers) must not be used
 // directly afterwards: every shard owns its table's decision path.
 func New(m *oreo.MultiOptimizer, cfg Config) (*Server, error) {
-	core, err := NewCore(m, CoreConfig{QueueSize: cfg.QueueSize})
+	core, err := NewCore(m, CoreConfig{QueueSize: cfg.QueueSize, Advertise: cfg.Advertise})
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +161,14 @@ func (s *Server) Core() *Core { return s.core }
 // Handler returns the server's HTTP handler, for mounting into an
 // http.Server (the caller owns listening and TLS).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Mount registers an additional handler on the server's mux — the hook
+// a host uses to attach transports this package does not know about,
+// such as the replication endpoints of internal/replica
+// (POST /v2/replication/subscribe, POST /v2/replication/observe).
+// Patterns use net/http mux syntax and must not collide with the
+// built-in routes.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Close shuts the core's shards down gracefully: observation queues
 // stop accepting, their consumers drain what was already queued, and

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -387,7 +388,10 @@ func TestQueueOverloadSamples(t *testing.T) {
 	sh := s.core.shards["orders"]
 	const burst = 200
 	for i := 0; i < burst; i++ {
-		res := sh.serveQuery(oreo.Query{ID: i, Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 10)}})
+		res, err := sh.serveQuery(oreo.Query{ID: i, Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 10)}})
+		if err != nil {
+			t.Fatalf("burst query %d: %v", i, err)
+		}
 		if res.Cost < 0 || res.Cost > 1 {
 			t.Fatalf("burst query %d: bad cost %v", i, res.Cost)
 		}
@@ -407,7 +411,10 @@ func TestServeAfterCloseDoesNotPanic(t *testing.T) {
 	s, _ := newFixtureServer(t, 8)
 	s.Close()
 	sh := s.core.shards["orders"]
-	res := sh.serveQuery(oreo.Query{Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 100)}})
+	res, err := sh.serveQuery(oreo.Query{Preds: []oreo.Predicate{oreo.IntRange("order_ts", 0, 100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Observed {
 		t.Error("query observed after close")
 	}
@@ -416,6 +423,108 @@ func TestServeAfterCloseDoesNotPanic(t *testing.T) {
 	}
 	if sh.dropped.Load() != 1 {
 		t.Errorf("dropped = %d, want 1", sh.dropped.Load())
+	}
+}
+
+// TestCloseIdempotent pins the teardown contract replication hosts
+// rely on: a follower process closes its replication follower (which
+// closes the replica core) and then its HTTP server (which closes the
+// same core again), so Core.Close — and Server.Close over it — must be
+// safe to call any number of times, including concurrently with late
+// requests.
+func TestCloseIdempotent(t *testing.T) {
+	s, _ := newFixtureServer(t, 8)
+	s.Close()
+	s.Close()
+	s.core.Close() // third pass, through the core directly
+
+	// A replica core with no decision loops must honor the same
+	// contract: double-close during follower teardown must not panic.
+	rc, err := NewReplicaCore([]ReplicaTable{
+		{Name: "orders", Dataset: s.core.shards["orders"].ds},
+	}, CoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	rc.Close()
+}
+
+// TestReplicaCoreUnavailableBeforeSnapshot pins the replica cold-start
+// contract: every read surface answers 503/unavailable — never a wrong
+// or empty answer — until the first snapshot is applied.
+func TestReplicaCoreUnavailableBeforeSnapshot(t *testing.T) {
+	base, _ := newFixtureServer(t, 8)
+	rc, err := NewReplicaCore([]ReplicaTable{
+		{Name: "orders", Dataset: base.core.shards["orders"].ds},
+	}, CoreConfig{Upstream: "http://leader:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	req := QueryRequest{Table: "orders", Preds: []PredicateJSON{{Col: "order_ts", HasLo: true, LoI: 1}}}
+	if _, err := rc.Answer(context.Background(), req); err == nil {
+		t.Fatal("Answer before snapshot: want unavailable error")
+	} else if e, ok := err.(*Error); !ok || e.Code != CodeUnavailable {
+		t.Fatalf("Answer before snapshot: err = %v, want CodeUnavailable", err)
+	} else if httpStatus(e) != 503 {
+		t.Fatalf("unavailable maps to %d, want 503", httpStatus(e))
+	}
+	if _, err := rc.Layout("orders"); err == nil {
+		t.Fatal("Layout before snapshot: want unavailable error")
+	}
+	if _, err := rc.Stats("orders"); err == nil {
+		t.Fatal("Stats before snapshot: want unavailable error")
+	}
+	h := rc.Health()
+	if h.Status != "initializing" || h.Role != RoleFollower || h.Upstream != "http://leader:8080" {
+		t.Fatalf("health = %+v, want initializing follower", h)
+	}
+	if h.LayoutEpochs["orders"] != 0 {
+		t.Fatalf("layout epoch before snapshot = %d, want 0", h.LayoutEpochs["orders"])
+	}
+
+	// Applying a snapshot flips the whole surface on.
+	epoch, snap, ok := base.core.ReplicaPosition("orders")
+	if !ok {
+		t.Fatal("leader has no position")
+	}
+	if err := rc.ApplyReplica("orders", epoch+1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Answer(context.Background(), req); err != nil {
+		t.Fatalf("Answer after snapshot: %v", err)
+	}
+	h = rc.Health()
+	if h.Status != "ok" || h.LayoutEpochs["orders"] != epoch+1 {
+		t.Fatalf("health after snapshot = %+v", h)
+	}
+}
+
+// TestLeaderHealthEpochs pins the leader half of the lag read: the
+// layout epoch is the count of decisions the table's loop processed.
+func TestLeaderHealthEpochs(t *testing.T) {
+	s, ts := newFixtureServer(t, 64)
+	for i := 0; i < 5; i++ {
+		resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{
+			Table: "orders",
+			Preds: []PredicateJSON{{Col: "order_ts", HasLo: true, LoI: int64(i * 100)}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %s", i, data)
+		}
+	}
+	waitDrained(t, ts.URL, "orders")
+	h := s.core.Health()
+	if h.Role != RoleLeader {
+		t.Fatalf("role = %q", h.Role)
+	}
+	if h.LayoutEpochs["orders"] != 5 {
+		t.Fatalf("orders epoch = %d, want 5", h.LayoutEpochs["orders"])
+	}
+	if h.LayoutEpochs["events"] != 0 {
+		t.Fatalf("events epoch = %d, want 0", h.LayoutEpochs["events"])
 	}
 }
 

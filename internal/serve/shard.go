@@ -10,37 +10,65 @@ import (
 	"oreo/internal/exec"
 )
 
-// shard is one table's serving unit: a read-mostly optimizer plus the
-// bounded observation queue that decouples request handling from the
-// sequential decision path.
+// shard is one table's serving unit. It runs in one of two modes:
 //
-// The read path (serveQuery / serveExecute) is lock-free: it costs the
-// query and extracts the survivor skip-list against the atomically
-// published layout snapshot — and, for execute requests, scans the
-// matching execution store — then hands the query to the decision loop
-// through a non-blocking send. The write path is one background
-// consumer goroutine draining the queue into
+// In leader mode it pairs a read-mostly optimizer with the bounded
+// observation queue that decouples request handling from the sequential
+// decision path. The read path (serveQuery / serveExecute) is
+// lock-free: it costs the query and extracts the survivor skip-list
+// against the atomically published layout snapshot — and, for execute
+// requests, scans the matching execution store — then hands the query
+// to the decision loop through a non-blocking send. The write path is
+// one background consumer goroutine draining the queue into
 // ConcurrentOptimizer.ProcessQuery, so the mutex-serialized decision
 // path never sits on a request's critical path. When the queue is full
 // the query is sampled out of reorganization decisions (counted in
 // dropped) rather than blocking the request — under overload OREO sees
 // a uniform sample of the stream, which its sliding-window machinery is
 // built for.
+//
+// In replica mode there is no optimizer and no decision loop: the
+// (epoch, snapshot) pair is applied from outside (a replication
+// follower decoding the leader's decision stream — see
+// internal/replica), the read path serves from it exactly as a leader
+// shard would, and observations are handed to a forward function that
+// ships them upstream instead of into a local queue. A replica shard
+// that has not yet applied its first snapshot answers unavailable.
 type shard struct {
 	table string
 	ds    *oreo.Dataset
-	copt  *oreo.ConcurrentOptimizer
+
+	// copt is the decision engine — leader mode only, nil on a replica.
+	copt *oreo.ConcurrentOptimizer
+
+	// replica marks a shard whose state is externally applied; forward
+	// is its observation hand-off (upstream, not a local queue).
+	replica bool
+	forward func(oreo.Query) bool
+
+	// rep is the published (epoch, snapshot) pair every read serves
+	// from: one atomic load yields a decision sequence number and the
+	// layout/stats view that was true at exactly that sequence number.
+	// Leader shards publish it from the decision consumer after each
+	// processed query; replica shards publish it from applyReplica. On a
+	// replica it is nil until the first snapshot lands.
+	rep atomic.Pointer[repState]
+
+	// onDecision, when set, is invoked from the decision consumer after
+	// each processed query — the replication publish hook. Swapped
+	// atomically so it can be attached to a running core.
+	onDecision atomic.Pointer[func(table string, upd DecisionUpdate)]
 
 	// store is the execution state: the materialized per-partition row
 	// blocks paired with the exact layout they were arranged by. It is
 	// built lazily by the first execute request (storeMu serializes
 	// that one build), so costing-only deployments never pay the second
-	// copy of the data; once it exists, the consumer rebuilds and swaps
-	// it after each reorganization, in lockstep with the optimizer
-	// snapshot it publishes, so execute requests read a (layout, data)
-	// pair that is always internally consistent — during a swap a
-	// request may execute on the outgoing layout one last time, never
-	// on a torn mix.
+	// copy of the data; once it exists, the decision consumer (leader)
+	// or applyReplica (replica) rebuilds and swaps it after each
+	// reorganization, in lockstep with the published snapshot, so
+	// execute requests read a (layout, data) pair that is always
+	// internally consistent — during a swap a request may execute on
+	// the outgoing layout one last time, never on a torn mix.
 	store   atomic.Pointer[execState]
 	storeMu sync.Mutex
 
@@ -55,8 +83,8 @@ type shard struct {
 	obsClosed bool
 
 	served   atomic.Uint64 // read-path answers
-	observed atomic.Uint64 // queries enqueued for the decision loop
-	dropped  atomic.Uint64 // queue-full samples
+	observed atomic.Uint64 // queries enqueued for the decision loop (or forwarded upstream)
+	dropped  atomic.Uint64 // queue-full samples (or failed forwards)
 	costBits atomic.Uint64 // sum of served costs, as float64 bits
 	// compiles counts snapshot compile-and-sweep evaluations served on
 	// the read path — the memo-bypassing complement of the engine's
@@ -66,6 +94,27 @@ type shard struct {
 	// examined.
 	executions atomic.Uint64
 	execRows   atomic.Uint64
+}
+
+// repState is one published (epoch, snapshot) pair; see shard.rep.
+type repState struct {
+	epoch uint64
+	snap  oreo.OptimizerSnapshot
+}
+
+// DecisionUpdate is what the decision consumer reports to an attached
+// hook after processing one query — the unit of the replication log.
+// Epoch is the table's monotonic decision sequence number (one per
+// processed query, starting at 1 for the first decision after boot);
+// Snapshot is the post-decision published state; Switched reports that
+// the serving layout changed with this decision (the physical swap, so
+// under ReorgDelay it fires when the swap lands, not when the switch
+// was decided — exactly what a follower mirroring served answers needs).
+type DecisionUpdate struct {
+	Epoch    uint64
+	Cost     float64
+	Switched bool
+	Snapshot oreo.OptimizerSnapshot
 }
 
 // execState pairs a layout with the execution store materialized for
@@ -82,38 +131,79 @@ func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize int)
 		copt:  oreo.NewConcurrent(opt),
 		queue: make(chan oreo.Query, queueSize),
 	}
+	s.rep.Store(&repState{epoch: 0, snap: s.copt.Snapshot()})
 	s.wg.Add(1)
 	go s.consume()
 	return s
 }
 
+// newReplicaShard builds a shard in replica mode: no optimizer, no
+// decision loop; state arrives through applyReplica and observations
+// leave through forward. It answers unavailable until the first
+// snapshot is applied.
+func newReplicaShard(name string, ds *oreo.Dataset, forward func(oreo.Query) bool) *shard {
+	return &shard{table: name, ds: ds, replica: true, forward: forward}
+}
+
 // consume is the single decision consumer: it drains observed queries
-// into the full OREO decision path, republishing the layout snapshot
-// after each one and rebuilding the execution store (if one has been
-// materialized) whenever the serving layout changed. The rebuild (a
-// full data rewrite) runs here, on the decision goroutine — it is the
-// physical reorganization cost the optimizer's α models, and it must
-// never land on a request.
+// into the full OREO decision path, republishing the (epoch, snapshot)
+// pair after each one and rebuilding the execution store (if one has
+// been materialized) whenever the serving layout changed. The rebuild
+// (a full data rewrite) runs here, on the decision goroutine — it is
+// the physical reorganization cost the optimizer's α models, and it
+// must never land on a request. The attached decision hook (if any)
+// runs last, so a replication publisher always describes a state the
+// leader itself already serves.
 func (s *shard) consume() {
 	defer s.wg.Done()
+	prev := s.copt.CurrentLayout()
 	for q := range s.queue {
-		s.copt.ProcessQuery(q)
-		if st := s.store.Load(); st != nil {
-			if cur := s.copt.CurrentLayout(); cur != st.layout {
-				s.store.Store(&execState{layout: cur, store: exec.MustNewStore(s.ds, cur.Part)})
-			}
+		d := s.copt.ProcessQuery(q)
+		snap := s.copt.Snapshot()
+		epoch := s.rep.Load().epoch + 1
+		s.rep.Store(&repState{epoch: epoch, snap: snap})
+		switched := snap.Serving != prev
+		prev = snap.Serving
+		if st := s.store.Load(); st != nil && snap.Serving != st.layout {
+			s.store.Store(&execState{layout: snap.Serving, store: exec.MustNewStore(s.ds, snap.Serving.Part)})
 		}
+		if fn := s.onDecision.Load(); fn != nil {
+			(*fn)(s.table, DecisionUpdate{Epoch: epoch, Cost: d.Cost, Switched: switched, Snapshot: snap})
+		}
+	}
+}
+
+// view returns the published (epoch, snapshot) pair, or an unavailable
+// error on a replica shard that has not applied its first snapshot.
+func (s *shard) view() (repState, *Error) {
+	st := s.rep.Load()
+	if st == nil {
+		return repState{}, errUnavailable("table %q is replicating and has no snapshot yet", s.table)
+	}
+	return *st, nil
+}
+
+// applyReplica publishes an externally decoded (epoch, snapshot) pair —
+// the replica-mode write path — and, when a materialized execution
+// store exists, rebuilds it in lockstep on this (apply) goroutine so
+// the rebuild cost never lands on a request.
+func (s *shard) applyReplica(epoch uint64, snap oreo.OptimizerSnapshot) {
+	s.rep.Store(&repState{epoch: epoch, snap: snap})
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if st := s.store.Load(); st != nil && st.layout != snap.Serving {
+		s.store.Store(&execState{layout: snap.Serving, store: exec.MustNewStore(s.ds, snap.Serving.Part)})
 	}
 }
 
 // execStore returns the execution state, materializing it on first use.
 // The build is serialized under storeMu (concurrent first-execute
 // requests wait rather than each copying the table); afterwards loads
-// are lock-free. The state may trail the optimizer's serving layout
-// until the consumer's next rebuild — serveExecute reports that window
+// are lock-free. The state may trail the published serving layout
+// until the next lockstep rebuild — serveExecute reports that window
 // as an in-flight reorganization — but it is always an internally
 // consistent (layout, data) pair.
-func (s *shard) execStore() *execState {
+func (s *shard) execStore(lay *oreo.Layout) *execState {
 	if st := s.store.Load(); st != nil {
 		return st
 	}
@@ -122,34 +212,40 @@ func (s *shard) execStore() *execState {
 	if st := s.store.Load(); st != nil {
 		return st
 	}
-	lay := s.copt.CurrentLayout()
 	st := &execState{layout: lay, store: exec.MustNewStore(s.ds, lay.Part)}
 	s.store.Store(st)
 	return st
 }
 
 // close stops the shard: no further observations are accepted, the
-// consumer drains what was already queued, and the call returns once
-// the decision loop has gone quiet. Idempotent, and safe to call while
-// requests are still in flight — late observations are dropped, not
-// panicked on.
+// consumer (leader mode) drains what was already queued, and the call
+// returns once the decision loop has gone quiet. Idempotent — a
+// follower teardown may close the same core twice — and safe to call
+// while requests are still in flight: late observations are dropped,
+// not panicked on.
 func (s *shard) close() {
 	s.closeOnce.Do(func() {
 		s.obsMu.Lock()
 		s.obsClosed = true
 		s.obsMu.Unlock()
-		close(s.queue)
+		if s.queue != nil {
+			close(s.queue)
+		}
 	})
 	s.wg.Wait()
 }
 
-// observe hands the query to the decision loop without blocking: false
-// when the queue is full or the shard is closing.
+// observe hands the query to the decision loop — or, on a replica,
+// to the upstream forwarder — without blocking: false when the queue
+// (or forward buffer) is full or the shard is closing.
 func (s *shard) observe(q oreo.Query) bool {
 	s.obsMu.RLock()
 	defer s.obsMu.RUnlock()
 	if s.obsClosed {
 		return false
+	}
+	if s.replica {
+		return s.forward != nil && s.forward(q)
 	}
 	select {
 	case s.queue <- q:
@@ -177,8 +273,12 @@ func (s *shard) record(q oreo.Query, cost float64) bool {
 // serveQuery answers one routed query: the lock-free snapshot read path
 // (OptimizerSnapshot.CostQuery) for cost and skip-list, then a
 // non-blocking observation handoff.
-func (s *shard) serveQuery(q oreo.Query) TableResult {
-	snap := s.copt.Snapshot()
+func (s *shard) serveQuery(q oreo.Query) (TableResult, error) {
+	st, verr := s.view()
+	if verr != nil {
+		return TableResult{}, verr
+	}
+	snap := st.snap
 	dec := snap.CostQuery(q)
 	observed := s.record(q, dec.Cost)
 
@@ -195,24 +295,28 @@ func (s *shard) serveQuery(q oreo.Query) TableResult {
 		res.Reorganizing = true
 		res.PendingLayout = snap.Pending.Name
 	}
-	return res
+	return res, nil
 }
 
 // serveExecute answers one routed query *and* executes it: cost and
 // skip-list are evaluated against the execution state's layout (not the
-// possibly newer optimizer snapshot, so pruning and data always agree),
+// possibly newer published snapshot, so pruning and data always agree),
 // then the store scans exactly the survivor partitions, re-checking
 // predicates per row and folding the requested aggregates. Errors are
 // client errors (invalid aggregates) or a canceled context, and leave
 // every counter untouched.
 func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggSpec) (TableResult, error) {
+	snapSt, verr := s.view()
+	if verr != nil {
+		return TableResult{}, verr
+	}
 	// Validate before materializing: on a cold shard the lazy store
 	// build is a full second copy of the table, and a request that is
 	// going to be rejected must not leave that (permanent) footprint.
 	if err := exec.ValidateAggs(s.ds.Schema(), aggs); err != nil {
 		return TableResult{}, err
 	}
-	st := s.execStore()
+	st := s.execStore(snapSt.snap.Serving)
 	cost, ids := st.layout.CostSurvivorsSnapshot(q)
 	if ids == nil {
 		ids = []int{}
@@ -242,12 +346,12 @@ func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggS
 			Aggregates:      encodeAggs(scan.Aggs),
 		},
 	}
-	if snap := s.copt.Snapshot(); snap.Pending != nil {
+	if snap := s.currentSnap(); snap.Pending != nil {
 		res.Reorganizing = true
 		res.PendingLayout = snap.Pending.Name
 	} else if snap.Serving != st.layout {
-		// The optimizer already switched but the store rebuild has not
-		// landed: the physical swap is still in flight, and answers
+		// The published state already switched but the store rebuild has
+		// not landed: the physical swap is still in flight, and answers
 		// keep coming from the outgoing layout until it does. Report
 		// that honestly — a monitor polling for "reorganization done"
 		// must not be told done while execution still reads old blocks.
@@ -255,6 +359,12 @@ func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggS
 		res.PendingLayout = snap.Serving.Name
 	}
 	return res, nil
+}
+
+// currentSnap returns the freshest published snapshot; callers must
+// have already established a snapshot exists (via view).
+func (s *shard) currentSnap() oreo.OptimizerSnapshot {
+	return s.rep.Load().snap
 }
 
 // addCost accumulates a served cost into the float-bits counter.
@@ -267,9 +377,15 @@ func (s *shard) addCost(c float64) {
 	}
 }
 
-// stats assembles the shard's stats response from one snapshot.
-func (s *shard) stats() StatsResponse {
-	snap := s.copt.Snapshot()
+// stats assembles the shard's stats response from one snapshot. On a
+// replica shard the optimizer counters are the leader's, replicated
+// with the decision stream; the serving metrics are the replica's own.
+func (s *shard) stats() (StatsResponse, error) {
+	rst, verr := s.view()
+	if verr != nil {
+		return StatsResponse{}, verr
+	}
+	snap := rst.snap
 	st := snap.Stats
 	memo := snap.Serving.Engine().Stats()
 	return StatsResponse{
@@ -297,12 +413,16 @@ func (s *shard) stats() StatsResponse {
 		ExecutionRowsRead: s.execRows.Load(),
 		QueueDepth:        len(s.queue),
 		QueueCapacity:     cap(s.queue),
-	}
+	}, nil
 }
 
 // layoutInfo assembles the layout response from one snapshot.
-func (s *shard) layoutInfo() LayoutResponse {
-	snap := s.copt.Snapshot()
+func (s *shard) layoutInfo() (LayoutResponse, error) {
+	rst, verr := s.view()
+	if verr != nil {
+		return LayoutResponse{}, verr
+	}
+	snap := rst.snap
 	lay := snap.Serving
 	rows := make([]int, lay.Part.NumPartitions)
 	for pid, m := range lay.Part.Meta {
@@ -321,12 +441,17 @@ func (s *shard) layoutInfo() LayoutResponse {
 		res.Reorganizing = true
 		res.PendingLayout = snap.Pending.Name
 	}
-	return res
+	return res, nil
 }
 
 // traceEvents returns the decision trace (empty unless the optimizer
-// was configured with TraceCapacity).
+// was configured with TraceCapacity). Replica shards run no decisions,
+// so their trace is empty by construction — traces are a decision-path
+// artifact and live where decisions are made, on the leader.
 func (s *shard) traceEvents() []TraceEventJSON {
+	if s.replica {
+		return []TraceEventJSON{}
+	}
 	events := s.copt.Events()
 	out := make([]TraceEventJSON, 0, len(events))
 	for _, e := range events {

@@ -240,20 +240,43 @@ type TraceResponse struct {
 
 // HealthResponse is the body of GET /healthz. The three shard totals
 // are the authoritative serving view: Served counts every answered
-// request, split into Observed (enqueued for the decision loop) and
-// Dropped (sampled out under overload). Queries counts what the
-// decision loops have actually *processed* so far — it trails Observed
-// while queues drain and excludes Dropped entirely, so it understates
-// traffic under load and must not be read as a request count.
+// request, split into Observed (enqueued for the decision loop, or —
+// on a follower — forwarded upstream) and Dropped (sampled out under
+// overload). Queries counts what the decision loops have actually
+// *processed* so far — it trails Observed while queues drain and
+// excludes Dropped entirely, so it understates traffic under load and
+// must not be read as a request count.
+//
+// Unlike the /v1 response shapes, /healthz is an operational endpoint,
+// not part of the frozen replay contract: fields are added as the
+// topology grows (Role, LayoutEpochs, Upstream/Advertise arrived with
+// replication), always additively.
 type HealthResponse struct {
-	Status string   `json:"status"`
-	Tables []string `json:"tables"`
+	// Status is "ok", or "initializing" on a follower that has not yet
+	// applied a first snapshot for every table.
+	Status string `json:"status"`
+	// Role is "leader" (owns decision loops) or "follower" (replica
+	// applying the leader's decision stream).
+	Role string `json:"role"`
+	// Upstream is the leader URL a follower replicates from; Advertise
+	// is the URL a leader told operators to point followers at. Both
+	// informational.
+	Upstream  string   `json:"upstream,omitempty"`
+	Advertise string   `json:"advertise,omitempty"`
+	Tables    []string `json:"tables"`
+	// LayoutEpochs maps each table to its monotonic decision sequence
+	// number — on a leader, decisions processed this boot; on a
+	// follower, the last epoch applied from the stream. Replication lag
+	// for a table is the difference between the two readings, which is
+	// why the same field exists on both sides: two curls give the lag.
+	LayoutEpochs map[string]uint64 `json:"layout_epochs"`
 	// Served / Observed / Dropped are summed over all table shards.
 	Served   uint64 `json:"served"`
 	Observed uint64 `json:"observed"`
 	Dropped  uint64 `json:"dropped"`
 	// Queries is the total processed by the decision loops across all
 	// tables (observed queries that have drained, plus any direct use).
+	// On a follower it reflects the leader's replicated counters.
 	Queries int `json:"queries"`
 }
 

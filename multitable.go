@@ -88,12 +88,23 @@ func (m *MultiOptimizer) Dataset(table string) *Dataset {
 // multi-table configuration (§VIII), exposed so serving layers can fan
 // a request out across per-table shards.
 func (m *MultiOptimizer) Route(q Query) (routed map[string]Query, unrouted []string) {
+	return RouteQuery(q, m.names, func(name string) *Schema { return m.datasets[name].Schema() })
+}
+
+// RouteQuery is the predicate-routing rule itself, parameterized over
+// an ordered table registry: the single implementation behind
+// MultiOptimizer.Route and every serving surface that must route
+// identically without holding a MultiOptimizer (a replication
+// follower's replica core, most importantly — leader/follower answer
+// bit-identity depends on one routing rule existing, not two copies).
+// schemaOf is called only with names from the list.
+func RouteQuery(q Query, names []string, schemaOf func(table string) *Schema) (routed map[string]Query, unrouted []string) {
 	perTable := make(map[string][]Predicate)
 	seenUnrouted := make(map[string]bool)
 	for _, p := range q.Preds {
 		found := false
-		for _, name := range m.names {
-			if _, ok := m.datasets[name].Schema().Index(p.Col); ok {
+		for _, name := range names {
+			if _, ok := schemaOf(name).Index(p.Col); ok {
 				perTable[name] = append(perTable[name], p)
 				found = true
 			}

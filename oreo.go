@@ -140,11 +140,45 @@
 // string widening), booted by oreoserve -csv DIR — see
 // examples/execution for the loop in miniature.
 //
+// # Replication
+//
+// One process is the ceiling of the snapshot read path; replication
+// (internal/replica) removes it by splitting the system into one
+// leader and N read replicas sharing a single decision stream. The
+// leader runs the optimizer exactly as before and publishes every
+// processed query as an epoch-numbered record on
+// POST /v2/replication/subscribe: a subscription starts with one
+// snapshot per table — the serving layout in the persist framing
+// (row→partition RLE + statistics block + memo seed) plus the
+// optimizer counters — and continues with one decision record per
+// query (cost, counters, and the new layout's RLE only when the
+// serving layout switched).
+//
+// Followers (oreoserve -follow URL, or replica.Follower in process)
+// run no optimizer: they load their own copy of the data, rebuild each
+// layout from the stream against it, and serve the entire read surface
+// — /v1 and /v2 unary, batch, stream, execute, layout/stats/trace —
+// through the same serve.Core code the leader uses, so answers are
+// bit-identical to the leader's at the same epoch (property-tested
+// across reorganizations and forced re-snapshots). The statistics
+// block in each snapshot is the integrity gate: if the follower's data
+// differs from the leader's, replication fails loudly rather than
+// serving divergent costs. Queries answered at a follower are
+// forwarded upstream (batched, bounded, drop-and-count — never
+// backpressure) so the leader's optimizer keeps learning from edge
+// traffic; gaps in the stream trigger transparent in-stream
+// re-snapshots, and a severed connection or leader restart is survived
+// by resubscribe-with-resume. Both sides expose per-table
+// layout_epochs on /healthz, so replication lag is two curls;
+// client.Subscribe tails the same stream for monitors and log
+// shippers. See examples/replication for a leader + two followers in
+// miniature.
+//
 // The subpackages under internal/ implement the substrates (columnar
 // tables, query model, the pruning engine, layout generators, the
 // D-UMTS reorganizer, the layout manager, baselines, the experiment
-// harness, and the HTTP serving layer); this package re-exports
-// everything a downstream user needs.
+// harness, and the HTTP serving and replication layers); this package
+// re-exports everything a downstream user needs.
 package oreo
 
 import (
