@@ -77,6 +77,7 @@ func main() {
 		queue   = flag.Int("queue", serve.DefaultQueueSize, "observation queue size per table")
 		traceN  = flag.Int("trace", 256, "decision-trace capacity per table (0 disables /trace)")
 		stateIn = flag.String("state", "", "directory for warm-start snapshots (load at boot, save at shutdown)")
+		scanPar = flag.Int("scan-parallelism", 0, "worker goroutines per executed scan (0 = NumCPU, 1 = sequential; capped at NumCPU, results identical at any setting)")
 
 		// Replication topology. A leader always serves the replication
 		// endpoints; -follow turns the process into a read replica of
@@ -120,7 +121,7 @@ func main() {
 			tabs = append(tabs, replica.TableData{Name: src.name, Dataset: src.ds})
 		}
 		var err error
-		fol, err = replica.NewFollower(replica.FollowerConfig{Upstream: *follow, Tables: tabs})
+		fol, err = replica.NewFollower(replica.FollowerConfig{Upstream: *follow, Tables: tabs, ScanParallelism: *scanPar})
 		if err != nil {
 			log.Fatalf("oreoserve: %v", err)
 		}
@@ -158,7 +159,7 @@ func main() {
 			}
 		}
 		var err error
-		srv, err = serve.New(m, serve.Config{QueueSize: *queue, Advertise: *advertise})
+		srv, err = serve.New(m, serve.Config{QueueSize: *queue, Advertise: *advertise, ScanParallelism: *scanPar})
 		if err != nil {
 			log.Fatalf("oreoserve: %v", err)
 		}

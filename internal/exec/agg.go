@@ -118,10 +118,18 @@ type aggAcc struct {
 // columns. Violations are client errors — an execution API must not
 // silently drop an aggregate it was asked for.
 func bindAggs(schema *table.Schema, aggs []AggSpec) ([]aggAcc, error) {
+	return bindAggsInto(nil, schema, aggs)
+}
+
+// bindAggsInto is bindAggs appending into a caller-provided slice (the
+// pooled per-scan scratch), so steady-state scans bind without
+// allocating. The returned slice shares dst's backing array whenever
+// capacity suffices.
+func bindAggsInto(dst []aggAcc, schema *table.Schema, aggs []AggSpec) ([]aggAcc, error) {
 	if len(aggs) == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	accs := make([]aggAcc, 0, len(aggs))
+	accs := dst
 	for _, a := range aggs {
 		acc := aggAcc{op: a.Op, col: a.Col}
 		switch a.Op {

@@ -88,8 +88,115 @@ func BenchmarkScanByPartitionCount(b *testing.B) {
 	}
 }
 
+// BenchmarkScanInterpretedBySurvivorCount is the "before" side of the
+// bench trajectory: the same shapes as BenchmarkScanBySurvivorCount
+// run through the row-at-a-time reference engine the vectorized
+// kernels replaced. The ratio between the two is the kernel speedup
+// the CI bench bar enforces (TestScanSpeedupBar).
+func BenchmarkScanInterpretedBySurvivorCount(b *testing.B) {
+	const rows, k = 131072, 64
+	ds, store := benchStore(rows, k)
+	per := int64(rows / k)
+	for _, nsurv := range []int{1, 4, 16, 64} {
+		q := query.Query{Preds: []query.Predicate{
+			query.IntRange("ts", 0, per*int64(nsurv)-1),
+		}}
+		ids, _ := prune.Compile(ds.Schema(), q).Survivors(store.Partitioning())
+		aggs := []AggSpec{{Op: AggCount}, {Op: AggSum, Col: "val"}}
+		b.Run(fmt.Sprintf("survivors=%d", nsurv), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := store.ScanInterpreted(q, ids, aggs, Options{})
+				if err != nil || res.Matched != int(per)*nsurv {
+					b.Fatalf("scan: %v (matched %d)", err, res.Matched)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanParallel is the scaling curve: the survivors=64 shape
+// at increasing worker counts. Only worker counts up to NumCPU can
+// show wall-clock gains; the results are bit-identical at every count.
+func BenchmarkScanParallel(b *testing.B) {
+	const rows, k = 131072, 64
+	ds, store := benchStore(rows, k)
+	q := query.Query{Preds: []query.Predicate{query.IntRange("ts", 0, rows-1)}}
+	ids, _ := prune.Compile(ds.Schema(), q).Survivors(store.Partitioning())
+	aggs := []AggSpec{{Op: AggCount}, {Op: AggSum, Col: "val"}}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := store.Scan(q, ids, aggs, Options{Parallelism: workers})
+				if err != nil || res.Matched != rows {
+					b.Fatalf("scan: %v (matched %d)", err, res.Matched)
+				}
+			}
+		})
+	}
+}
+
+// benchStoreTagged is benchStore plus a 16-value string tag column, so
+// string-kernel and dictionary-build costs are measurable.
+func benchStoreTagged(rows, k int) (*table.Dataset, *Store) {
+	schema := table.NewSchema(
+		table.Column{Name: "ts", Type: table.Int64},
+		table.Column{Name: "val", Type: table.Float64},
+		table.Column{Name: "tag", Type: table.String},
+	)
+	tags := make([]string, 16)
+	for i := range tags {
+		tags[i] = fmt.Sprintf("t%02d", i)
+	}
+	b := table.NewBuilder(schema, rows)
+	for i := 0; i < rows; i++ {
+		b.AppendRow(table.Int(int64(i)), table.Float(float64(i%997)), table.Str(tags[i%len(tags)]))
+	}
+	ds := b.Build()
+	assign := make([]int, rows)
+	per := rows / k
+	for i := range assign {
+		pid := i / per
+		if pid >= k {
+			pid = k - 1
+		}
+		assign[i] = pid
+	}
+	return ds, MustNewStore(ds, table.MustBuildPartitioning(ds, assign, k))
+}
+
+// BenchmarkScanStringIn compares the dictionary code-probe kernel with
+// the interpreted per-row map lookup on a full-table IN scan.
+func BenchmarkScanStringIn(b *testing.B) {
+	const rows, k = 131072, 64
+	_, store := benchStoreTagged(rows, k)
+	q := query.Query{Preds: []query.Predicate{query.StrIn("tag", "t00", "t03", "t07", "t11")}}
+	ids := store.AllPartitions()
+	const want = rows / 4
+	b.Run("engine=kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := store.Scan(q, ids, nil, Options{})
+			if err != nil || res.Matched != want {
+				b.Fatalf("scan: %v (matched %d)", err, res.Matched)
+			}
+		}
+	})
+	b.Run("engine=interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := store.ScanInterpreted(q, ids, nil, Options{})
+			if err != nil || res.Matched != want {
+				b.Fatalf("scan: %v (matched %d)", err, res.Matched)
+			}
+		}
+	})
+}
+
 // BenchmarkStoreRebuild measures what a reorganization costs the
-// decision consumer: a full per-partition rematerialization.
+// decision consumer: a full per-partition rematerialization (which now
+// includes rebuilding the per-column string dictionaries — see the
+// tagged variant for that cost over a string-bearing table).
 func BenchmarkStoreRebuild(b *testing.B) {
 	const rows, k = 131072, 64
 	ds, store := benchStore(rows, k)
@@ -99,6 +206,37 @@ func BenchmarkStoreRebuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := NewStore(ds, part); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRebuildTagged is BenchmarkStoreRebuild over the
+// string-bearing table: the dictionary build is on this path.
+func BenchmarkStoreRebuildTagged(b *testing.B) {
+	const rows, k = 131072, 64
+	ds, store := benchStoreTagged(rows, k)
+	part := store.Partitioning()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewStore(ds, part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDictBuild isolates the dictionary-encoding cost of one
+// 131072-cell, 16-distinct-value string column.
+func BenchmarkDictBuild(b *testing.B) {
+	const rows = 131072
+	ds, _ := benchStoreTagged(rows, 64)
+	col := ds.StringCol(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, enc := table.BuildStringDict(col)
+		if d.Len() != 16 || len(enc) != rows {
+			b.Fatalf("dict %d values, %d codes", d.Len(), len(enc))
 		}
 	}
 }

@@ -3,15 +3,31 @@
 // pruning engine, the serving layer's survivor skip-lists — reasons
 // about which partitions a scan may skip; this package materializes the
 // actual rows arranged per layout and executes scans that read only the
-// partitions a skip-list names, re-checking every predicate per row.
+// partitions a skip-list names, re-checking every predicate against the
+// data.
 //
 // A Store holds one column-major block per partition: the dataset's
 // rows regrouped by the partitioning's row→partition assignment, each
-// block a small columnar table of its partition's rows. Stores are
-// immutable once built and cheap to share; when the optimizer
-// reorganizes into a new layout the owner builds a fresh Store from the
-// same dataset and atomically swaps it in (internal/serve does exactly
-// this, in lockstep with its optimizer snapshots).
+// block a small columnar table of its partition's rows. String columns
+// are additionally dictionary-encoded at build time — one shared
+// table.StringDict per column plus a per-block code array — so scans
+// compare interned integer codes instead of hashing strings per row.
+// Stores are immutable once built and cheap to share; when the
+// optimizer reorganizes into a new layout the owner builds a fresh
+// Store from the same dataset and atomically swaps it in
+// (internal/serve does exactly this, in lockstep with its optimizer
+// snapshots).
+//
+// Scan executes vectorized: predicates bind to typed columnar kernels
+// that sweep each block into a selection vector, aggregates fold in
+// tight per-column loops over the selected indices, and per-scan
+// scratch recycles through a pool so steady-state scans allocate
+// nothing beyond their Result (kernels.go). With Options.Parallelism
+// > 1 a worker pool scans survivor blocks concurrently and merges
+// per-block partials deterministically in skip-list order
+// (parallel.go), so results are bit-identical across worker counts.
+// ScanInterpreted keeps the original row-at-a-time engine as the
+// semantic reference both are property-tested against.
 //
 // Scan is the paper's premise made observable: the survivor skip-list
 // bounds the partitions touched (c(s, q) is exactly the fraction of
@@ -31,8 +47,8 @@ import (
 )
 
 // Store is a dataset materialized per partitioning: one column-major
-// block per partition. Immutable after NewStore and safe for concurrent
-// use.
+// block per partition, with dictionary-encoded string columns.
+// Immutable after NewStore and safe for concurrent use.
 type Store struct {
 	schema *table.Schema
 	part   *table.Partitioning
@@ -42,12 +58,21 @@ type Store struct {
 	// rowIDs maps each block row back to its original dataset row index,
 	// ascending within a block (blocks preserve dataset order).
 	rowIDs [][]int
+	// dicts holds one shared dictionary per string column (nil entries
+	// for non-string columns); codes[ci][pid] is block pid's column ci
+	// encoded against that dictionary.
+	dicts []*table.StringDict
+	codes [][][]uint32
+	// allIDs caches the full-scan survivor list [0..k): AllPartitions
+	// is on the per-request execute path and must not allocate.
+	allIDs []int
 }
 
 // NewStore materializes the dataset's rows into per-partition blocks
-// following the partitioning's assignment. The partitioning must cover
-// the dataset (same row count); partition IDs were already validated by
-// table.BuildPartitioning.
+// following the partitioning's assignment, and dictionary-encodes every
+// string column (one shared dict per column, one code array per block).
+// The partitioning must cover the dataset (same row count); partition
+// IDs were already validated by table.BuildPartitioning.
 func NewStore(ds *table.Dataset, part *table.Partitioning) (*Store, error) {
 	if len(part.Assign) != ds.NumRows() {
 		return nil, fmt.Errorf("exec: partitioning covers %d rows, dataset has %d",
@@ -79,6 +104,33 @@ func NewStore(ds *table.Dataset, part *table.Partitioning) (*Store, error) {
 		b.AppendRows(ds, rowIDs[pid])
 		s.blocks[pid] = b.Build()
 	}
+	// Dictionary-encode string columns: one dict over the whole dataset
+	// so every block shares one code space, then regroup the encoded
+	// column by the same row assignment the blocks used.
+	ncols := schema.NumCols()
+	s.dicts = make([]*table.StringDict, ncols)
+	s.codes = make([][][]uint32, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		if schema.Col(ci).Type != table.String {
+			continue
+		}
+		dict, enc := table.BuildStringDict(ds.StringCol(ci))
+		per := make([][]uint32, k)
+		for pid := 0; pid < k; pid++ {
+			rows := rowIDs[pid]
+			arr := make([]uint32, len(rows))
+			for j, r := range rows {
+				arr[j] = enc[r]
+			}
+			per[pid] = arr
+		}
+		s.dicts[ci] = dict
+		s.codes[ci] = per
+	}
+	s.allIDs = make([]int, k)
+	for i := range s.allIDs {
+		s.allIDs[i] = i
+	}
 	return s, nil
 }
 
@@ -107,15 +159,14 @@ func (s *Store) TotalRows() int { return s.part.TotalRows }
 // Block returns partition pid's rows as a columnar table (read-only).
 func (s *Store) Block(pid int) *table.Dataset { return s.blocks[pid] }
 
+// Dict returns the shared dictionary of string column ci, or nil for
+// non-string columns.
+func (s *Store) Dict(ci int) *table.StringDict { return s.dicts[ci] }
+
 // AllPartitions returns the ascending list of every partition ID — the
-// survivor list of a full scan.
-func (s *Store) AllPartitions() []int {
-	ids := make([]int, len(s.blocks))
-	for i := range ids {
-		ids[i] = i
-	}
-	return ids
-}
+// survivor list of a full scan. The slice is cached on the Store and
+// shared across calls; callers must treat it as read-only.
+func (s *Store) AllPartitions() []int { return s.allIDs }
 
 // Options tunes a Scan.
 type Options struct {
@@ -129,10 +180,19 @@ type Options struct {
 	// Context, when non-nil, is checked between partition blocks: a
 	// canceled scan stops reading and returns the context's error. Rows
 	// inside one block are never interrupted (a block is the unit of
-	// I/O), so cancellation granularity is one partition. Serving
-	// transports pass the request context here so a disconnected client
-	// stops consuming scan time.
+	// I/O), so cancellation granularity is one partition. Parallel
+	// workers check it before claiming each block and drain without
+	// leaking goroutines. Serving transports pass the request context
+	// here so a disconnected client stops consuming scan time.
 	Context context.Context
+	// Parallelism is the number of worker goroutines scanning survivor
+	// blocks concurrently. Values <= 1 scan sequentially; values above
+	// the survivor count are clamped to it. The result is bit-identical
+	// for every worker count — per-block partials merge in skip-list
+	// order regardless of which worker produced them — so callers tune
+	// this purely for latency (the serving layer defaults it to
+	// runtime.NumCPU()).
+	Parallelism int
 }
 
 // Result is one scan's outcome.
@@ -150,39 +210,137 @@ type Result struct {
 	// RowIDs holds the matched rows' original dataset indices when
 	// Options.CollectRows is set; nil otherwise.
 	RowIDs []int
+	// Workers is the number of scan workers actually used: 1 for a
+	// sequential scan, Options.Parallelism clamped to the survivor
+	// count otherwise. Purely observational — results do not depend on
+	// it — and surfaced so serving metrics can count parallel scans.
+	Workers int
+}
+
+// validateSurvivors checks the skip-list shape every scan requires:
+// strictly ascending partition IDs within range — the shape
+// Decision.SurvivorPartitions produces — so accidental duplicates fail
+// loudly instead of double-counting.
+func (s *Store) validateSurvivors(survivors []int) error {
+	prev := -1
+	for _, pid := range survivors {
+		if pid < 0 || pid >= len(s.blocks) {
+			return fmt.Errorf("exec: survivor partition %d out of range [0,%d)", pid, len(s.blocks))
+		}
+		if pid <= prev {
+			return fmt.Errorf("exec: survivor list not strictly ascending at partition %d", pid)
+		}
+		prev = pid
+	}
+	return nil
 }
 
 // Scan executes the query over exactly the listed partitions: each
 // block named by survivors is read in full and every row is re-checked
 // against the query's predicates (row semantics identical to
 // query.Query.MatchRow), so partitions the metadata admitted wrongly
-// are filtered out row by row. survivors must be strictly ascending
-// partition IDs within range — the shape Decision.SurvivorPartitions
-// produces — so accidental duplicates fail loudly instead of
-// double-counting. The query is bound against the schema once; unknown
-// columns or type-mismatched predicates match no rows, exactly as
-// MatchRow treats them.
+// are filtered out row by row. The query is bound once into typed
+// columnar kernels; unknown columns or type-mismatched predicates
+// match no rows, exactly as MatchRow treats them. survivors must be
+// strictly ascending partition IDs within range.
 func (s *Store) Scan(q query.Query, survivors []int, aggs []AggSpec, opts Options) (Result, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	accs, err := bindAggsInto(sc.accs[:0], s.schema, aggs)
+	sc.accs = accs
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.validateSurvivors(survivors); err != nil {
+		return Result{}, err
+	}
+	never := s.bindKernels(sc, q)
+
+	var res Result
+	res.Workers = 1
+	if opts.CollectRows {
+		res.RowIDs = []int{}
+	}
+	workers := opts.Parallelism
+	if workers > len(survivors) {
+		workers = len(survivors)
+	}
+	if workers > 1 && !never {
+		err = s.scanParallel(&res, sc.preds, survivors, accs, workers, opts)
+	} else {
+		err = s.scanSequential(&res, sc, survivors, accs, never, opts)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Aggs = make([]AggValue, len(accs))
+	for i := range accs {
+		res.Aggs[i] = accs[i].value()
+	}
+	return res, nil
+}
+
+// scanSequential is the single-goroutine kernel path: per survivor
+// block, run the selection kernels, fold aggregate partials, merge in
+// place. Zero allocations steady-state: selection vector, bound
+// predicates, and accumulators all live in pooled scratch.
+func (s *Store) scanSequential(res *Result, sc *scanScratch, survivors []int, accs []aggAcc, never bool, opts Options) error {
+	ctx := opts.Context
+	for _, pid := range survivors {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("exec: scan canceled: %w", err)
+			}
+		}
+		blk := s.blocks[pid]
+		n := blk.NumRows()
+		res.PartitionsRead++
+		res.RowsExamined += n
+		if never || n == 0 {
+			continue
+		}
+		sel := s.selectBlock(sc.preds, pid, &sc.sel)
+		if len(sel) == 0 {
+			continue
+		}
+		res.Matched += len(sel)
+		for i := range accs {
+			p := foldBlockAgg(blk, sel, &accs[i])
+			mergeAgg(&accs[i], &p)
+		}
+		if opts.CollectRows {
+			ids := s.rowIDs[pid]
+			for _, r := range sel {
+				res.RowIDs = append(res.RowIDs, ids[r])
+			}
+		}
+	}
+	return nil
+}
+
+// ScanInterpreted executes the same contract as Scan with the original
+// row-at-a-time engine: every predicate re-checked per row through a
+// type-switching filter, aggregates folded row by row into per-block
+// partials merged in skip-list order (the same merge the kernels use,
+// so the two engines agree bitwise — including float sum association).
+// It is kept as the semantic reference the vectorized and parallel
+// paths are property-tested against, and as the "before" baseline of
+// the bench trajectory.
+func (s *Store) ScanInterpreted(q query.Query, survivors []int, aggs []AggSpec, opts Options) (Result, error) {
 	accs, err := bindAggs(s.schema, aggs)
 	if err != nil {
 		return Result{}, err
 	}
-	prev := -1
-	for _, pid := range survivors {
-		if pid < 0 || pid >= len(s.blocks) {
-			return Result{}, fmt.Errorf("exec: survivor partition %d out of range [0,%d)", pid, len(s.blocks))
-		}
-		if pid <= prev {
-			return Result{}, fmt.Errorf("exec: survivor list not strictly ascending at partition %d", pid)
-		}
-		prev = pid
+	if err := s.validateSurvivors(survivors); err != nil {
+		return Result{}, err
 	}
-
 	f := bindFilter(s.schema, q)
 	var res Result
+	res.Workers = 1
 	if opts.CollectRows {
 		res.RowIDs = []int{}
 	}
+	partials := make([]aggAcc, len(accs))
 	for _, pid := range survivors {
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
@@ -196,18 +354,30 @@ func (s *Store) Scan(q query.Query, survivors []int, aggs []AggSpec, opts Option
 		if f.never {
 			continue
 		}
+		for i := range accs {
+			partials[i] = aggAcc{op: accs[i].op, col: accs[i].col, ci: accs[i].ci, typ: accs[i].typ,
+				valid: accs[i].op == AggCount || accs[i].op == AggSum}
+		}
 		ids := s.rowIDs[pid]
+		matched := 0
 		for r := 0; r < n; r++ {
 			if !f.match(blk, r) {
 				continue
 			}
-			res.Matched++
-			for i := range accs {
-				accs[i].add(blk, r)
+			matched++
+			for i := range partials {
+				partials[i].add(blk, r)
 			}
 			if opts.CollectRows {
 				res.RowIDs = append(res.RowIDs, ids[r])
 			}
+		}
+		if matched == 0 {
+			continue
+		}
+		res.Matched += matched
+		for i := range accs {
+			mergeAgg(&accs[i], &partials[i])
 		}
 	}
 	res.Aggs = make([]AggValue, len(accs))
@@ -221,5 +391,5 @@ func (s *Store) Scan(q query.Query, survivors []int, aggs []AggSpec, opts Option
 // the pruned-scan equality property compares against, and the fallback
 // when no skip-list is available.
 func (s *Store) ScanFull(q query.Query, aggs []AggSpec, opts Options) (Result, error) {
-	return s.Scan(q, s.AllPartitions(), aggs, opts)
+	return s.Scan(q, s.allIDs, aggs, opts)
 }

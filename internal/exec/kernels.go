@@ -1,0 +1,429 @@
+package exec
+
+import (
+	"math"
+	"sync"
+
+	"oreo/internal/query"
+	"oreo/internal/table"
+)
+
+// This file is the vectorized scan engine: predicates bound into typed
+// columnar kernels that sweep whole columns into a selection vector,
+// then tight per-column aggregate folds over the selected indices.
+// Semantics are pinned to the row-at-a-time reference (rowfilter.go,
+// aggAcc.add) bit for bit — the property tests in this package compare
+// the two engines on random data, NaNs included.
+//
+// The trick that keeps the kernels branch-light is sentinel bounds: a
+// predicate missing a bound gets the type's identity bound (MinInt64 /
+// MaxInt64, -Inf / +Inf), so every numeric kernel is one two-sided
+// range test with no per-row has-lo/has-hi branching. This is sound
+// because a bound-free predicate matches every row (it is elided at
+// bind time, so sentinels only ever stand in for one side), and
+// because a NaN cell fails the affirmative `v >= lo && v <= hi` test
+// for every bound — real or sentinel — exactly as MatchRow requires
+// NaN to fail any bounded float predicate.
+//
+// String predicates never touch strings on the hot path: the store
+// dictionary-encodes string columns at build time (table.StringDict),
+// so an IN-set binds to a bitmap over the column's code space and the
+// kernel probes one bit per row. An IN value absent from the
+// dictionary occurs in no row of any block, so it simply sets no bit;
+// an IN-set that sets no bits at all collapses to "never matches".
+
+// kernPred is one predicate bound into kernel form.
+type kernPred struct {
+	ci  int
+	typ table.ColType
+	// Numeric range, sentinel-filled: [loI,hiI] for Int64 columns,
+	// [loF,hiF] for Float64 columns.
+	loI, hiI int64
+	loF, hiF float64
+	// set is the IN-set as a bitmap over the column dictionary's code
+	// space (String columns only).
+	set []uint64
+}
+
+// scanScratch is the per-scan (or per-worker) reusable state: the
+// selection vector, bound predicates and accumulators, and the arena
+// backing IN-set code bitmaps. Recycled through scratchPool so
+// steady-state scans allocate nothing beyond their Result.
+type scanScratch struct {
+	sel       []int32
+	preds     []kernPred
+	accs      []aggAcc
+	partials  []aggAcc
+	codeArena []uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func getScratch() *scanScratch { return scratchPool.Get().(*scanScratch) }
+
+func putScratch(sc *scanScratch) {
+	// Drop pointer-bearing views so pooled scratch does not pin block
+	// data; capacities are what we're recycling.
+	sc.preds = sc.preds[:0]
+	sc.accs = sc.accs[:0]
+	sc.partials = sc.partials[:0]
+	scratchPool.Put(sc)
+}
+
+// bindKernels resolves the query's predicates into kernel form,
+// writing them to sc.preds. It reports never=true when the conjunction
+// cannot match any row (unknown column, type-mismatched predicate, or
+// an IN-set with no member present in the dictionary) — the same
+// collapse bindFilter performs, plus the dictionary case, which for
+// the interpreted engine is merely a per-row miss. Predicates that
+// match every row (numeric with no bounds) are elided.
+func (s *Store) bindKernels(sc *scanScratch, q query.Query) (never bool) {
+	sc.preds = sc.preds[:0]
+	arena := sc.codeArena[:0]
+	for _, p := range q.Preds {
+		ci, ok := s.schema.Index(p.Col)
+		if !ok {
+			never = true
+			continue
+		}
+		kp := kernPred{ci: ci, typ: s.schema.Col(ci).Type}
+		switch kp.typ {
+		case table.Int64:
+			if !p.IsNumeric() {
+				never = true
+				continue
+			}
+			if !p.HasLo && !p.HasHi {
+				continue // matches every row
+			}
+			kp.loI, kp.hiI = math.MinInt64, math.MaxInt64
+			if p.HasLo {
+				kp.loI = p.LoI
+			}
+			if p.HasHi {
+				kp.hiI = p.HiI
+			}
+		case table.Float64:
+			if !p.IsNumeric() {
+				never = true
+				continue
+			}
+			if !p.HasLo && !p.HasHi {
+				continue
+			}
+			kp.loF, kp.hiF = math.Inf(-1), math.Inf(1)
+			if p.HasLo {
+				kp.loF = p.LoF
+			}
+			if p.HasHi {
+				kp.hiF = p.HiF
+			}
+		case table.String:
+			if p.IsNumeric() {
+				never = true
+				continue
+			}
+			dict := s.dicts[ci]
+			words := (dict.Len() + 63) >> 6
+			off := len(arena)
+			for i := 0; i < words; i++ {
+				arena = append(arena, 0)
+			}
+			set := arena[off : off+words]
+			any := false
+			for _, v := range p.In {
+				if c, ok := dict.Code(v); ok {
+					set[c>>6] |= 1 << (c & 63)
+					any = true
+				}
+			}
+			if !any {
+				never = true
+				continue
+			}
+			kp.set = set
+		default:
+			never = true
+			continue
+		}
+		sc.preds = append(sc.preds, kp)
+	}
+	// Keep the largest arena for reuse. If the arena regrew mid-bind,
+	// earlier sets still reference the previous backing array — their
+	// contents are already written and never mutated, so that is fine.
+	sc.codeArena = arena[:0]
+	return never
+}
+
+// selectBlock runs the bound kernels over block pid, returning the
+// selection vector of surviving row indices (ascending). buf is the
+// caller-owned selection buffer, grown in place as needed.
+func (s *Store) selectBlock(preds []kernPred, pid int, buf *[]int32) []int32 {
+	blk := s.blocks[pid]
+	n := blk.NumRows()
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	sel := (*buf)[:n]
+	first := true
+	for i := range preds {
+		p := &preds[i]
+		switch p.typ {
+		case table.Int64:
+			col := blk.Int64Col(p.ci)
+			if first {
+				sel = selInt64Full(col, p.loI, p.hiI, sel)
+			} else {
+				sel = selInt64(col, p.loI, p.hiI, sel)
+			}
+		case table.Float64:
+			col := blk.Float64Col(p.ci)
+			if first {
+				sel = selFloat64Full(col, p.loF, p.hiF, sel)
+			} else {
+				sel = selFloat64(col, p.loF, p.hiF, sel)
+			}
+		case table.String:
+			codes := s.codes[p.ci][pid]
+			if first {
+				sel = selCodesFull(codes, p.set, sel)
+			} else {
+				sel = selCodes(codes, p.set, sel)
+			}
+		}
+		first = false
+		if len(sel) == 0 {
+			return sel
+		}
+	}
+	if first {
+		// No predicates survived binding: every row matches.
+		for r := range sel {
+			sel[r] = int32(r)
+		}
+	}
+	return sel
+}
+
+// The Full kernels seed the selection from a whole column; the
+// non-Full variants compact an existing selection in place. All use
+// the unconditional-store / conditional-advance idiom so the loop body
+// carries no data-dependent store.
+
+func selInt64Full(col []int64, lo, hi int64, dst []int32) []int32 {
+	dst = dst[:len(col)]
+	n := 0
+	for r, v := range col {
+		dst[n] = int32(r)
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return dst[:n]
+}
+
+func selInt64(col []int64, lo, hi int64, sel []int32) []int32 {
+	n := 0
+	for _, r := range sel {
+		v := col[r]
+		sel[n] = r
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return sel[:n]
+}
+
+func selFloat64Full(col []float64, lo, hi float64, dst []int32) []int32 {
+	dst = dst[:len(col)]
+	n := 0
+	for r, v := range col {
+		dst[n] = int32(r)
+		// Affirmative comparison: NaN fails, matching MatchRow.
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return dst[:n]
+}
+
+func selFloat64(col []float64, lo, hi float64, sel []int32) []int32 {
+	n := 0
+	for _, r := range sel {
+		v := col[r]
+		sel[n] = r
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return sel[:n]
+}
+
+func selCodesFull(codes []uint32, set []uint64, dst []int32) []int32 {
+	dst = dst[:len(codes)]
+	n := 0
+	for r, c := range codes {
+		dst[n] = int32(r)
+		if set[c>>6]&(1<<(c&63)) != 0 {
+			n++
+		}
+	}
+	return dst[:n]
+}
+
+func selCodes(codes []uint32, set []uint64, sel []int32) []int32 {
+	n := 0
+	for _, r := range sel {
+		c := codes[r]
+		sel[n] = r
+		if set[c>>6]&(1<<(c&63)) != 0 {
+			n++
+		}
+	}
+	return sel[:n]
+}
+
+// foldBlockAgg folds one aggregate over the block's selected rows into
+// a fresh per-block partial. Within-block fold order is selection
+// order (= row order), so each partial is bit-identical to what the
+// row-at-a-time engine accumulates over the same block; partials are
+// then merged across blocks in skip-list order by mergeAgg, which is
+// what makes sequential, parallel, and interpreted scans agree
+// bitwise.
+func foldBlockAgg(blk *table.Dataset, sel []int32, spec *aggAcc) aggAcc {
+	p := aggAcc{op: spec.op, col: spec.col, ci: spec.ci, typ: spec.typ}
+	switch p.op {
+	case AggCount:
+		p.valid = true
+		p.i = int64(len(sel))
+	case AggSum:
+		p.valid = true
+		switch p.typ {
+		case table.Int64:
+			col := blk.Int64Col(p.ci)
+			var sum int64
+			for _, r := range sel {
+				v := col[r]
+				next := sum + v
+				if (sum > 0 && v > 0 && next < 0) || (sum < 0 && v < 0 && next >= 0) {
+					p.overflowed = true
+					p.i = 0
+					return p
+				}
+				sum = next
+			}
+			p.i = sum
+		case table.Float64:
+			col := blk.Float64Col(p.ci)
+			var sum float64
+			for _, r := range sel {
+				sum += col[r]
+			}
+			p.f = sum
+		}
+	case AggMin, AggMax:
+		isMin := p.op == AggMin
+		switch p.typ {
+		case table.Int64:
+			if len(sel) == 0 {
+				break
+			}
+			col := blk.Int64Col(p.ci)
+			m := col[sel[0]]
+			for _, r := range sel[1:] {
+				v := col[r]
+				if (isMin && v < m) || (!isMin && v > m) {
+					m = v
+				}
+			}
+			p.i, p.valid = m, true
+		case table.Float64:
+			// NaN cells do not participate, as in aggAcc.add: an
+			// all-NaN matched set leaves the partial invalid.
+			col := blk.Float64Col(p.ci)
+			var m float64
+			seen := false
+			for _, r := range sel {
+				v := col[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				if !seen || (isMin && v < m) || (!isMin && v > m) {
+					m, seen = v, true
+				}
+			}
+			if seen {
+				p.f, p.valid = m, true
+			}
+		case table.String:
+			// Dictionary codes are first-appearance ordered, not
+			// sort-ordered, so extremes compare the strings themselves.
+			if len(sel) == 0 {
+				break
+			}
+			col := blk.StringCol(p.ci)
+			m := col[sel[0]]
+			for _, r := range sel[1:] {
+				v := col[r]
+				if (isMin && v < m) || (!isMin && v > m) {
+					m = v
+				}
+			}
+			p.s, p.valid = m, true
+		}
+	}
+	return p
+}
+
+// mergeAgg folds a per-block partial into the scan's accumulator.
+// Partials of blocks with zero matched rows are never merged (they
+// would be no-ops for every op), so the merge sequence is identical
+// for a pruned scan and a full scan over the same matched set.
+func mergeAgg(dst, src *aggAcc) {
+	switch dst.op {
+	case AggCount:
+		dst.i += src.i
+	case AggSum:
+		switch dst.typ {
+		case table.Int64:
+			if src.overflowed || dst.overflowed {
+				dst.overflowed = true
+				dst.i = 0
+				return
+			}
+			sum := dst.i + src.i
+			if (dst.i > 0 && src.i > 0 && sum < 0) || (dst.i < 0 && src.i < 0 && sum >= 0) {
+				dst.overflowed = true
+				dst.i = 0
+				return
+			}
+			dst.i = sum
+		case table.Float64:
+			dst.f += src.f
+		}
+	case AggMin, AggMax:
+		if !src.valid {
+			return
+		}
+		if !dst.valid {
+			dst.i, dst.f, dst.s = src.i, src.f, src.s
+			dst.valid = true
+			return
+		}
+		isMin := dst.op == AggMin
+		switch dst.typ {
+		case table.Int64:
+			if (isMin && src.i < dst.i) || (!isMin && src.i > dst.i) {
+				dst.i = src.i
+			}
+		case table.Float64:
+			if (isMin && src.f < dst.f) || (!isMin && src.f > dst.f) {
+				dst.f = src.f
+			}
+		case table.String:
+			if (isMin && src.s < dst.s) || (!isMin && src.s > dst.s) {
+				dst.s = src.s
+			}
+		}
+	}
+}

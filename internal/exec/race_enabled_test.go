@@ -1,0 +1,8 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports whether the race detector is compiled in. Bench
+// bars self-skip under -race: instrumented timings say nothing about
+// the production speedup.
+const raceEnabled = true

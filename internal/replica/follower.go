@@ -70,6 +70,10 @@ type FollowerConfig struct {
 	ReconnectMax time.Duration
 	// Logf receives operational messages; nil selects log.Printf.
 	Logf func(format string, args ...any)
+	// ScanParallelism is the execute-path scan worker count of the
+	// replica core; zero selects runtime.NumCPU() (see
+	// serve.CoreConfig.ScanParallelism).
+	ScanParallelism int
 }
 
 // FollowerStats is a point-in-time view of a follower's replication
@@ -200,7 +204,7 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 		}
 		replicaTables = append(replicaTables, serve.ReplicaTable{Name: name, Dataset: t.Dataset, Forward: forward})
 	}
-	core, err := serve.NewReplicaCore(replicaTables, serve.CoreConfig{Upstream: cfg.Upstream})
+	core, err := serve.NewReplicaCore(replicaTables, serve.CoreConfig{Upstream: cfg.Upstream, ScanParallelism: cfg.ScanParallelism})
 	if err != nil {
 		f.cancel()
 		return nil, fmt.Errorf("replica: building replica core: %w", err)

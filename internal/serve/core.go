@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sort"
 
 	"oreo"
@@ -24,6 +25,26 @@ type CoreConfig struct {
 	// Upstream is the leader URL a replica core follows, surfaced on
 	// /healthz. Set by NewReplicaCore callers; ignored on leaders.
 	Upstream string
+	// ScanParallelism is the worker count execute-path scans run with
+	// (exec.Options.Parallelism). Zero selects runtime.NumCPU(); one
+	// forces sequential scans; values above NumCPU are clamped to it
+	// (more scan workers than cores only adds scheduling overhead).
+	// Scan results are bit-identical at every setting — per-block
+	// partials merge in skip-list order regardless of which worker
+	// produced them — so this tunes latency only. Negative is an error.
+	ScanParallelism int
+}
+
+// resolveScanParallelism applies CoreConfig.ScanParallelism's
+// defaulting and clamping rules.
+func resolveScanParallelism(p int) (int, error) {
+	if p < 0 {
+		return 0, errInvalid("serve: ScanParallelism must be non-negative, got %d", p)
+	}
+	if p == 0 || p > runtime.NumCPU() {
+		p = runtime.NumCPU()
+	}
+	return p, nil
 }
 
 // Core is the transport-neutral serving core: one place that owns
@@ -58,6 +79,9 @@ type Core struct {
 	// advertise / upstream are the healthz topology hints; see CoreConfig.
 	advertise string
 	upstream  string
+	// scanPar is the resolved execute-scan worker count; see
+	// CoreConfig.ScanParallelism.
+	scanPar int
 }
 
 // NewCore builds a serving core over the registered tables. The
@@ -74,14 +98,19 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 	if cfg.QueueSize < 0 {
 		return nil, errInvalid("serve: QueueSize must be positive, got %d", cfg.QueueSize)
 	}
+	scanPar, err := resolveScanParallelism(cfg.ScanParallelism)
+	if err != nil {
+		return nil, err
+	}
 	c := &Core{
 		names:     names,
 		shards:    make(map[string]*shard, len(names)),
 		role:      RoleLeader,
 		advertise: cfg.Advertise,
+		scanPar:   scanPar,
 	}
 	for _, name := range names {
-		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize)
+		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize, scanPar)
 	}
 	return c, nil
 }
@@ -105,10 +134,15 @@ func NewReplicaCore(tables []ReplicaTable, cfg CoreConfig) (*Core, error) {
 	if len(tables) == 0 {
 		return nil, errInvalid("serve: no tables registered")
 	}
+	scanPar, err := resolveScanParallelism(cfg.ScanParallelism)
+	if err != nil {
+		return nil, err
+	}
 	c := &Core{
 		shards:   make(map[string]*shard, len(tables)),
 		role:     RoleFollower,
 		upstream: cfg.Upstream,
+		scanPar:  scanPar,
 	}
 	for _, t := range tables {
 		if t.Name == "" {
@@ -121,7 +155,7 @@ func NewReplicaCore(tables []ReplicaTable, cfg CoreConfig) (*Core, error) {
 			return nil, errInvalid("serve: replica table %q registered twice", t.Name)
 		}
 		c.names = append(c.names, t.Name)
-		c.shards[t.Name] = newReplicaShard(t.Name, t.Dataset, t.Forward)
+		c.shards[t.Name] = newReplicaShard(t.Name, t.Dataset, t.Forward, scanPar)
 	}
 	return c, nil
 }
@@ -421,15 +455,17 @@ func (c *Core) Health() HealthResponse {
 	names := append([]string(nil), c.names...)
 	sort.Strings(names)
 	resp := HealthResponse{
-		Status:       "ok",
-		Role:         c.role,
-		Upstream:     c.upstream,
-		Advertise:    c.advertise,
-		Tables:       names,
-		LayoutEpochs: make(map[string]uint64, len(names)),
+		Status:          "ok",
+		Role:            c.role,
+		Upstream:        c.upstream,
+		Advertise:       c.advertise,
+		Tables:          names,
+		LayoutEpochs:    make(map[string]uint64, len(names)),
+		ScanParallelism: c.scanPar,
 	}
 	for _, name := range names {
 		sh := c.shards[name]
+		resp.ParallelScans += sh.parallelScans.Load()
 		// Shard counters are the serving truth: they count every
 		// answered request, including the ones overload sampled out of
 		// the decision loop. The decision-loop total (Queries) is kept

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oreo"
+)
+
+// TestExecuteConcurrentDuringStoreSwap is the execution layer's -race
+// stress: many goroutines execute queries against one shard — all
+// scanning the same exec.Store through its atomic pointer, with the
+// scan worker pool fanning out inside each request — while the decision
+// loop reorganizes underneath them and swaps rebuilt stores in. Every
+// answer must still match the row oracle exactly: a swap may change
+// which layout answered, never what the query matched. Run with -race;
+// a scan touching a store mid-rebuild, or pooled scratch shared across
+// concurrent scans, trips the detector.
+func TestExecuteConcurrentDuringStoreSwap(t *testing.T) {
+	ds, s, _ := newExecFixture(t, 2000, oreo.Config{
+		Alpha: 2, WindowSize: 20, Partitions: 16,
+		InitialSort: []string{"order_ts"}, Seed: 5,
+	}, Config{QueueSize: 512, ScanParallelism: 4})
+	core := s.Core()
+
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	type oracle struct {
+		req  QueryRequest
+		rows int
+		sum  float64
+	}
+	oracles := make([]oracle, 0, len(statuses)+2)
+	for _, st := range statuses {
+		rows, sum := refCount(ds, oreo.Query{Preds: []oreo.Predicate{oreo.StrEq("status", st)}})
+		oracles = append(oracles, oracle{
+			req: QueryRequest{
+				Table: "orders", Execute: true,
+				Preds: []PredicateJSON{{Col: "status", In: []string{st}}},
+				Aggs:  []AggregateJSON{{Op: "count"}, {Op: "sum", Col: "amount"}},
+			},
+			rows: rows, sum: sum,
+		})
+	}
+	for _, span := range [][2]int64{{100, 700}, {1200, 1900}} {
+		q := oreo.Query{Preds: []oreo.Predicate{oreo.IntRange("order_ts", span[0], span[1])}}
+		rows, sum := refCount(ds, q)
+		oracles = append(oracles, oracle{
+			req: QueryRequest{
+				Table: "orders", Execute: true,
+				Preds: []PredicateJSON{{Col: "order_ts", HasLo: true, HasHi: true, LoI: span[0], HiI: span[1]}},
+				Aggs:  []AggregateJSON{{Op: "count"}, {Op: "sum", Col: "amount"}},
+			},
+			rows: rows, sum: sum,
+		})
+	}
+
+	// Alternating the status and time-range shapes from every goroutine
+	// drives the aggressive optimizer through reorganizations while the
+	// scans are in flight — the decision consumer rebuilds and swaps the
+	// store behind the answering requests.
+	const goroutines = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters && !failed.Load(); i++ {
+				o := oracles[(g+i)%len(oracles)]
+				results, err := core.Answer(context.Background(), o.req)
+				if err != nil {
+					failed.Store(true)
+					errCh <- err
+					return
+				}
+				ex := results[0].Execution
+				if ex.MatchedRows != o.rows {
+					failed.Store(true)
+					t.Errorf("goroutine %d iter %d on layout %q: matched %d, oracle %d",
+						g, i, results[0].Layout, ex.MatchedRows, o.rows)
+					return
+				}
+				if c := ex.Aggregates[0]; c.ValueI != int64(o.rows) {
+					failed.Store(true)
+					t.Errorf("goroutine %d iter %d: count %d, oracle %d", g, i, c.ValueI, o.rows)
+					return
+				}
+				if sum := ex.Aggregates[1]; math.Abs(sum.ValueF-o.sum) > 1e-6*(1+math.Abs(o.sum)) {
+					failed.Store(true)
+					t.Errorf("goroutine %d iter %d: sum %v, oracle %v", g, i, sum.ValueF, o.sum)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent execute failed: %v", err)
+	}
+
+	// The stress only counts if stores actually swapped under it.
+	sh := core.shards["orders"]
+	if st := sh.store.Load(); st == nil {
+		t.Fatal("no store was ever materialized")
+	}
+	if got := sh.executions.Load(); got < goroutines*iters/2 {
+		t.Fatalf("only %d executions recorded", got)
+	}
+}

@@ -67,7 +67,7 @@ func newGoldenServer(t *testing.T) (*Server, *httptest.Server) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(m, Config{QueueSize: 64, MaxBodyBytes: 2048})
+	s, err := New(m, Config{QueueSize: 64, MaxBodyBytes: 2048, ScanParallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

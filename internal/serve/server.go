@@ -107,6 +107,9 @@ type Config struct {
 	// Advertise is the URL this server is reachable at for replication
 	// subscribers, surfaced on /healthz (see CoreConfig.Advertise).
 	Advertise string
+	// ScanParallelism is the execute-path scan worker count; zero
+	// selects runtime.NumCPU() (see CoreConfig.ScanParallelism).
+	ScanParallelism int
 }
 
 // Server is the HTTP codec over a serving Core: it decodes bytes,
@@ -122,7 +125,7 @@ type Server struct {
 // MultiOptimizer (and its per-table Optimizers) must not be used
 // directly afterwards: every shard owns its table's decision path.
 func New(m *oreo.MultiOptimizer, cfg Config) (*Server, error) {
-	core, err := NewCore(m, CoreConfig{QueueSize: cfg.QueueSize, Advertise: cfg.Advertise})
+	core, err := NewCore(m, CoreConfig{QueueSize: cfg.QueueSize, Advertise: cfg.Advertise, ScanParallelism: cfg.ScanParallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -91,9 +91,15 @@ type shard struct {
 	// decision-path hit/miss counters.
 	compiles atomic.Uint64
 	// executions / execRows count row-level scans and the rows they
-	// examined.
-	executions atomic.Uint64
-	execRows   atomic.Uint64
+	// examined; parallelScans counts the executions that ran with more
+	// than one scan worker (see scanPar).
+	executions    atomic.Uint64
+	execRows      atomic.Uint64
+	parallelScans atomic.Uint64
+
+	// scanPar is the worker count execute scans run with
+	// (exec.Options.Parallelism), resolved by the core at construction.
+	scanPar int
 }
 
 // repState is one published (epoch, snapshot) pair; see shard.rep.
@@ -124,12 +130,13 @@ type execState struct {
 	store  *exec.Store
 }
 
-func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize int) *shard {
+func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, scanPar int) *shard {
 	s := &shard{
-		table: name,
-		ds:    ds,
-		copt:  oreo.NewConcurrent(opt),
-		queue: make(chan oreo.Query, queueSize),
+		table:   name,
+		ds:      ds,
+		copt:    oreo.NewConcurrent(opt),
+		queue:   make(chan oreo.Query, queueSize),
+		scanPar: scanPar,
 	}
 	s.rep.Store(&repState{epoch: 0, snap: s.copt.Snapshot()})
 	s.wg.Add(1)
@@ -141,8 +148,8 @@ func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize int)
 // decision loop; state arrives through applyReplica and observations
 // leave through forward. It answers unavailable until the first
 // snapshot is applied.
-func newReplicaShard(name string, ds *oreo.Dataset, forward func(oreo.Query) bool) *shard {
-	return &shard{table: name, ds: ds, replica: true, forward: forward}
+func newReplicaShard(name string, ds *oreo.Dataset, forward func(oreo.Query) bool, scanPar int) *shard {
+	return &shard{table: name, ds: ds, replica: true, forward: forward, scanPar: scanPar}
 }
 
 // consume is the single decision consumer: it drains observed queries
@@ -321,13 +328,16 @@ func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggS
 	if ids == nil {
 		ids = []int{}
 	}
-	scan, err := st.store.Scan(q, ids, aggs, exec.Options{Context: ctx})
+	scan, err := st.store.Scan(q, ids, aggs, exec.Options{Context: ctx, Parallelism: s.scanPar})
 	if err != nil {
 		return TableResult{}, err
 	}
 	observed := s.record(q, cost)
 	s.executions.Add(1)
 	s.execRows.Add(uint64(scan.RowsExamined))
+	if scan.Workers > 1 {
+		s.parallelScans.Add(1)
+	}
 
 	res := TableResult{
 		Table:              s.table,

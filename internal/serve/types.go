@@ -278,6 +278,14 @@ type HealthResponse struct {
 	// tables (observed queries that have drained, plus any direct use).
 	// On a follower it reflects the leader's replicated counters.
 	Queries int `json:"queries"`
+	// ScanParallelism is the worker count execute-path scans run with
+	// (CoreConfig.ScanParallelism after defaulting/clamping), and
+	// ParallelScans counts the executions across all tables that
+	// actually used more than one worker. Parallelism never changes
+	// results — scans are bit-identical at every setting — so these are
+	// capacity-planning signals, not correctness ones.
+	ScanParallelism int    `json:"scan_parallelism"`
+	ParallelScans   uint64 `json:"parallel_scans"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -1,0 +1,52 @@
+package table
+
+// StringDict is a dictionary encoding for one string column: every
+// distinct value is assigned a dense uint32 code in first-appearance
+// order, so a column of strings becomes a column of codes and string
+// comparisons become integer comparisons. Immutable after construction
+// and safe for concurrent use.
+//
+// The execution layer builds one shared dictionary per string column of
+// a dataset at store-build time: because the dictionary covers the
+// whole dataset, every per-partition block encodes against the same
+// code space, and an IN-set predicate becomes a one-time translation of
+// its members into a code set followed by a single integer-set probe
+// per row — no string hashing on the scan hot path. A value absent from
+// the dictionary is, by construction, absent from every row, so an
+// IN set that translates to no codes matches nothing anywhere.
+type StringDict struct {
+	codes  map[string]uint32
+	values []string
+}
+
+// BuildStringDict scans vals once, assigning each distinct value a code
+// in first-appearance order, and returns the dictionary together with
+// the column encoded as codes (encoded[i] is the code of vals[i]).
+func BuildStringDict(vals []string) (*StringDict, []uint32) {
+	d := &StringDict{codes: make(map[string]uint32)}
+	encoded := make([]uint32, len(vals))
+	for i, v := range vals {
+		c, ok := d.codes[v]
+		if !ok {
+			c = uint32(len(d.values))
+			d.codes[v] = c
+			d.values = append(d.values, v)
+		}
+		encoded[i] = c
+	}
+	return d, encoded
+}
+
+// Code returns the code of v and whether v occurs in the dictionary.
+func (d *StringDict) Code(v string) (uint32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// Value returns the string a code stands for. Codes come from Code or
+// from an encoded column, so out-of-range codes are programming errors.
+func (d *StringDict) Value(c uint32) string { return d.values[c] }
+
+// Len returns the number of distinct values (the code space size:
+// valid codes are [0, Len)).
+func (d *StringDict) Len() int { return len(d.values) }

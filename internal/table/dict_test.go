@@ -1,0 +1,70 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestStringDictRoundTrip(t *testing.T) {
+	vals := []string{"b", "a", "b", "c", "a", "b"}
+	d, enc := BuildStringDict(vals)
+	if d.Len() != 3 {
+		t.Fatalf("dict has %d values, want 3", d.Len())
+	}
+	if len(enc) != len(vals) {
+		t.Fatalf("encoded %d cells, want %d", len(enc), len(vals))
+	}
+	// Codes are dense, first-appearance ordered, and decode back.
+	want := map[string]uint32{"b": 0, "a": 1, "c": 2}
+	for v, wc := range want {
+		c, ok := d.Code(v)
+		if !ok || c != wc {
+			t.Errorf("Code(%q) = %d,%v want %d", v, c, ok, wc)
+		}
+		if d.Value(c) != v {
+			t.Errorf("Value(%d) = %q, want %q", c, d.Value(c), v)
+		}
+	}
+	for i, v := range vals {
+		if d.Value(enc[i]) != v {
+			t.Errorf("cell %d decodes to %q, want %q", i, d.Value(enc[i]), v)
+		}
+	}
+	if _, ok := d.Code("unseen"); ok {
+		t.Error("unseen value reported present")
+	}
+}
+
+func TestStringDictEmpty(t *testing.T) {
+	d, enc := BuildStringDict(nil)
+	if d.Len() != 0 || len(enc) != 0 {
+		t.Fatalf("empty column built dict of %d values, %d codes", d.Len(), len(enc))
+	}
+	if _, ok := d.Code("x"); ok {
+		t.Error("empty dict reported a value present")
+	}
+}
+
+func TestStringDictRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(500)
+		card := 1 + rng.Intn(60)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("v%03d", rng.Intn(card))
+		}
+		d, enc := BuildStringDict(vals)
+		seen := map[string]bool{}
+		for i, v := range vals {
+			if d.Value(enc[i]) != v {
+				t.Fatalf("trial %d: cell %d decodes to %q, want %q", trial, i, d.Value(enc[i]), v)
+			}
+			seen[v] = true
+		}
+		if d.Len() != len(seen) {
+			t.Fatalf("trial %d: dict has %d values, column has %d distinct", trial, d.Len(), len(seen))
+		}
+	}
+}
