@@ -213,4 +213,8 @@ type Health struct {
 	Observed     uint64            `json:"observed"`
 	Dropped      uint64            `json:"dropped"`
 	Queries      int               `json:"queries"`
+	// QueueDepth is the observations waiting in decision queues across
+	// all tables: Observed = Queries + QueueDepth up to scrape skew.
+	// Servers predating the /metrics layer omit it (reads as 0).
+	QueueDepth int `json:"queue_depth"`
 }

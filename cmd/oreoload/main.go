@@ -1,0 +1,148 @@
+// Command oreoload generates measured query load against a live
+// oreoserve instance (leader or follower) through the client SDK.
+//
+// Closed loop — N workers, each one request in flight, the sustained-
+// throughput question:
+//
+//	oreoload -url http://localhost:8080 -concurrency 8 -duration 10s
+//
+// Open loop — queries paced at a target arrival rate regardless of
+// completions, the does-it-keep-up question. If the server cannot hold
+// the rate, the achieved figure in the report drops below target:
+//
+//	oreoload -url http://localhost:8080 -qps 2000 -duration 10s
+//
+// The query pool is drawn from the workload generator's template
+// machinery: -dataset fixture (default) targets the synthetic
+// orders/events fixtures oreoserve boots with (use -rows to match the
+// server's), while tpch, tpcds, and telemetry target the built-in
+// evaluation datasets. -in replays a captured query log instead.
+// -stream sends each worker's queries down one /v2/query/stream
+// connection in ping-pong mode; -execute asks for row-level execution
+// with a count aggregate, exercising the scan path.
+//
+// -min-qps turns the run into an assertion: exit status 1 when the
+// achieved rate lands under the floor or any query failed — the CI
+// smoke-job contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"oreo/client"
+	"oreo/internal/load"
+	"oreo/internal/workload"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "base URL of a live oreoserve (required)")
+		table   = flag.String("table", "orders", "served table the pool targets")
+		dataset = flag.String("dataset", "fixture", "template source: fixture|tpch|tpcds|telemetry")
+		rows    = flag.Int("rows", 20000, "fixture keyspace: the target table's row count (fixture templates)")
+		poolN   = flag.Int("pool", 512, "distinct queries in the generated pool")
+		segs    = flag.Int("segments", 4, "workload template segments in the pool")
+		seed    = flag.Int64("seed", 1, "pool generation seed")
+		in      = flag.String("in", "", "query log to draw the pool from instead of generating")
+
+		n        = flag.Int("n", 0, "stop after this many queries (0 = run for -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		qps      = flag.Float64("qps", 0, "open-loop target rate (0 = closed loop)")
+		conc     = flag.Int("concurrency", 0, "workers: in-flight requests (closed) or send parallelism (open); 0 = 1 closed, 16 open")
+		stream   = flag.Bool("stream", false, "use one /v2/query/stream connection per worker (ping-pong) instead of POST /v1/query")
+		execute  = flag.Bool("execute", false, "execute each query (scan + count aggregate), not just cost it")
+
+		minQPS   = flag.Float64("min-qps", 0, "fail (exit 1) when the achieved rate lands below this floor")
+		progress = flag.Bool("progress", true, "print a live progress line every second")
+	)
+	flag.Parse()
+	if err := run(*url, *table, *dataset, *in, *rows, *poolN, *segs, *seed,
+		*n, *duration, *qps, *conc, *stream, *execute, *minQPS, *progress); err != nil {
+		fmt.Fprintln(os.Stderr, "oreoload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, table, dataset, in string, rows, poolN, segs int, seed int64,
+	n int, duration time.Duration, qps float64, conc int, stream, execute bool,
+	minQPS float64, progress bool) error {
+	if url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	pool, err := buildPool(table, dataset, in, rows, poolN, segs, seed, execute)
+	if err != nil {
+		return err
+	}
+
+	spec := load.Spec{
+		URL:         url,
+		Queries:     pool,
+		Count:       n,
+		Duration:    duration,
+		QPS:         qps,
+		Concurrency: conc,
+		Stream:      stream,
+	}
+	if progress {
+		spec.Progress = func(s load.Snapshot) {
+			fmt.Fprintf(os.Stderr, "%8s  sent %8d  failed %d  %7.0f qps  p50 %v  p99 %v\n",
+				s.Elapsed.Round(time.Second), s.Sent, s.Failed, s.QPS,
+				s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+		}
+	}
+
+	rep, err := load.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d queries failed", rep.Failed, rep.Sent)
+	}
+	if minQPS > 0 && rep.QPS < minQPS {
+		return fmt.Errorf("achieved %.0f qps, floor is %.0f", rep.QPS, minQPS)
+	}
+	return nil
+}
+
+// buildPool assembles the query pool: a captured log when -in is set,
+// a generated template mix otherwise.
+func buildPool(table, dataset, in string, rows, poolN, segs int, seed int64, execute bool) ([]client.Query, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		qs, err := client.LoadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(qs) == 0 {
+			return nil, fmt.Errorf("query log %s is empty", in)
+		}
+		for i := range qs {
+			if table != "" {
+				qs[i].Table = table
+			}
+			qs[i].Execute = execute
+			if execute {
+				qs[i].Aggs = []client.Aggregate{client.Count()}
+			}
+		}
+		return qs, nil
+	}
+	var templates []workload.Template
+	if dataset == "fixture" {
+		if templates = workload.FixtureTemplates(table, rows); templates == nil {
+			return nil, fmt.Errorf("no fixture templates for table %q (have: orders, events)", table)
+		}
+	} else if templates = workload.TemplatesFor(dataset); templates == nil {
+		return nil, fmt.Errorf("unknown dataset %q (have: fixture, tpch, tpcds, telemetry)", dataset)
+	}
+	return load.BuildPool(templates, table, poolN, segs, execute, seed)
+}

@@ -33,12 +33,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"oreo/client"
 	"oreo/internal/experiments"
+	"oreo/internal/metrics"
 	"oreo/internal/persist"
 	"oreo/internal/policy"
 	"oreo/internal/sim"
@@ -223,8 +226,22 @@ func serveReplay(url, in, table string, execute bool) error {
 	if err != nil {
 		return err
 	}
+	// Per-query latency is measured inside the pipelined stream: the
+	// send goroutine stamps each line's send time (atomically — the
+	// recv loop reads the slice concurrently) and each answer observes
+	// now minus its line's stamp. That includes in-stream queueing,
+	// which is exactly what a query in a replay waits.
+	sendNanos := make([]atomic.Int64, len(qs))
+	hist := metrics.NewHistogram(metrics.LatencyBuckets())
+	onItem := func(it client.BatchItem) {
+		if it.Index >= 0 && it.Index < len(sendNanos) {
+			if sent := sendNanos[it.Index].Load(); sent != 0 {
+				hist.Observe(float64(time.Now().UnixNano()-sent) / 1e9)
+			}
+		}
+	}
 	start := time.Now()
-	items, err := c.Replay(context.Background(), qs, nil)
+	items, err := replayTimed(context.Background(), c, qs, sendNanos, onItem)
 	if err != nil {
 		return err
 	}
@@ -254,6 +271,10 @@ func serveReplay(url, in, table string, execute bool) error {
 	qps := float64(len(items)) / elapsed.Seconds()
 	fmt.Printf("replayed %d queries from %s to %s in %v (%.0f qps)\n",
 		len(items), in, url, elapsed.Round(time.Millisecond), qps)
+	fmt.Printf("in-stream latency p50 %v  p99 %v  max %v\n",
+		time.Duration(hist.Quantile(0.50)*1e9).Round(time.Microsecond),
+		time.Duration(hist.Quantile(0.99)*1e9).Round(time.Microsecond),
+		time.Duration(hist.Max()*1e9).Round(time.Microsecond))
 	fmt.Printf("answered %d, failed %d; served cost %.2f (avg %.4f/query)\n",
 		answered, failed, costSum, costSum/float64(max(answered, 1)))
 	if execute {
@@ -263,4 +284,56 @@ func serveReplay(url, in, table string, execute bool) error {
 		return fmt.Errorf("%d of %d queries failed", failed, len(items))
 	}
 	return nil
+}
+
+// replayTimed is client.Replay with send-time stamping: queries stream
+// up one pipelined connection while answers drain concurrently, and
+// each query's send instant lands in sendNanos before its line hits
+// the pipe — so onItem can turn answer arrival into a latency sample.
+func replayTimed(ctx context.Context, c *client.Client, qs []client.Query,
+	sendNanos []atomic.Int64, onItem func(client.BatchItem)) ([]client.BatchItem, error) {
+	st, err := c.OpenStream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	sendErr := make(chan error, 1)
+	go func() {
+		for i, q := range qs {
+			sendNanos[i].Store(time.Now().UnixNano())
+			if err := st.Send(q); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- st.CloseSend()
+	}()
+
+	items := make([]client.BatchItem, 0, len(qs))
+	for {
+		item, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			select {
+			case serr := <-sendErr:
+				if serr != nil {
+					return nil, serr
+				}
+			default:
+			}
+			return nil, err
+		}
+		onItem(*item)
+		items = append(items, *item)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	if len(items) != len(qs) {
+		return nil, fmt.Errorf("replay answered %d of %d queries", len(items), len(qs))
+	}
+	return items, nil
 }

@@ -1,0 +1,216 @@
+// Observability: scrape a leader + follower pair under load and watch
+// replication lag move.
+//
+// Every serving role mounts GET /metrics — Prometheus text rendered
+// from the same atomic counters the serving path increments, so the
+// scrape, /stats, and /healthz can never disagree. The example boots a
+// leader and one follower, drives an open-loop load at the follower
+// through the load generator (internal/load, the library behind
+// cmd/oreoload), and scrapes both sides: request-latency histograms and
+// served counters on the follower, forwarded-observation counters and
+// the decision loop on the leader, and oreo_replication_epoch on both —
+// the same series name on every role, so lag is a subtraction across
+// scrapes. A slow-apply window is then simulated by sampling
+// oreo_replication_lag_epochs while a burst drains.
+//
+// Run with:
+//
+//	go run ./examples/metrics
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"oreo"
+	"oreo/internal/load"
+	"oreo/internal/replica"
+	"oreo/internal/serve"
+	"oreo/internal/workload"
+)
+
+const rows = 20000
+
+func buildOrders() *oreo.Dataset {
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	b := oreo.NewDatasetBuilder(schema, rows)
+	for i := 0; i < rows; i++ {
+		b.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[i%4]), oreo.Float(float64(i%500)+0.25))
+	}
+	return b.Build()
+}
+
+func serveOn(h http.Handler) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }
+}
+
+// scrape fetches url/metrics and returns the value of each series whose
+// name (with labels) is asked for, NaN-free because every instrument
+// starts at zero.
+func scrape(url string, series ...string) map[string]float64 {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64, len(series))
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, s := range series {
+			if rest, ok := strings.CutPrefix(line, s+" "); ok {
+				v, _ := strconv.ParseFloat(rest, 64)
+				out[s] = v
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	ctx := context.Background()
+
+	// --- Leader with its decision-stream publisher. ---
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", buildOrders(), oreo.Config{
+		Alpha: 40, WindowSize: 200, Partitions: 16,
+		InitialSort: []string{"order_ts"}, Seed: 7,
+	}); err != nil {
+		panic(err)
+	}
+	leaderSrv, err := serve.New(m, serve.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer leaderSrv.Close()
+	pub, err := replica.NewPublisher(leaderSrv.Core(), replica.PublisherConfig{
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pub.Mount(leaderSrv)
+	leaderURL, stopLeader := serveOn(leaderSrv.Handler())
+	defer stopLeader()
+
+	// --- Follower: same data, subscribed, serving its own /metrics. ---
+	fol, err := replica.NewFollower(replica.FollowerConfig{
+		Upstream: leaderURL,
+		Tables:   []replica.TableData{{Name: "orders", Dataset: buildOrders()}},
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer fol.Close()
+	folSrv := serve.NewServer(fol.Core(), serve.Config{})
+	folURL, stopFol := serveOn(folSrv.Handler())
+	defer stopFol()
+	if err := fol.WaitReady(ctx); err != nil {
+		panic(err)
+	}
+	fmt.Printf("leader on %s, follower on %s — both serve GET /metrics\n\n", leaderURL, folURL)
+
+	// --- Open-loop load at the FOLLOWER: 300 qps for 2 seconds. Every
+	// answered query is also forwarded upstream into the leader's
+	// decision loop, which is what moves the epochs. ---
+	pool, err := load.BuildPool(workload.FixtureTemplates("orders", rows), "orders", 128, 4, true, 3)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := load.Run(ctx, load.Spec{
+		URL: folURL, Queries: pool,
+		Duration: 2 * time.Second, QPS: 300, Concurrency: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("load at follower: %s\n\n", rep)
+
+	// --- Scrape the follower: its own serving surface. ---
+	fm := scrape(folURL,
+		`oreo_queries_served_total{table="orders"}`,
+		`oreo_scan_rows_examined_total{table="orders"}`,
+		`oreo_http_request_duration_seconds_count{endpoint="query"}`,
+		`oreo_replication_forwarded_total`,
+		`oreo_replication_decisions_applied_total`,
+		`oreo_replication_epoch{table="orders"}`,
+	)
+	fmt.Println("follower scrape:")
+	fmt.Printf("  served %.0f queries (%.0f http samples), scanned %.0f rows\n",
+		fm[`oreo_queries_served_total{table="orders"}`],
+		fm[`oreo_http_request_duration_seconds_count{endpoint="query"}`],
+		fm[`oreo_scan_rows_examined_total{table="orders"}`])
+	fmt.Printf("  forwarded %.0f observations upstream, applied %.0f decisions back\n",
+		fm[`oreo_replication_forwarded_total`],
+		fm[`oreo_replication_decisions_applied_total`])
+
+	// --- Scrape the leader: the forwarded traffic arrived as decision
+	// work, without the leader serving a single query itself. ---
+	lm := scrape(leaderURL,
+		`oreo_queries_served_total{table="orders"}`,
+		`oreo_decisions_total{table="orders"}`,
+		`oreo_replication_observations_received_total{result="observed"}`,
+		`oreo_replication_subscribers`,
+		`oreo_replication_epoch{table="orders"}`,
+	)
+	fmt.Println("leader scrape:")
+	fmt.Printf("  served %.0f queries locally, yet decided %.0f (received %.0f forwarded, %.0f subscriber)\n",
+		lm[`oreo_queries_served_total{table="orders"}`],
+		lm[`oreo_decisions_total{table="orders"}`],
+		lm[`oreo_replication_observations_received_total{result="observed"}`],
+		lm[`oreo_replication_subscribers`])
+
+	// --- Lag is a subtraction across scrapes of the SAME series. ---
+	fmt.Printf("\nreplication epoch: leader %.0f, follower %.0f → lag %.0f epochs\n",
+		lm[`oreo_replication_epoch{table="orders"}`],
+		fm[`oreo_replication_epoch{table="orders"}`],
+		lm[`oreo_replication_epoch{table="orders"}`]-fm[`oreo_replication_epoch{table="orders"}`])
+
+	// --- Watch the lag gauges while a burst drains: answer a burst at
+	// the follower, then sample both sides' oreo_replication_lag_epochs
+	// until the follower catches back up. ---
+	for i := 0; i < 200; i++ {
+		if _, err := fol.Core().Answer(ctx, serve.QueryRequest{
+			Table: "orders",
+			Preds: []serve.PredicateJSON{{Col: "order_ts", HasLo: true, HasHi: true,
+				LoI: int64(i * 7 % (rows - 500)), HiI: int64(i*7%(rows-500) + 499)}},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("\nburst of 200 at the follower; sampling both sides while it drains")
+	fmt.Println("(observations batch inside the forwarder until its 200ms flush, then land upstream in one POST):")
+	target := rep.Sent + 200
+	for {
+		l := scrape(leaderURL, `oreo_replication_lag_epochs{table="orders"}`, `oreo_replication_epoch{table="orders"}`)
+		f := scrape(folURL, `oreo_replication_epoch{table="orders"}`, `oreo_replication_forward_queue_depth`)
+		lag := l[`oreo_replication_epoch{table="orders"}`] - f[`oreo_replication_epoch{table="orders"}`]
+		fmt.Printf("  forward queue %3.0f | leader epoch %.0f, follower epoch %.0f, cross-scrape lag %.0f (leader-side gauge %.0f)\n",
+			f[`oreo_replication_forward_queue_depth`],
+			l[`oreo_replication_epoch{table="orders"}`], f[`oreo_replication_epoch{table="orders"}`],
+			lag, l[`oreo_replication_lag_epochs{table="orders"}`])
+		if lag == 0 && f[`oreo_replication_epoch{table="orders"}`] >= float64(target) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("caught up at epoch %d: every epoch decided upstream is applied downstream\n", target)
+}

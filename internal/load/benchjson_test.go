@@ -1,0 +1,204 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"oreo"
+	"oreo/internal/replica"
+	"oreo/internal/serve"
+	"oreo/internal/workload"
+)
+
+// TestWriteBenchServeJSON is the repeatable harness step behind the
+// checked-in BENCH_serve.json artifact: the serving trajectory measured
+// from the outside with the load generator, unary versus stream, leader
+// versus follower, and the leader+follower aggregate that is the
+// scale-out claim. It is inert unless OREO_BENCH_OUT names an output
+// path:
+//
+//	OREO_BENCH_OUT=BENCH_serve.json go test ./internal/load -run TestWriteBenchServeJSON -v
+func TestWriteBenchServeJSON(t *testing.T) {
+	out := os.Getenv("OREO_BENCH_OUT")
+	if out == "" {
+		t.Skip("set OREO_BENCH_OUT=<path> to write the bench artifact")
+	}
+
+	type scenario struct {
+		Queries int     `json:"queries"`
+		Workers int     `json:"workers"`
+		QPS     float64 `json:"qps"`
+		P50us   float64 `json:"p50_us"`
+		P90us   float64 `json:"p90_us"`
+		P99us   float64 `json:"p99_us"`
+		MaxUs   float64 `json:"max_us"`
+	}
+	report := struct {
+		Benchmark     string   `json:"benchmark"`
+		Date          string   `json:"date"`
+		GOOS          string   `json:"goos"`
+		GOARCH        string   `json:"goarch"`
+		NumCPU        int      `json:"num_cpu"`
+		Rows          int      `json:"rows"`
+		Note          string   `json:"note"`
+		UnaryLeader   scenario `json:"unary_leader"`
+		StreamLeader  scenario `json:"stream_leader"`
+		StreamFollow  scenario `json:"stream_follower"`
+		ScaleOut      scenario `json:"leader_plus_follower"`
+		ScaleOutRatio float64  `json:"scale_out_vs_leader_alone"`
+	}{
+		Benchmark: "serving trajectory via oreoload (closed loop)",
+		Date:      os.Getenv("OREO_BENCH_DATE"),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Rows:      benchRows,
+		Note: "closed-loop load through the client SDK over real HTTP; " +
+			"unary = POST /v1/query per query, stream = one /v2/query/stream " +
+			"ping-pong connection per worker; scale-out drives leader and " +
+			"follower concurrently and sums the achieved rates — both " +
+			"replicas share this host's cores, so the ratio only exceeds 1 " +
+			"when num_cpu leaves headroom beyond one replica's saturation",
+	}
+
+	leaderTS, followerTS := newBenchCluster(t)
+	pool, err := BuildPool(workload.FixtureTemplates("orders", benchRows), "orders", 256, 4, false, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+
+	measure := func(url string, count int, stream bool) scenario {
+		rep, err := Run(context.Background(), Spec{
+			URL: url, Queries: pool, Count: count,
+			Duration: 5 * time.Minute, Concurrency: workers, Stream: stream,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("%d of %d queries failed against %s", rep.Failed, rep.Sent, url)
+		}
+		return scenario{
+			Queries: int(rep.Sent), Workers: workers, QPS: rep.QPS,
+			P50us: float64(rep.P50) / 1e3, P90us: float64(rep.P90) / 1e3,
+			P99us: float64(rep.P99) / 1e3, MaxUs: float64(rep.Max) / 1e3,
+		}
+	}
+
+	// Warm both serving paths (lazy snapshot compiles) before timing.
+	measure(leaderTS.URL, 200, true)
+	measure(followerTS.URL, 200, true)
+
+	report.UnaryLeader = measure(leaderTS.URL, 1000, false)
+	t.Logf("unary leader: %.0f qps, p50 %.0fus p99 %.0fus", report.UnaryLeader.QPS, report.UnaryLeader.P50us, report.UnaryLeader.P99us)
+	report.StreamLeader = measure(leaderTS.URL, 4000, true)
+	t.Logf("stream leader: %.0f qps, p50 %.0fus p99 %.0fus", report.StreamLeader.QPS, report.StreamLeader.P50us, report.StreamLeader.P99us)
+	report.StreamFollow = measure(followerTS.URL, 4000, true)
+	t.Logf("stream follower: %.0f qps, p50 %.0fus p99 %.0fus", report.StreamFollow.QPS, report.StreamFollow.P50us, report.StreamFollow.P99us)
+
+	// Scale-out: both replicas under concurrent load; aggregate QPS is
+	// the sum of the two achieved rates over the same wall-clock window.
+	var wg sync.WaitGroup
+	var l, f scenario
+	wg.Add(2)
+	go func() { defer wg.Done(); l = measure(leaderTS.URL, 4000, true) }()
+	go func() { defer wg.Done(); f = measure(followerTS.URL, 4000, true) }()
+	wg.Wait()
+	report.ScaleOut = scenario{
+		Queries: l.Queries + f.Queries, Workers: 2 * workers, QPS: l.QPS + f.QPS,
+		P50us: (l.P50us + f.P50us) / 2, P90us: (l.P90us + f.P90us) / 2,
+		P99us: (l.P99us + f.P99us) / 2, MaxUs: maxf(l.MaxUs, f.MaxUs),
+	}
+	report.ScaleOutRatio = report.ScaleOut.QPS / report.StreamLeader.QPS
+	t.Logf("scale-out: %.0f qps aggregate (%.2fx leader alone)", report.ScaleOut.QPS, report.ScaleOutRatio)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+const benchRows = 20000
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newBenchCluster boots a leader with its replication publisher and a
+// caught-up follower over byte-identical fixture data, both behind real
+// HTTP servers — the oreoserve / oreoserve -follow topology in-process.
+func newBenchCluster(t *testing.T) (leader, follower *httptest.Server) {
+	t.Helper()
+	build := func() *oreo.Dataset {
+		schema := oreo.NewSchema(
+			oreo.Column{Name: "order_ts", Type: oreo.Int64},
+			oreo.Column{Name: "status", Type: oreo.String},
+			oreo.Column{Name: "amount", Type: oreo.Float64},
+		)
+		statuses := []string{"cancelled", "delivered", "pending", "returned"}
+		rng := rand.New(rand.NewSource(2))
+		b := oreo.NewDatasetBuilder(schema, benchRows)
+		for i := 0; i < benchRows; i++ {
+			b.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[rng.Intn(4)]), oreo.Float(rng.Float64()*500))
+		}
+		return b.Build()
+	}
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", build(), oreo.Config{
+		Partitions: 32, InitialSort: []string{"order_ts"}, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(m, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := replica.NewPublisher(srv.Core(), replica.PublisherConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Mount(srv)
+	lts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { lts.Close(); srv.Close() })
+
+	fol, err := replica.NewFollower(replica.FollowerConfig{
+		Upstream: lts.URL,
+		Tables:   []replica.TableData{{Name: "orders", Dataset: build()}},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fol.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fol.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fsrv := serve.NewServer(fol.Core(), serve.Config{})
+	fts := httptest.NewServer(fsrv.Handler())
+	t.Cleanup(fts.Close)
+	return lts, fts
+}

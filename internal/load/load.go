@@ -1,0 +1,382 @@
+// Package load drives synthetic query traffic at a live serving
+// instance through the public client SDK and measures what comes back:
+// achieved throughput, error counts, and the latency distribution the
+// serving-layer /metrics endpoint reports from the other side.
+//
+// Two loop disciplines are supported, because they answer different
+// questions:
+//
+//   - Closed loop (QPS == 0): Concurrency workers each keep exactly one
+//     request in flight, back to back. Throughput is what the server
+//     sustains at that concurrency; latency includes no queueing beyond
+//     the server's own.
+//   - Open loop (QPS > 0): a pacer issues send tickets at the target
+//     rate regardless of completions, the way real traffic arrives.
+//     If the server cannot keep up the backlog (bounded by one second
+//     of tickets) applies backpressure and the achieved rate drops
+//     below target — the honest signal that the target is past
+//     capacity.
+//
+// Latency is recorded in the same fixed-bucket histogram the server's
+// /metrics layer uses (internal/metrics.LatencyBuckets), so client-side
+// and server-side percentiles are directly comparable.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oreo/client"
+	"oreo/internal/metrics"
+)
+
+// Spec configures one load run.
+type Spec struct {
+	// URL is the target server's base URL.
+	URL string
+	// Queries is the pool the run cycles through, in order. Required.
+	// Set Execute on the pool entries beforehand if the run should
+	// execute scans rather than only cost queries.
+	Queries []client.Query
+
+	// Count stops the run after this many sends; Duration after this
+	// much wall clock. At least one must be set; with both, whichever
+	// trips first ends the run.
+	Count    int
+	Duration time.Duration
+
+	// QPS selects the open loop at that target rate; zero selects the
+	// closed loop.
+	QPS float64
+	// Concurrency is the worker count: in-flight requests (closed loop)
+	// or maximum send parallelism (open loop). Zero means 1 (closed)
+	// or 16 (open).
+	Concurrency int
+	// Stream sends each worker's queries down one long-lived
+	// /v2/query/stream connection in ping-pong (flush-every-1) mode
+	// instead of individual POST /v1/query requests.
+	Stream bool
+
+	// Progress, when set, receives a snapshot roughly every
+	// ProgressEvery (default 1s) while the run is live.
+	Progress      func(Snapshot)
+	ProgressEvery time.Duration
+
+	// HTTPClient substitutes the SDK's transport (tests).
+	HTTPClient client.Option
+}
+
+// Snapshot is a point-in-time progress reading.
+type Snapshot struct {
+	Sent    uint64
+	Failed  uint64
+	Elapsed time.Duration
+	QPS     float64 // achieved so far
+	P50     time.Duration
+	P99     time.Duration
+}
+
+// Report is the final accounting of a run.
+type Report struct {
+	// Sent counts completed requests (including failures); Failed the
+	// subset that errored — transport errors and per-query server
+	// errors both count, run-shutdown cancellations do not.
+	Sent   uint64
+	Failed uint64
+	// Elapsed is the measured wall clock of the run.
+	Elapsed time.Duration
+	// TargetQPS echoes the open-loop target (0 for closed loop); QPS is
+	// the achieved rate Sent/Elapsed.
+	TargetQPS float64
+	QPS       float64
+	// Latency percentiles over successful and failed completions alike.
+	P50, P90, P99, Max time.Duration
+}
+
+// String renders the report as the oreoload summary block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent %d queries in %v (%.0f qps", r.Sent, r.Elapsed.Round(time.Millisecond), r.QPS)
+	if r.TargetQPS > 0 {
+		fmt.Fprintf(&b, ", target %.0f", r.TargetQPS)
+	}
+	fmt.Fprintf(&b, "), %d failed\n", r.Failed)
+	fmt.Fprintf(&b, "latency p50 %v  p90 %v  p99 %v  max %v",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// run is the shared mutable state of one load run.
+type run struct {
+	spec    Spec
+	c       *client.Client
+	ctx     context.Context
+	pool    []client.Query
+	next    atomic.Uint64 // pool cursor
+	sent    atomic.Uint64
+	failed  atomic.Uint64
+	hist    *metrics.Histogram
+	started time.Time
+}
+
+// Run executes the spec and blocks until the run completes.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	if len(spec.Queries) == 0 {
+		return nil, errors.New("load: empty query pool")
+	}
+	if spec.Count <= 0 && spec.Duration <= 0 {
+		return nil, errors.New("load: need Count or Duration to bound the run")
+	}
+	if spec.Concurrency <= 0 {
+		if spec.QPS > 0 {
+			spec.Concurrency = 16
+		} else {
+			spec.Concurrency = 1
+		}
+	}
+	if spec.ProgressEvery <= 0 {
+		spec.ProgressEvery = time.Second
+	}
+	var opts []client.Option
+	if spec.HTTPClient != nil {
+		opts = append(opts, spec.HTTPClient)
+	}
+	c, err := client.New(spec.URL, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	if spec.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Duration)
+		defer cancel()
+	}
+	r := &run{
+		spec:    spec,
+		c:       c,
+		ctx:     ctx,
+		pool:    spec.Queries,
+		hist:    metrics.NewHistogram(metrics.LatencyBuckets()),
+		started: time.Now(),
+	}
+
+	if spec.Progress != nil {
+		progressCtx, stopProgress := context.WithCancel(context.Background())
+		defer stopProgress()
+		go r.progressLoop(progressCtx)
+	}
+
+	if spec.QPS > 0 {
+		r.openLoop()
+	} else {
+		r.closedLoop()
+	}
+
+	elapsed := time.Since(r.started)
+	rep := &Report{
+		Sent:      r.sent.Load(),
+		Failed:    r.failed.Load(),
+		Elapsed:   elapsed,
+		TargetQPS: spec.QPS,
+		P50:       secondsToDuration(r.hist.Quantile(0.50)),
+		P90:       secondsToDuration(r.hist.Quantile(0.90)),
+		P99:       secondsToDuration(r.hist.Quantile(0.99)),
+		Max:       secondsToDuration(r.hist.Max()),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.QPS = float64(rep.Sent) / s
+	}
+	return rep, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// take reserves the next pool slot, or false when the Count budget is
+// exhausted.
+func (r *run) take() (client.Query, bool) {
+	i := r.next.Add(1) - 1
+	if r.spec.Count > 0 && i >= uint64(r.spec.Count) {
+		return client.Query{}, false
+	}
+	q := r.pool[i%uint64(len(r.pool))]
+	// IDs number from 1 so stream answers stay attributable (wire ID 0
+	// means "no ID").
+	q.ID = int(i%uint64(len(r.pool))) + 1
+	return q, true
+}
+
+// record accounts one completed request. Failures caused only by the
+// run ending (deadline or cancellation) are ignored: they measure the
+// harness, not the server.
+func (r *run) record(d time.Duration, err error) {
+	if err != nil && r.ctx.Err() != nil {
+		return
+	}
+	r.sent.Add(1)
+	r.hist.ObserveDuration(d)
+	if err != nil {
+		r.failed.Add(1)
+	}
+}
+
+// closedLoop runs Concurrency workers, each with one request in flight
+// back to back.
+func (r *run) closedLoop() {
+	var wg sync.WaitGroup
+	for w := 0; w < r.spec.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker(nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop paces send tickets at the target rate and has workers drain
+// them. The ticket channel buffers one second of the target rate; a
+// server that falls further behind than that blocks the pacer, and the
+// achieved-vs-target gap in the report is the capacity verdict.
+func (r *run) openLoop() {
+	burst := int(r.spec.QPS)
+	if burst < 1 {
+		burst = 1
+	}
+	tickets := make(chan struct{}, burst)
+	var wg sync.WaitGroup
+	for w := 0; w < r.spec.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker(tickets)
+		}()
+	}
+
+	issued := 0
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+pace:
+	for {
+		select {
+		case <-r.ctx.Done():
+			break pace
+		case <-ticker.C:
+		}
+		want := int(r.spec.QPS * time.Since(r.started).Seconds())
+		if r.spec.Count > 0 && want > r.spec.Count {
+			want = r.spec.Count
+		}
+		for issued < want {
+			select {
+			case tickets <- struct{}{}:
+				issued++
+			case <-r.ctx.Done():
+				break pace
+			}
+		}
+		if r.spec.Count > 0 && issued >= r.spec.Count {
+			break
+		}
+	}
+	close(tickets)
+	wg.Wait()
+}
+
+// worker sends queries until the pool budget, the context, or (open
+// loop) the ticket channel ends. tickets == nil selects the closed
+// loop's send-as-fast-as-answered discipline.
+func (r *run) worker(tickets <-chan struct{}) {
+	var st *client.Stream
+	defer func() {
+		if st != nil {
+			st.Close()
+		}
+	}()
+	for {
+		if tickets != nil {
+			if _, ok := <-tickets; !ok {
+				return
+			}
+		}
+		if r.ctx.Err() != nil {
+			return
+		}
+		q, ok := r.take()
+		if !ok {
+			return
+		}
+		var err error
+		start := time.Now()
+		if r.spec.Stream {
+			if st == nil {
+				st, err = r.c.OpenStream(r.ctx, client.WithFlushEvery(1))
+				if err != nil {
+					r.record(time.Since(start), err)
+					continue
+				}
+			}
+			var fatal bool
+			err, fatal = pingPong(st, q)
+			if fatal {
+				// The stream is poisoned after a transport error; drop it
+				// and let the next iteration redial. A per-query error line
+				// is just a failed request — the connection is fine.
+				st.Close()
+				st = nil
+			}
+		} else {
+			_, err = r.c.Query(r.ctx, q)
+		}
+		r.record(time.Since(start), err)
+	}
+}
+
+// pingPong sends one query down the stream and waits for its answer —
+// flush-every-1 keeps exactly one query in flight per connection, so
+// the measured time is a true per-query latency.
+func pingPong(st *client.Stream, q client.Query) (err error, fatal bool) {
+	if err := st.Send(q); err != nil {
+		return err, true
+	}
+	item, err := st.Recv()
+	if err != nil {
+		return err, true
+	}
+	if item.Error != "" {
+		return errors.New(item.Error), false
+	}
+	return nil, false
+}
+
+// progressLoop emits snapshots until the run finishes.
+func (r *run) progressLoop(ctx context.Context) {
+	t := time.NewTicker(r.spec.ProgressEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		elapsed := time.Since(r.started)
+		s := Snapshot{
+			Sent:    r.sent.Load(),
+			Failed:  r.failed.Load(),
+			Elapsed: elapsed,
+			P50:     secondsToDuration(r.hist.Quantile(0.50)),
+			P99:     secondsToDuration(r.hist.Quantile(0.99)),
+		}
+		if sec := elapsed.Seconds(); sec > 0 {
+			s.QPS = float64(s.Sent) / sec
+		}
+		r.spec.Progress(s)
+	}
+}

@@ -1,0 +1,166 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oreo"
+	"oreo/client"
+	"oreo/internal/serve"
+	"oreo/internal/workload"
+)
+
+// newLoadTarget boots a fixture server matching the oreoserve "orders"
+// fixture shape, as the target of load runs.
+func newLoadTarget(t *testing.T, rows int) *httptest.Server {
+	t.Helper()
+	schema := oreo.NewSchema(
+		oreo.Column{Name: "order_ts", Type: oreo.Int64},
+		oreo.Column{Name: "status", Type: oreo.String},
+		oreo.Column{Name: "amount", Type: oreo.Float64},
+	)
+	statuses := []string{"cancelled", "delivered", "pending", "returned"}
+	rng := rand.New(rand.NewSource(1))
+	b := oreo.NewDatasetBuilder(schema, rows)
+	for i := 0; i < rows; i++ {
+		b.AppendRow(oreo.Int(int64(i)), oreo.Str(statuses[rng.Intn(4)]), oreo.Float(rng.Float64()*500))
+	}
+	m := oreo.NewMulti()
+	if err := m.AddTable("orders", b.Build(), oreo.Config{
+		Partitions: 16, InitialSort: []string{"order_ts"}, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(m, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts
+}
+
+// TestClosedLoopCount pins the count-bounded closed loop: exactly Count
+// queries are sent, none fail, and the report's percentiles are
+// populated and ordered.
+func TestClosedLoopCount(t *testing.T) {
+	const rows = 4000
+	ts := newLoadTarget(t, rows)
+	pool, err := BuildPool(workload.FixtureTemplates("orders", rows), "orders", 64, 4, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Spec{
+		URL:     ts.URL,
+		Queries: pool,
+		Count:   200,
+		// A deadline big enough to never trip, so the test is
+		// count-deterministic.
+		Duration:    time.Minute,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 200 {
+		t.Errorf("sent = %d, want 200", rep.Sent)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0", rep.Failed)
+	}
+	if rep.QPS <= 0 {
+		t.Errorf("achieved qps = %v", rep.QPS)
+	}
+	if rep.P50 <= 0 || rep.P50 > rep.P99 || rep.P99 > rep.Max {
+		t.Errorf("percentiles out of order: p50 %v p99 %v max %v", rep.P50, rep.P99, rep.Max)
+	}
+}
+
+// TestStreamLoop runs the same bounded run over one long-lived stream
+// connection per worker, including failed queries (unknown table) which
+// must count as failures without poisoning the connection.
+func TestStreamLoop(t *testing.T) {
+	const rows = 4000
+	ts := newLoadTarget(t, rows)
+	pool, err := BuildPool(workload.FixtureTemplates("orders", rows), "orders", 50, 2, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison one pool entry: a per-query error line on the stream.
+	pool[7].Table = "no_such_table"
+	rep, err := Run(context.Background(), Spec{
+		URL:         ts.URL,
+		Queries:     pool,
+		Count:       50,
+		Duration:    time.Minute,
+		Concurrency: 2,
+		Stream:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 50 {
+		t.Errorf("sent = %d, want 50", rep.Sent)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("failed = %d, want exactly the poisoned query", rep.Failed)
+	}
+}
+
+// TestOpenLoopPacing pins the open loop's discipline: against a fast
+// local server a modest target rate is achieved within tolerance, and
+// progress snapshots arrive while the run is live.
+func TestOpenLoopPacing(t *testing.T) {
+	const rows = 2000
+	ts := newLoadTarget(t, rows)
+	pool, err := BuildPool(workload.FixtureTemplates("orders", rows), "orders", 32, 2, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps atomic.Uint64
+	rep, err := Run(context.Background(), Spec{
+		URL:           ts.URL,
+		Queries:       pool,
+		Duration:      1200 * time.Millisecond,
+		QPS:           200,
+		Concurrency:   8,
+		Progress:      func(Snapshot) { snaps.Add(1) },
+		ProgressEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0", rep.Failed)
+	}
+	// The pacer must neither stall (a loaded CI box still clears half
+	// the modest target against a local server) nor overshoot the
+	// ticket arithmetic.
+	if rep.QPS < 100 {
+		t.Errorf("achieved %v qps against a 200 qps target on loopback", rep.QPS)
+	}
+	if float64(rep.Sent) > 200*1.5*1.2 {
+		t.Errorf("sent %d queries in ~1.2s at a 200 qps target: pacer overshot", rep.Sent)
+	}
+	if snaps.Load() == 0 {
+		t.Error("no progress snapshots delivered")
+	}
+	if rep.TargetQPS != 200 {
+		t.Errorf("report target = %v", rep.TargetQPS)
+	}
+}
+
+// TestSpecValidation pins the guards: a run needs a pool and a bound.
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{URL: "http://localhost:1", Queries: nil, Count: 1}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	pool := []client.Query{{Table: "orders"}}
+	if _, err := Run(context.Background(), Spec{URL: "http://localhost:1", Queries: pool}); err == nil {
+		t.Error("unbounded run accepted")
+	}
+}

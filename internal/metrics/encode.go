@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the exposition Content-Type header value.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText encodes every registered family in Prometheus text format
+// v0.0.4: per family a # HELP line (if help text was given) and a
+// # TYPE line, then one sample line per series. Histogram series expand
+// to cumulative _bucket{le="..."} lines (inclusive upper bounds,
+// terminated by le="+Inf"), a _sum, and a _count. Families are sorted
+// by name and series by label signature, so identical registry state
+// encodes to identical bytes — the property the golden test pins.
+//
+// Scrapes race recording by design: each cell is read once with an
+// atomic load, so a line is internally consistent but two lines may
+// straddle a concurrent increment. That is the standard exposition
+// contract; rate() smooths it.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		r.mu.RLock()
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		sers := make([]*series, len(sigs))
+		for i, sig := range sigs {
+			sers[i] = f.series[sig]
+		}
+		r.mu.RUnlock()
+		if len(sers) == 0 {
+			continue
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range sers {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.hist != nil:
+		cum, total, sum := s.hist.snapshot()
+		for i, bound := range f.bounds {
+			sample(bw, f.name+"_bucket", labelSig(s.labels, formatFloat(bound)), strconv.FormatUint(cum[i], 10))
+		}
+		sample(bw, f.name+"_bucket", labelSig(s.labels, "+Inf"), strconv.FormatUint(total, 10))
+		sample(bw, f.name+"_sum", s.sig, formatFloat(sum))
+		sample(bw, f.name+"_count", s.sig, strconv.FormatUint(total, 10))
+	case s.fn != nil:
+		sample(bw, f.name, s.sig, formatFloat(s.fn()))
+	case s.counter != nil:
+		sample(bw, f.name, s.sig, strconv.FormatUint(s.counter.Load(), 10))
+	case s.gauge != nil:
+		sample(bw, f.name, s.sig, formatFloat(s.gauge.Load()))
+	}
+}
+
+func sample(bw *bufio.Writer, name, sig, value string) {
+	bw.WriteString(name)
+	bw.WriteString(sig)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// labelSig renders a label set as its exposition spelling, appending an
+// le pair when le is non-empty (histogram buckets). Empty input renders
+// as the empty string, not "{}".
+func labelSig(pairs []labelPair, le string) string {
+	if len(pairs) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(pairs) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat spells a sample value: shortest round-trip decimal, with
+// the special values the format names explicitly.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// Handler returns the scrape endpoint: GET yields the registry's text
+// exposition. Mounted as "GET /metrics" by internal/serve on every
+// role.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}

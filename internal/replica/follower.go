@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"oreo"
+	"oreo/internal/metrics"
 	"oreo/internal/serve"
 )
 
@@ -116,6 +117,11 @@ type Follower struct {
 	positions map[string]uint64
 	layouts   map[string]*oreo.Layout
 	applied   map[string]bool
+	// seen is the newest epoch decoded off the stream per table, ahead
+	// of apply: seen minus positions is the follower-side replication
+	// lag gauge — nonzero exactly while an apply (a store rebuild, say)
+	// is in flight behind freshly arrived records.
+	seen map[string]uint64
 
 	ready     chan struct{}
 	readyOnce sync.Once
@@ -178,6 +184,7 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 		positions: make(map[string]uint64, len(cfg.Tables)),
 		layouts:   make(map[string]*oreo.Layout, len(cfg.Tables)),
 		applied:   make(map[string]bool, len(cfg.Tables)),
+		seen:      make(map[string]uint64, len(cfg.Tables)),
 		ready:     make(chan struct{}),
 		failed:    make(chan struct{}),
 	}
@@ -210,6 +217,7 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 		return nil, fmt.Errorf("replica: building replica core: %w", err)
 	}
 	f.core = core
+	f.registerMetrics()
 
 	f.wg.Add(1)
 	go f.run()
@@ -219,6 +227,66 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 // Core returns the replica serving core, for mounting behind a
 // transport (serve.NewServer) or answering in-process requests.
 func (f *Follower) Core() *serve.Core { return f.core }
+
+// counterLoad adapts an atomic counter to the float64 callback shape
+// metrics.Registry.CounterFunc wants.
+func counterLoad(c *atomicUint64) func() float64 {
+	return func() float64 { return float64(c.Load()) }
+}
+
+// registerMetrics publishes the follower's replication counters on the
+// replica core's registry, so one GET /metrics on a follower covers
+// both its serving surface and its replication health. Names are
+// disjoint from the leader's publisher metrics except
+// oreo_replication_lag_epochs, which intentionally means "how far
+// behind" on both sides: stream records decoded but not yet applied
+// here, enqueue backlog there.
+func (f *Follower) registerMetrics() {
+	reg := f.core.Metrics()
+	reg.CounterFunc("oreo_replication_snapshots_applied_total",
+		"Snapshot records applied from the leader's decision stream.",
+		nil, counterLoad(&f.stats.snapshots))
+	reg.CounterFunc("oreo_replication_decisions_applied_total",
+		"Decision records applied from the leader's decision stream.",
+		nil, counterLoad(&f.stats.decisions))
+	reg.CounterFunc("oreo_replication_resumes_total",
+		"Resume acknowledgements received on reconnect.",
+		nil, counterLoad(&f.stats.resumes))
+	reg.CounterFunc("oreo_replication_gaps_total",
+		"Epoch discontinuities that forced a reconnect.",
+		nil, counterLoad(&f.stats.gaps))
+	reg.CounterFunc("oreo_replication_reconnects_total",
+		"Subscription attempts after the first.",
+		nil, counterLoad(&f.stats.reconnects))
+	if f.fwd != nil {
+		reg.CounterFunc("oreo_replication_forwarded_total",
+			"Observations forwarded upstream to the leader.",
+			nil, counterLoad(&f.fwd.forwarded))
+		reg.CounterFunc("oreo_replication_forward_dropped_total",
+			"Observations lost to forward-queue overflow or failed upstream posts.",
+			nil, counterLoad(&f.fwd.dropped))
+		reg.CounterFunc("oreo_replication_forward_rejected_total",
+			"Forwarded observations the leader rejected.",
+			nil, counterLoad(&f.fwd.rejected))
+		reg.GaugeFunc("oreo_replication_forward_queue_depth",
+			"Observations waiting in the forward queue.",
+			nil, func() float64 { return float64(len(f.fwd.ch)) })
+	}
+	for _, t := range f.names {
+		table := t
+		reg.GaugeFunc("oreo_replication_lag_epochs",
+			"Follower-side replication lag: the newest epoch decoded off the stream minus the last applied epoch for this table.",
+			metrics.Labels{"table": table}, func() float64 {
+				f.mu.Lock()
+				seen, applied := f.seen[table], f.positions[table]
+				f.mu.Unlock()
+				if seen <= applied {
+					return 0
+				}
+				return float64(seen - applied)
+			})
+	}
+}
 
 // WaitReady blocks until every replicated table has applied its first
 // snapshot, the follower has failed terminally (data divergence), or
@@ -396,6 +464,13 @@ func (f *Follower) subscribeOnce() (applied int, err error) {
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return applied, fmt.Errorf("decoding stream record: %w", err)
+		}
+		if rec.Epoch > 0 && rec.Table != "" {
+			f.mu.Lock()
+			if rec.Epoch > f.seen[rec.Table] {
+				f.seen[rec.Table] = rec.Epoch
+			}
+			f.mu.Unlock()
 		}
 		if err := f.apply(&rec); err != nil {
 			return applied, err

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"oreo"
+	"oreo/internal/metrics"
 	"oreo/internal/persist"
 	"oreo/internal/serve"
 )
@@ -58,6 +59,12 @@ type Publisher struct {
 
 	published   atomic.Uint64 // decision records offered to subscribers
 	resnapshots atomic.Uint64 // in-stream gap repairs
+
+	// Forwarded-observation outcome counters, registered on the leader
+	// core's metrics registry (see registerMetrics).
+	obsObserved *metrics.Counter
+	obsDropped  *metrics.Counter
+	obsRejected *metrics.Counter
 }
 
 // NewPublisher attaches a publisher to a leader core's decision hook.
@@ -86,8 +93,76 @@ func NewPublisher(core *serve.Core, cfg PublisherConfig) (*Publisher, error) {
 		logf:      cfg.Logf,
 		subs:      make(map[*subscriber]struct{}),
 	}
+	p.registerMetrics()
 	core.SetDecisionHook(p.publish)
 	return p, nil
+}
+
+// registerMetrics attaches the publisher's series to the leader core's
+// registry, so one /metrics scrape covers serving and replication.
+// Callback registration is last-wins, so re-attaching a publisher to
+// the same core (allowed: the newest hook wins) re-points the series
+// instead of panicking.
+func (p *Publisher) registerMetrics() {
+	reg := p.core.Metrics()
+	reg.GaugeFunc("oreo_replication_subscribers",
+		"Connected replication subscribers (follower streams).", nil,
+		func() float64 { return float64(p.Subscribers()) })
+	reg.CounterFunc("oreo_replication_published_total",
+		"Decision records offered to subscribers.", nil,
+		func() float64 { return float64(p.published.Load()) })
+	reg.CounterFunc("oreo_replication_resnapshots_total",
+		"In-stream gap repairs: a lagging subscriber's backlog was discarded and its tables re-snapshotted.", nil,
+		func() float64 { return float64(p.resnapshots.Load()) })
+	reg.GaugeFunc("oreo_replication_subscriber_queue_depth",
+		"Encoded decision records buffered across all subscriber queues, waiting for their stream writers.", nil,
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			var n int
+			for s := range p.subs {
+				n += len(s.ch)
+			}
+			return float64(n)
+		})
+	p.obsObserved = reg.Counter("oreo_replication_observations_received_total",
+		obsReceivedHelp, metrics.Labels{"result": "observed"})
+	p.obsDropped = reg.Counter("oreo_replication_observations_received_total",
+		obsReceivedHelp, metrics.Labels{"result": "dropped"})
+	p.obsRejected = reg.Counter("oreo_replication_observations_received_total",
+		obsReceivedHelp, metrics.Labels{"result": "rejected"})
+	for _, table := range p.core.Tables() {
+		t := table
+		reg.GaugeFunc("oreo_replication_lag_epochs",
+			"Leader-side replication lag: the current decision epoch minus the slowest subscriber's last-offered epoch for this table. 0 with no subscribers.",
+			metrics.Labels{"table": t}, func() float64 { return float64(p.lagEpochs(t)) })
+	}
+}
+
+const obsReceivedHelp = "Observations forwarded by followers, by outcome: observed (enqueued for a decision loop), dropped (queue full), rejected (invalid)."
+
+// lagEpochs computes the named table's leader-side lag in epochs: how
+// far the slowest connected subscriber's stream position trails the
+// published decision epoch. A subscriber that overflowed keeps its last
+// successfully offered position until the in-stream re-snapshot lands,
+// so a growing value is exactly "a follower is falling behind".
+func (p *Publisher) lagEpochs(table string) uint64 {
+	cur, _, ok := p.core.ReplicaPosition(table)
+	if !ok {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lag uint64
+	for s := range p.subs {
+		if !s.tables[table] {
+			continue
+		}
+		if off := s.offered[table].Load(); cur > off && cur-off > lag {
+			lag = cur - off
+		}
+	}
+	return lag
 }
 
 // Generation returns the leader's boot-unique stream identity.
@@ -142,6 +217,15 @@ type subscriber struct {
 	kick   chan struct{}   // wakes the writer when gapped with an idle stream
 	gapped atomic.Bool
 
+	// offered tracks, per subscribed table, the highest epoch this
+	// subscriber's stream has been handed (enqueued record, resume
+	// acknowledgement, or sent snapshot). An overflowed offer does NOT
+	// advance it, so the oreo_replication_lag_epochs gauge grows until
+	// the in-stream re-snapshot repairs the gap. Keys are fixed at
+	// subscribe time; values are atomics so the scrape never takes the
+	// publisher lock per table.
+	offered map[string]*atomic.Uint64
+
 	drop     chan struct{} // closed by DropSubscribers
 	dropOnce sync.Once
 }
@@ -157,10 +241,12 @@ func (s *subscriber) markGapped() {
 	}
 }
 
-// offer hands an encoded record to the subscriber without blocking.
-func (s *subscriber) offer(data []byte) {
+// offer hands an encoded record to the subscriber without blocking,
+// advancing the table's offered-epoch watermark only on success.
+func (s *subscriber) offer(data []byte, table string, epoch uint64) {
 	select {
 	case s.ch <- data:
+		s.offered[table].Store(epoch)
 	default:
 		s.markGapped()
 	}
@@ -219,7 +305,7 @@ func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
 	}
 	p.published.Add(1)
 	for _, s := range interested {
-		s.offer(data)
+		s.offer(data, table, upd.Epoch)
 	}
 }
 
@@ -287,10 +373,14 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sub := &subscriber{
-		tables: set,
-		ch:     make(chan []byte, p.queueSize),
-		kick:   make(chan struct{}, 1),
-		drop:   make(chan struct{}),
+		tables:  set,
+		ch:      make(chan []byte, p.queueSize),
+		kick:    make(chan struct{}, 1),
+		offered: make(map[string]*atomic.Uint64, len(set)),
+		drop:    make(chan struct{}),
+	}
+	for t := range set {
+		sub.offered[t] = new(atomic.Uint64)
 	}
 	// Register before capturing the initial snapshots: decisions
 	// processed while the snapshot is being written land in the queue
@@ -347,6 +437,9 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			if !writeRec(data) {
 				return false
 			}
+			// The stream now carries everything up to the snapshot epoch;
+			// the lag gauge resets to whatever decided since.
+			sub.offered[t].Store(rec.Epoch)
 		}
 		return true
 	}
@@ -365,6 +458,7 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			if err != nil || !writeRec(data) {
 				return
 			}
+			sub.offered[t].Store(epoch)
 			continue
 		}
 		if !sendSnapshots([]string{t}) {
@@ -459,10 +553,13 @@ func (p *Publisher) handleObserve(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case err != nil:
 			resp.Rejected++
+			p.obsRejected.Inc()
 		case ok:
 			resp.Observed++
+			p.obsObserved.Inc()
 		default:
 			resp.Dropped++
+			p.obsDropped.Inc()
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -8,6 +8,7 @@ import (
 
 	"oreo"
 	"oreo/internal/exec"
+	"oreo/internal/metrics"
 )
 
 // CoreConfig parameterizes a Core.
@@ -82,6 +83,26 @@ type Core struct {
 	// scanPar is the resolved execute-scan worker count; see
 	// CoreConfig.ScanParallelism.
 	scanPar int
+	// reg is the core's metrics registry: every shard, the HTTP codec,
+	// and any attached replication component register their instruments
+	// here, and GET /metrics scrapes it. One registry per core, so the
+	// leader and each follower expose their own truth.
+	reg *metrics.Registry
+}
+
+// Metrics returns the core's metrics registry — the registration point
+// for transports and replication components that instrument themselves
+// (internal/replica), and the source GET /metrics encodes.
+func (c *Core) Metrics() *metrics.Registry { return c.reg }
+
+// registerCoreMetrics adds the core-scoped (not per-table) series.
+func (c *Core) registerCoreMetrics() {
+	c.reg.GaugeFunc("oreo_role",
+		"Serving role, as a 1-valued gauge labeled with the role name.",
+		metrics.Labels{"role": c.role}, func() float64 { return 1 })
+	c.reg.GaugeFunc("oreo_scan_parallelism",
+		"Worker count execute-path scans run with (CoreConfig.ScanParallelism after defaulting).",
+		nil, func() float64 { return float64(c.scanPar) })
 }
 
 // NewCore builds a serving core over the registered tables. The
@@ -108,9 +129,11 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 		role:      RoleLeader,
 		advertise: cfg.Advertise,
 		scanPar:   scanPar,
+		reg:       metrics.NewRegistry(),
 	}
+	c.registerCoreMetrics()
 	for _, name := range names {
-		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize, scanPar)
+		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize, scanPar, c.reg)
 	}
 	return c, nil
 }
@@ -143,7 +166,9 @@ func NewReplicaCore(tables []ReplicaTable, cfg CoreConfig) (*Core, error) {
 		role:     RoleFollower,
 		upstream: cfg.Upstream,
 		scanPar:  scanPar,
+		reg:      metrics.NewRegistry(),
 	}
+	c.registerCoreMetrics()
 	for _, t := range tables {
 		if t.Name == "" {
 			return nil, errInvalid("serve: empty replica table name")
@@ -155,7 +180,7 @@ func NewReplicaCore(tables []ReplicaTable, cfg CoreConfig) (*Core, error) {
 			return nil, errInvalid("serve: replica table %q registered twice", t.Name)
 		}
 		c.names = append(c.names, t.Name)
-		c.shards[t.Name] = newReplicaShard(t.Name, t.Dataset, t.Forward, scanPar)
+		c.shards[t.Name] = newReplicaShard(t.Name, t.Dataset, t.Forward, scanPar, c.reg)
 	}
 	return c, nil
 }
@@ -474,6 +499,11 @@ func (c *Core) Health() HealthResponse {
 		resp.Served += sh.served.Load()
 		resp.Observed += sh.observed.Load()
 		resp.Dropped += sh.dropped.Load()
+		// QueueDepth closes the accounting identity between the two
+		// counter families: Observed = Queries + QueueDepth at any
+		// instant (observations enqueued = processed + still waiting), so
+		// a reader can tell "decision loop behind" from "counter drift".
+		resp.QueueDepth += len(sh.queue)
 		st, err := sh.view()
 		if err != nil {
 			// A replica table still waiting for its first snapshot: the

@@ -74,8 +74,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"oreo"
+	"oreo/internal/metrics"
 )
 
 // DefaultQueueSize bounds each shard's observation queue when Config
@@ -142,19 +145,77 @@ func NewServer(core *Core, cfg Config) *Server {
 	s := &Server{core: core, mux: http.NewServeMux(), maxBody: cfg.MaxBodyBytes}
 
 	// Both versions are codecs over the same Core. v1 is the frozen
-	// compatibility surface; v2 adds the streaming bulk endpoint.
+	// compatibility surface; v2 adds the streaming bulk endpoint. Every
+	// route is wrapped in the metrics middleware (request counter per
+	// status code plus a latency histogram, labeled by endpoint; v1 and
+	// v2 share series — same Core, same semantics).
 	for _, v := range []string{"/v1", "/v2"} {
-		s.mux.HandleFunc("POST "+v+"/query", s.handleQuery)
-		s.mux.HandleFunc("POST "+v+"/query/batch", s.handleBatch)
-		s.mux.HandleFunc("GET "+v+"/tables", s.handleTables)
-		s.mux.HandleFunc("GET "+v+"/tables/{table}/layout", s.handleLayout)
-		s.mux.HandleFunc("GET "+v+"/tables/{table}/stats", s.handleStats)
-		s.mux.HandleFunc("GET "+v+"/tables/{table}/trace", s.handleTrace)
+		s.mux.HandleFunc("POST "+v+"/query", s.instrument("query", s.handleQuery))
+		s.mux.HandleFunc("POST "+v+"/query/batch", s.instrument("batch", s.handleBatch))
+		s.mux.HandleFunc("GET "+v+"/tables", s.instrument("tables", s.handleTables))
+		s.mux.HandleFunc("GET "+v+"/tables/{table}/layout", s.instrument("layout", s.handleLayout))
+		s.mux.HandleFunc("GET "+v+"/tables/{table}/stats", s.instrument("stats", s.handleStats))
+		s.mux.HandleFunc("GET "+v+"/tables/{table}/trace", s.instrument("trace", s.handleTrace))
 	}
-	s.mux.HandleFunc("POST /v2/query/stream", s.handleStream)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The stream histogram measures whole-stream wall time (one sample
+	// per connection, not per NDJSON line); per-query stream latency is
+	// a client-side measurement (oreoload, oreoreplay).
+	s.mux.HandleFunc("POST /v2/query/stream", s.instrument("stream", s.handleStream))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	reg := core.Metrics()
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg.Handler().ServeHTTP(w, r)
+	}))
 	return s
 }
+
+// instrument wraps a handler in the per-endpoint middleware: an
+// oreo_http_requests_total{endpoint,code} counter and an
+// oreo_http_request_duration_seconds{endpoint} histogram. The 200
+// counter and the histogram are resolved once at registration so the
+// common path records with two atomic adds; non-200 counters go
+// through the registry's get-or-create (rare by construction).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	const (
+		reqHelp = "HTTP requests answered, by endpoint and status code."
+		durHelp = "HTTP request latency in seconds, by endpoint; the stream endpoint measures whole-stream wall time."
+	)
+	reg := s.core.Metrics()
+	hist := reg.Histogram("oreo_http_request_duration_seconds", durHelp,
+		metrics.LatencyBuckets(), metrics.Labels{"endpoint": endpoint})
+	ok := reg.Counter("oreo_http_requests_total", reqHelp,
+		metrics.Labels{"endpoint": endpoint, "code": "200"})
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.code == 0 || rec.code == http.StatusOK {
+			ok.Inc()
+		} else {
+			reg.Counter("oreo_http_requests_total", reqHelp,
+				metrics.Labels{"endpoint": endpoint, "code": strconv.Itoa(rec.code)}).Inc()
+		}
+		hist.ObserveDuration(time.Since(start))
+	}
+}
+
+// statusRecorder captures the response status for the middleware.
+// Unwrap keeps http.ResponseController working through the wrapper —
+// the stream handler flushes per line via the controller, which
+// unwraps to reach the real connection.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
 
 // Core returns the serving core behind the HTTP codec, for hosts that
 // want to answer in-process requests or mount additional transports

@@ -8,6 +8,7 @@ import (
 
 	"oreo"
 	"oreo/internal/exec"
+	"oreo/internal/metrics"
 )
 
 // shard is one table's serving unit. It runs in one of two modes:
@@ -82,20 +83,24 @@ type shard struct {
 	obsMu     sync.RWMutex
 	obsClosed bool
 
-	served   atomic.Uint64 // read-path answers
-	observed atomic.Uint64 // queries enqueued for the decision loop (or forwarded upstream)
-	dropped  atomic.Uint64 // queue-full samples (or failed forwards)
-	costBits atomic.Uint64 // sum of served costs, as float64 bits
+	// The serving counters are metrics-registry instruments — the one
+	// source of truth that /stats, /healthz, and a /metrics scrape all
+	// read, so the surfaces cannot drift from each other. Recording on a
+	// resolved instrument is a single atomic add (see internal/metrics).
+	served   *metrics.Counter // read-path answers
+	observed *metrics.Counter // queries enqueued for the decision loop (or forwarded upstream)
+	dropped  *metrics.Counter // queue-full samples (or failed forwards)
+	costBits atomic.Uint64    // sum of served costs, as float64 bits (scraped via CounterFunc)
 	// compiles counts snapshot compile-and-sweep evaluations served on
 	// the read path — the memo-bypassing complement of the engine's
 	// decision-path hit/miss counters.
-	compiles atomic.Uint64
+	compiles *metrics.Counter
 	// executions / execRows count row-level scans and the rows they
 	// examined; parallelScans counts the executions that ran with more
 	// than one scan worker (see scanPar).
-	executions    atomic.Uint64
-	execRows      atomic.Uint64
-	parallelScans atomic.Uint64
+	executions    *metrics.Counter
+	execRows      *metrics.Counter
+	parallelScans *metrics.Counter
 
 	// scanPar is the worker count execute scans run with
 	// (exec.Options.Parallelism), resolved by the core at construction.
@@ -130,7 +135,7 @@ type execState struct {
 	store  *exec.Store
 }
 
-func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, scanPar int) *shard {
+func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, scanPar int, reg *metrics.Registry) *shard {
 	s := &shard{
 		table:   name,
 		ds:      ds,
@@ -139,6 +144,7 @@ func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, sca
 		scanPar: scanPar,
 	}
 	s.rep.Store(&repState{epoch: 0, snap: s.copt.Snapshot()})
+	s.registerMetrics(reg)
 	s.wg.Add(1)
 	go s.consume()
 	return s
@@ -148,8 +154,78 @@ func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, sca
 // decision loop; state arrives through applyReplica and observations
 // leave through forward. It answers unavailable until the first
 // snapshot is applied.
-func newReplicaShard(name string, ds *oreo.Dataset, forward func(oreo.Query) bool, scanPar int) *shard {
-	return &shard{table: name, ds: ds, replica: true, forward: forward, scanPar: scanPar}
+func newReplicaShard(name string, ds *oreo.Dataset, forward func(oreo.Query) bool, scanPar int, reg *metrics.Registry) *shard {
+	s := &shard{table: name, ds: ds, replica: true, forward: forward, scanPar: scanPar}
+	s.registerMetrics(reg)
+	return s
+}
+
+// registerMetrics resolves the shard's counter instruments and attaches
+// the callback series that read live shard state on each scrape. Every
+// series carries a {table} label; the full catalog is documented in the
+// "# Observability" section of the root package.
+func (s *shard) registerMetrics(reg *metrics.Registry) {
+	lbl := metrics.Labels{"table": s.table}
+	s.served = reg.Counter("oreo_queries_served_total",
+		"Queries answered on the read path, including execute requests.", lbl)
+	s.observed = reg.Counter("oreo_observations_total",
+		"Served queries enqueued for the decision loop (leader) or forwarded upstream (follower).", lbl)
+	s.dropped = reg.Counter("oreo_observations_dropped_total",
+		"Served queries sampled out of reorganization decisions because the observation queue (or forward buffer) was full.", lbl)
+	s.compiles = reg.Counter("oreo_snapshot_compiles_total",
+		"Lock-free compile-and-sweep evaluations served against layout snapshots.", lbl)
+	s.executions = reg.Counter("oreo_executions_total",
+		"Served queries that also ran a row-level scan over their survivor partitions.", lbl)
+	s.execRows = reg.Counter("oreo_scan_rows_examined_total",
+		"Rows examined by execution scans; rate() of this is scan rows per second.", lbl)
+	s.parallelScans = reg.Counter("oreo_parallel_scans_total",
+		"Execution scans that ran with more than one worker.", lbl)
+	reg.CounterFunc("oreo_served_cost_total",
+		"Cumulative served cost: the sum over answered queries of the scanned table fraction.", lbl,
+		func() float64 { return math.Float64frombits(s.costBits.Load()) })
+	reg.GaugeFunc("oreo_observation_queue_depth",
+		"Observations waiting for the decision loop (always 0 on a follower).", lbl,
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("oreo_observation_queue_capacity",
+		"Capacity of the decision-observation queue.", lbl,
+		func() float64 { return float64(cap(s.queue)) })
+
+	// Decision-loop and replication series read the published (epoch,
+	// snapshot) pair — nil on a replica before its first snapshot, which
+	// scrapes as 0.
+	snapFn := func(f func(repState) float64) func() float64 {
+		return func() float64 {
+			st := s.rep.Load()
+			if st == nil {
+				return 0
+			}
+			return f(*st)
+		}
+	}
+	reg.CounterFunc("oreo_decisions_total",
+		"Queries processed by the decision loop; on a follower these are the leader's replicated counters.", lbl,
+		snapFn(func(st repState) float64 { return float64(st.snap.Stats.Queries) }))
+	reg.CounterFunc("oreo_reorganizations_total",
+		"Layout reorganizations the optimizer has committed.", lbl,
+		snapFn(func(st repState) float64 { return float64(st.snap.Stats.Reorganizations) }))
+	reg.CounterFunc("oreo_decision_query_cost_total",
+		"Cumulative query cost accounted by the decision loop (the paper's service cost).", lbl,
+		snapFn(func(st repState) float64 { return st.snap.Stats.QueryCost }))
+	reg.CounterFunc("oreo_decision_reorg_cost_total",
+		"Cumulative data-movement cost of committed reorganizations.", lbl,
+		snapFn(func(st repState) float64 { return st.snap.Stats.ReorgCost }))
+	reg.GaugeFunc("oreo_replication_epoch",
+		"Published decision epoch: decisions processed on a leader, last applied epoch on a follower. Leader minus follower is the replication lag.", lbl,
+		snapFn(func(st repState) float64 { return float64(st.epoch) }))
+	reg.CounterFunc("oreo_memo_hits_total",
+		"Decision-path cost-memo hits for the serving layout.", lbl,
+		snapFn(func(st repState) float64 { return float64(st.snap.Serving.Engine().Stats().Hits) }))
+	reg.CounterFunc("oreo_memo_misses_total",
+		"Decision-path cost-memo misses for the serving layout.", lbl,
+		snapFn(func(st repState) float64 { return float64(st.snap.Serving.Engine().Stats().Misses) }))
+	reg.GaugeFunc("oreo_memo_entries",
+		"Entries in the serving layout's cost memo.", lbl,
+		snapFn(func(st repState) float64 { return float64(st.snap.Serving.Engine().Stats().Entries) }))
 }
 
 // consume is the single decision consumer: it drains observed queries

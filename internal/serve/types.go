@@ -278,6 +278,12 @@ type HealthResponse struct {
 	// tables (observed queries that have drained, plus any direct use).
 	// On a follower it reflects the leader's replicated counters.
 	Queries int `json:"queries"`
+	// QueueDepth is the observations currently waiting in decision
+	// queues across all tables, making the Observed/Queries relation
+	// auditable in one reading: Observed = Queries + QueueDepth (up to
+	// scrape skew), so a persistent gap is a lagging decision loop, not
+	// lost counts. Always 0 on a follower (no local decision queues).
+	QueueDepth int `json:"queue_depth"`
 	// ScanParallelism is the worker count execute-path scans run with
 	// (CoreConfig.ScanParallelism after defaulting/clamping), and
 	// ParallelScans counts the executions across all tables that

@@ -195,6 +195,59 @@
 // shippers. See examples/replication for a leader + two followers in
 // miniature.
 //
+// # Observability
+//
+// Every serving role — leader and follower alike — mounts GET /metrics,
+// Prometheus text exposition rendered from a stdlib-only registry
+// (internal/metrics) whose instruments ARE the serving counters: the
+// shards, the HTTP layer, /stats, and /healthz all read the same atomic
+// cells, so the surfaces cannot drift (/healthz additionally exposes
+// queue_depth, closing the identity observed = queries + queue_depth).
+// Recording on the hot path is one atomic add; per-endpoint request
+// latency lands in fixed-bucket histograms (exponential bounds from
+// 50µs, shared with the load generator so client- and server-side
+// percentiles compare directly).
+//
+// The catalog, abridged (all counters *_total, histograms with
+// _bucket/_sum/_count):
+//
+//   - HTTP: oreo_http_requests_total{endpoint,code},
+//     oreo_http_request_duration_seconds{endpoint}
+//   - serving, per {table}: oreo_queries_served_total,
+//     oreo_observations_total, oreo_observations_dropped_total,
+//     oreo_observation_queue_depth / _capacity,
+//     oreo_executions_total, oreo_scan_rows_examined_total,
+//     oreo_parallel_scans_total, oreo_snapshot_compiles_total,
+//     oreo_served_cost_total
+//   - decision loop, per {table}: oreo_decisions_total,
+//     oreo_reorganizations_total, oreo_decision_query_cost_total,
+//     oreo_decision_reorg_cost_total, oreo_memo_hits_total /
+//     _misses_total / oreo_memo_entries
+//   - identity: oreo_role{role}, oreo_scan_parallelism, and per {table}
+//     oreo_replication_epoch — the same series name on every role, so
+//     lag is a subtraction across scrapes
+//   - replication, leader side: oreo_replication_subscribers,
+//     oreo_replication_published_total, oreo_replication_resnapshots_total,
+//     oreo_replication_subscriber_queue_depth,
+//     oreo_replication_observations_received_total{result},
+//     oreo_replication_lag_epochs{table} (slowest subscriber's backlog)
+//   - replication, follower side: oreo_replication_snapshots_applied_total,
+//     oreo_replication_decisions_applied_total, resumes/gaps/reconnects,
+//     oreo_replication_forwarded_total / _dropped / _rejected,
+//     oreo_replication_forward_queue_depth,
+//     oreo_replication_lag_epochs{table} (decoded-but-not-applied)
+//
+// cmd/oreoload closes the measurement loop from the outside: a load
+// generator on the client SDK with both loop disciplines — closed
+// (N workers, one request in flight each: sustained throughput) and
+// open (queries paced at a target arrival rate: does it keep up) —
+// over unary or stream transports, reporting achieved QPS and
+// p50/p90/p99/max from the same histogram buckets the server exports.
+// BENCH_serve.json is the checked-in trajectory (unary vs stream vs
+// follower vs leader+follower aggregate); cmd/oreoreplay -mode serve
+// reports in-stream replay percentiles next to QPS. See
+// examples/metrics for a leader + follower pair scraped under load.
+//
 // The subpackages under internal/ implement the substrates (columnar
 // tables, query model, the pruning engine, layout generators, the
 // D-UMTS reorganizer, the layout manager, baselines, the experiment
