@@ -19,6 +19,15 @@
 //
 //	items, err := c.Replay(ctx, queries, nil)
 //
+// Live writes go through Append (one durable batch), BulkLoad (a large
+// slice in ordered batches), and Compact (fold the delta segment into
+// the base layout now) — leaders only; followers converge through the
+// replication stream:
+//
+//	ack, err := c.Append(ctx, "orders", []client.Row{
+//		{"order_ts": 1700000001, "status": "new", "amount": 12.5},
+//	})
+//
 // Failures surface as *APIError carrying the HTTP status and server
 // message; errors.Is(err, client.ErrNotFound) (and ErrInvalid,
 // ErrTooLarge) matches without status-code arithmetic at call sites.
@@ -183,6 +192,72 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 		return nil, err
 	}
 	return &h, nil
+}
+
+// Append lands rows in a table's delta segment over
+// POST /v2/tables/{t}/append — the live write path, leaders only. On
+// return the rows are durable and visible to every query on the
+// answering server; followers converge through the replication stream.
+// The whole batch lands or none of it does.
+func (c *Client) Append(ctx context.Context, table string, rows []Row) (*AppendResult, error) {
+	req := struct {
+		Rows []Row `json:"rows"`
+	}{rows}
+	var res AppendResult
+	if err := c.post(ctx, "/v2/tables/"+url.PathEscape(table)+"/append", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// DefaultBulkLoadBatch is the per-request row count BulkLoad uses when
+// the caller passes batchSize <= 0: large enough to amortize the HTTP
+// round trip, small enough to stay far under the server's default
+// request body cap.
+const DefaultBulkLoadBatch = 1000
+
+// BulkLoad appends a large row slice in batches of batchSize
+// (DefaultBulkLoadBatch when <= 0), returning the final acknowledgment
+// with Appended summed over every batch. Batches land in order, each
+// durable before the next is sent; a mid-load failure returns the
+// error alongside the last successful acknowledgment, so the caller
+// knows exactly how many rows landed.
+func (c *Client) BulkLoad(ctx context.Context, table string, rows []Row, batchSize int) (*AppendResult, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBulkLoadBatch
+	}
+	total := 0
+	var last *AppendResult
+	for start := 0; start < len(rows); start += batchSize {
+		end := start + batchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		res, err := c.Append(ctx, table, rows[start:end])
+		if err != nil {
+			if last != nil {
+				last.Appended = total
+			}
+			return last, fmt.Errorf("client: bulk load failed after %d of %d rows: %w", total, len(rows), err)
+		}
+		total += res.Appended
+		last = res
+	}
+	if last != nil {
+		last.Appended = total
+	}
+	return last, nil
+}
+
+// Compact asks the server to fold a table's delta segment into its
+// base layout now, over POST /v2/tables/{t}/compact. Folding an empty
+// delta is a no-op success — safe to call in a settle loop.
+func (c *Client) Compact(ctx context.Context, table string) (*CompactResult, error) {
+	var res CompactResult
+	if err := c.post(ctx, "/v2/tables/"+url.PathEscape(table)+"/compact", struct{}{}, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // LoadTrace parses a query-log / trace file (JSON lines, the

@@ -471,3 +471,127 @@ func TestSubscribeAndFollowerHealth(t *testing.T) {
 		t.Fatalf("layout epoch = %d, want 1", h.LayoutEpochs["orders"])
 	}
 }
+
+// TestAppendCompactRoundTrip drives the live write surface end to end:
+// append, immediate visibility, bulk load in batches, explicit
+// compaction, and the typed-error contract on bad writes.
+func TestAppendCompactRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+
+	ack, err := c.Append(ctx, "orders", []client.Row{
+		{"order_ts": 5000, "status": "new", "amount": 12.5},
+		{"order_ts": 5001, "status": "new", "amount": 13.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Table != "orders" || ack.Appended != 2 || ack.DeltaRows != 2 || ack.Epoch == 0 {
+		t.Fatalf("append ack = %+v", ack)
+	}
+
+	// Acknowledged rows answer queries immediately.
+	results, err := c.Query(ctx, client.Query{
+		Table:   "orders",
+		Preds:   []client.Predicate{client.IntGE("order_ts", 5000)},
+		Execute: true,
+		Aggs:    []client.Aggregate{client.Count(), client.Sum("amount")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := results[0].Execution
+	if ex == nil || ex.MatchedRows != 2 || ex.DeltaRows != 2 {
+		t.Fatalf("appended rows not visible: %+v", results[0])
+	}
+	if got := ex.Aggregates[1].ValueF; got != 26 {
+		t.Fatalf("sum(amount) over appended rows = %v, want 26", got)
+	}
+
+	// BulkLoad splits into ordered batches; the final ack sums them.
+	rows := make([]client.Row, 25)
+	for i := range rows {
+		rows[i] = client.Row{"order_ts": 6000 + i, "status": "bulk", "amount": 1.0}
+	}
+	ack, err = c.BulkLoad(ctx, "orders", rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Appended != 25 || ack.DeltaRows != 27 {
+		t.Fatalf("bulk ack = %+v, want appended 25, delta 27", ack)
+	}
+
+	// Compact folds everything; a second fold is an empty no-op.
+	cr, err := c.Compact(ctx, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Folded != 27 || cr.DeltaRows != 0 {
+		t.Fatalf("compact = %+v, want folded 27", cr)
+	}
+	lay, err := c.Layout(ctx, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.TotalRows != 4027 || lay.DeltaRows != 0 {
+		t.Fatalf("post-compact layout = %+v, want 4027 rows, no delta", lay)
+	}
+	if cr, err = c.Compact(ctx, "orders"); err != nil || cr.Folded != 0 {
+		t.Fatalf("empty compact = %+v, %v", cr, err)
+	}
+
+	// Stats and health surface the write counters.
+	st, err := c.TableStats(ctx, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowsAppended != 27 || st.Compactions != 1 || st.DeltaRows != 0 {
+		t.Fatalf("stats = appended %d, compactions %d, delta %d", st.RowsAppended, st.Compactions, st.DeltaRows)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DeltaRows["orders"] != 0 {
+		t.Fatalf("healthz delta_rows = %v", h.DeltaRows)
+	}
+
+	// Typed errors: unknown table is ErrNotFound, a malformed row is
+	// ErrInvalid, and neither lands anything.
+	if _, err := c.Append(ctx, "nope", []client.Row{{"x": 1}}); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("append to unknown table: %v, want ErrNotFound", err)
+	}
+	if _, err := c.Append(ctx, "orders", []client.Row{{"order_ts": 1}}); !errors.Is(err, client.ErrInvalid) {
+		t.Fatalf("append with missing columns: %v, want ErrInvalid", err)
+	}
+	if _, err := c.Compact(ctx, "nope"); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("compact unknown table: %v, want ErrNotFound", err)
+	}
+}
+
+// TestBulkLoadPartialFailure pins the mid-load contract: when a later
+// batch fails, BulkLoad reports the rows that DID land alongside the
+// error.
+func TestBulkLoadPartialFailure(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+
+	rows := make([]client.Row, 30)
+	for i := range rows {
+		rows[i] = client.Row{"order_ts": 7000 + i, "status": "ok", "amount": 1.0}
+	}
+	rows[25] = client.Row{"order_ts": "broken"} // poisons the third batch of 10
+	ack, err := c.BulkLoad(ctx, "orders", rows, 10)
+	if err == nil {
+		t.Fatal("poisoned bulk load succeeded")
+	}
+	if !errors.Is(err, client.ErrInvalid) {
+		t.Fatalf("bulk load error = %v, want ErrInvalid", err)
+	}
+	if ack == nil || ack.Appended != 20 {
+		t.Fatalf("partial ack = %+v, want 20 rows landed", ack)
+	}
+	if !strings.Contains(err.Error(), "after 20 of 30 rows") {
+		t.Fatalf("error %q does not name the landed count", err)
+	}
+}

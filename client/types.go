@@ -102,12 +102,15 @@ type AggregateResult struct {
 }
 
 // Execution is the row-level half of an executed query's answer.
+// DeltaRows counts delta-segment rows the scan examined on top of the
+// survivor partitions (servers predating live writes omit it).
 type Execution struct {
 	MatchedRows     int               `json:"matched_rows"`
 	PartitionsRead  int               `json:"partitions_read"`
 	PartitionsTotal int               `json:"partitions_total"`
 	RowsExamined    int               `json:"rows_examined"`
 	RowsTotal       int               `json:"rows_total"`
+	DeltaRows       int               `json:"delta_rows,omitempty"`
 	Aggregates      []AggregateResult `json:"aggregates,omitempty"`
 }
 
@@ -120,6 +123,7 @@ type TableResult struct {
 	SurvivorPartitions []int      `json:"survivor_partitions"`
 	Reorganizing       bool       `json:"reorganizing,omitempty"`
 	PendingLayout      string     `json:"pending_layout,omitempty"`
+	DeltaRows          int        `json:"delta_rows,omitempty"`
 	Observed           bool       `json:"observed"`
 	QueryID            int        `json:"query_id,omitempty"`
 	Execution          *Execution `json:"execution,omitempty"`
@@ -144,6 +148,9 @@ type Layout struct {
 	PartitionRows []int  `json:"partition_rows"`
 	Reorganizing  bool   `json:"reorganizing,omitempty"`
 	PendingLayout string `json:"pending_layout,omitempty"`
+	// DeltaRows is the unpartitioned delta segment's size: rows appended
+	// since the last compaction, outside TotalRows until a fold.
+	DeltaRows int `json:"delta_rows,omitempty"`
 }
 
 // TableStats is GET /tables/{t}/stats.
@@ -172,6 +179,12 @@ type TableStats struct {
 	ExecutionRowsRead uint64  `json:"execution_rows_read"`
 	QueueDepth        int     `json:"queue_depth"`
 	QueueCapacity     int     `json:"queue_capacity"`
+
+	// Live write path counters (servers predating live writes omit all
+	// three): current delta size, rows appended this boot, delta folds.
+	DeltaRows    int    `json:"delta_rows,omitempty"`
+	RowsAppended uint64 `json:"rows_appended,omitempty"`
+	Compactions  uint64 `json:"compactions,omitempty"`
 }
 
 // TraceEvent is one decision-trace event.
@@ -217,4 +230,32 @@ type Health struct {
 	// all tables: Observed = Queries + QueueDepth up to scrape skew.
 	// Servers predating the /metrics layer omit it (reads as 0).
 	QueueDepth int `json:"queue_depth"`
+	// DeltaRows maps each table to its uncompacted delta segment size.
+	// Watch these drop to zero to know a compaction round has settled.
+	// Servers predating live writes omit the map (reads as nil).
+	DeltaRows map[string]int `json:"delta_rows,omitempty"`
+}
+
+// Row is one append-row: schema column name → value. Every schema
+// column must be present; ints, floats, and strings matching the
+// column types. Integer columns reject fractional values.
+type Row map[string]any
+
+// AppendResult acknowledges a durable append: as of Epoch the rows are
+// visible to every query on the answering server. DeltaRows is the
+// delta segment's size afterwards (0 right after an auto-compaction).
+type AppendResult struct {
+	Table     string `json:"table"`
+	Epoch     uint64 `json:"epoch"`
+	Appended  int    `json:"appended"`
+	DeltaRows int    `json:"delta_rows"`
+}
+
+// CompactResult acknowledges an explicit compaction: Folded delta rows
+// were rewritten into the base layout (0 when the delta was empty).
+type CompactResult struct {
+	Table     string `json:"table"`
+	Epoch     uint64 `json:"epoch"`
+	Folded    int    `json:"folded"`
+	DeltaRows int    `json:"delta_rows"`
 }

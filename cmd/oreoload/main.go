@@ -21,6 +21,15 @@
 // connection in ping-pong mode; -execute asks for row-level execution
 // with a count aggregate, exercising the scan path.
 //
+// -append-ratio r mixes live writes into the run: every round(1/r)-th
+// operation appends a deterministic row batch through
+// POST /v2/tables/{t}/append instead of querying (leaders only). The
+// schedule is by operation index, so an -n run appends exactly
+// floor(n/round(1/r)) batches — a closed form CI asserts against the
+// server's rows_appended counter:
+//
+//	oreoload -url http://localhost:8080 -n 400 -append-ratio 0.25
+//
 // -min-qps turns the run into an assertion: exit status 1 when the
 // achieved rate lands under the floor or any query failed — the CI
 // smoke-job contract.
@@ -56,12 +65,16 @@ func main() {
 		stream   = flag.Bool("stream", false, "use one /v2/query/stream connection per worker (ping-pong) instead of POST /v1/query")
 		execute  = flag.Bool("execute", false, "execute each query (scan + count aggregate), not just cost it")
 
+		appendRatio = flag.Float64("append-ratio", 0, "fraction of operations that are live-write appends: every round(1/r)-th operation POSTs a row batch to /v2/tables/{t}/append (0 = read-only; leaders only)")
+		appendBatch = flag.Int("append-batch", 1, "rows per append operation (-append-ratio mode)")
+
 		minQPS   = flag.Float64("min-qps", 0, "fail (exit 1) when the achieved rate lands below this floor")
 		progress = flag.Bool("progress", true, "print a live progress line every second")
 	)
 	flag.Parse()
 	if err := run(*url, *table, *dataset, *in, *rows, *poolN, *segs, *seed,
-		*n, *duration, *qps, *conc, *stream, *execute, *minQPS, *progress); err != nil {
+		*n, *duration, *qps, *conc, *stream, *execute,
+		*appendRatio, *appendBatch, *minQPS, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "oreoload:", err)
 		os.Exit(1)
 	}
@@ -69,7 +82,7 @@ func main() {
 
 func run(url, table, dataset, in string, rows, poolN, segs int, seed int64,
 	n int, duration time.Duration, qps float64, conc int, stream, execute bool,
-	minQPS float64, progress bool) error {
+	appendRatio float64, appendBatch int, minQPS float64, progress bool) error {
 	if url == "" {
 		return fmt.Errorf("-url is required")
 	}
@@ -86,6 +99,16 @@ func run(url, table, dataset, in string, rows, poolN, segs int, seed int64,
 		QPS:         qps,
 		Concurrency: conc,
 		Stream:      stream,
+	}
+	if appendRatio > 0 {
+		makeRow := fixtureRowMaker(table, rows)
+		if makeRow == nil {
+			return fmt.Errorf("-append-ratio needs a fixture-schema table (orders, events), got %q", table)
+		}
+		spec.AppendRatio = appendRatio
+		spec.AppendTable = table
+		spec.MakeRow = makeRow
+		spec.AppendBatch = appendBatch
 	}
 	if progress {
 		spec.Progress = func(s load.Snapshot) {
@@ -105,6 +128,35 @@ func run(url, table, dataset, in string, rows, poolN, segs int, seed int64,
 	}
 	if minQPS > 0 && rep.QPS < minQPS {
 		return fmt.Errorf("achieved %.0f qps, floor is %.0f", rep.QPS, minQPS)
+	}
+	return nil
+}
+
+// fixtureRowMaker returns the deterministic append-row generator for a
+// fixture-schema table (also the shape -csv CI fixtures use), or nil
+// for a table whose schema the generator does not know. Appended keys
+// start at rows — past the fixture keyspace — so appended rows are
+// range-addressable separately from the boot rows.
+func fixtureRowMaker(table string, rows int) func(seq int) client.Row {
+	switch table {
+	case "orders":
+		statuses := []string{"cancelled", "delivered", "pending", "returned"}
+		return func(seq int) client.Row {
+			return client.Row{
+				"order_ts": rows + seq,
+				"status":   statuses[seq%len(statuses)],
+				"amount":   float64(seq%500) + 0.25,
+			}
+		}
+	case "events":
+		users := []string{"alice", "bob", "carol", "dave", "erin"}
+		return func(seq int) client.Row {
+			return client.Row{
+				"ts":      rows + seq,
+				"user":    users[seq%len(users)],
+				"latency": float64(seq%80) + 0.5,
+			}
+		}
 	}
 	return nil
 }

@@ -23,10 +23,18 @@
 //	  "preds":[{"col":"order_ts","has_lo":true,"has_hi":true,"lo_i":100,"hi_i":900}],
 //	  "aggs":[{"op":"count"},{"op":"sum","col":"amount"}]}'
 //
+// Live writes land through POST /v2/tables/{t}/append (leaders only):
+// rows go to an unpartitioned delta segment that every query scans, and
+// a background fold repartitions them into the base layout once the
+// delta reaches -compact-threshold rows (or on explicit
+// POST /v2/tables/{t}/compact). Followers receive both appends and
+// folds through the replication stream.
+//
 // With -state DIR the server loads warm-start snapshots
 // (DIR/<table>.state.json) at boot — resuming each table's converged
-// layout with a hot cost memo — and writes fresh snapshots on graceful
-// shutdown (SIGINT/SIGTERM).
+// layout with a hot cost memo, plus any appended rows the boot source
+// cannot reproduce (compacted tail and live delta) — and writes fresh
+// snapshots on graceful shutdown (SIGINT/SIGTERM).
 //
 // With -follow URL the process boots as a read replica instead of a
 // leader: it loads the same data (same -csv/-tables/-rows/-seed flags
@@ -78,6 +86,7 @@ func main() {
 		traceN  = flag.Int("trace", 256, "decision-trace capacity per table (0 disables /trace)")
 		stateIn = flag.String("state", "", "directory for warm-start snapshots (load at boot, save at shutdown)")
 		scanPar = flag.Int("scan-parallelism", 0, "worker goroutines per executed scan (0 = NumCPU, 1 = sequential; capped at NumCPU, results identical at any setting)")
+		compact = flag.Int("compact-threshold", 0, "delta rows that trigger automatic compaction after an append (0 = default, negative = only explicit /compact)")
 
 		// Replication topology. A leader always serves the replication
 		// endpoints; -follow turns the process into a read replica of
@@ -136,8 +145,14 @@ func main() {
 		}()
 	} else {
 		m := oreo.NewMulti()
+		// Warm-start restores split in two: the grown base feeds the
+		// optimizer here, while restored delta rows must wait for the
+		// serving core and re-enter through the live write path below.
+		seedRows := make(map[string]int, len(sources))
+		deltas := make(map[string]*oreo.Dataset)
 		for _, src := range sources {
 			name, ds, sortCol := src.name, src.ds, src.sortCol
+			seedRows[name] = ds.NumRows()
 			cfg := oreo.Config{
 				Alpha:         *alpha,
 				WindowSize:    *window,
@@ -147,11 +162,18 @@ func main() {
 				TraceCapacity: *traceN,
 			}
 			if *stateIn != "" {
-				if initial, warm := loadState(statePath(*stateIn, name), ds); initial != nil {
-					cfg.Initial = initial
+				if st := loadState(statePath(*stateIn, name), ds); st != nil {
+					cfg.Initial = st.layout
 					cfg.InitialSort = nil
-					log.Printf("table %s: resumed layout %q (warm=%v, memo entries=%d)",
-						name, initial.Name, warm, initial.Engine().Stats().Entries)
+					ds = st.base
+					deltaRows := 0
+					if st.delta != nil && st.delta.NumRows() > 0 {
+						deltas[name] = st.delta
+						deltaRows = st.delta.NumRows()
+					}
+					log.Printf("table %s: resumed layout %q (warm=%v, memo entries=%d, base rows=%d, delta rows=%d)",
+						name, st.layout.Name, st.warm, st.layout.Engine().Stats().Entries,
+						st.base.NumRows(), deltaRows)
 				}
 			}
 			if err := m.AddTable(name, ds, cfg); err != nil {
@@ -159,9 +181,26 @@ func main() {
 			}
 		}
 		var err error
-		srv, err = serve.New(m, serve.Config{QueueSize: *queue, Advertise: *advertise, ScanParallelism: *scanPar})
+		srv, err = serve.New(m, serve.Config{
+			QueueSize:        *queue,
+			Advertise:        *advertise,
+			ScanParallelism:  *scanPar,
+			CompactThreshold: *compact,
+			SeedRows:         seedRows,
+		})
 		if err != nil {
 			log.Fatalf("oreoserve: %v", err)
+		}
+		for _, src := range sources {
+			delta, ok := deltas[src.name]
+			if !ok {
+				continue
+			}
+			ack, err := srv.Core().AppendDataset(src.name, delta)
+			if err != nil {
+				log.Fatalf("oreoserve: restoring %s delta: %v", src.name, err)
+			}
+			log.Printf("table %s: restored %d delta rows (delta now %d)", src.name, delta.NumRows(), ack.DeltaRows)
 		}
 		pub, err := replica.NewPublisher(srv.Core(), replica.PublisherConfig{})
 		if err != nil {
@@ -211,14 +250,22 @@ func main() {
 	srv.Close()
 	if *stateIn != "" && fol == nil {
 		for _, name := range names {
-			snap, ok := srv.Snapshot(name)
+			// ReplicaPosition is the coherent serving view: layout, grown
+			// base, and uncompacted delta captured together, so the saved
+			// document replays to exactly the rows queries were seeing.
+			pos, ok := srv.Core().ReplicaPosition(name)
 			if !ok {
 				continue
 			}
-			if err := saveState(statePath(*stateIn, name), snap.Serving); err != nil {
+			if err := saveState(statePath(*stateIn, name), pos); err != nil {
 				log.Printf("oreoserve: saving %s state: %v", name, err)
 			} else {
-				log.Printf("table %s: saved layout %q", name, snap.Serving.Name)
+				deltaRows := 0
+				if pos.Delta != nil {
+					deltaRows = pos.Delta.NumRows()
+				}
+				log.Printf("table %s: saved layout %q (%d rows + %d delta)",
+					name, pos.Snapshot.Serving.Name, pos.Dataset.NumRows(), deltaRows)
 			}
 		}
 	}
@@ -228,21 +275,31 @@ func statePath(dir, table string) string {
 	return filepath.Join(dir, table+".state.json")
 }
 
-func loadState(path string, ds *oreo.Dataset) (*oreo.Layout, bool) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, false // cold boot: no snapshot yet
-	}
-	defer f.Close()
-	l, warm, err := oreo.LoadState(f, ds)
-	if err != nil {
-		log.Printf("oreoserve: %s unusable (%v); cold boot", path, err)
-		return nil, false
-	}
-	return l, warm
+// restoredState is one table's warm-start result: the resumed layout
+// over the grown base (boot source + compacted tail) and the delta
+// rows to replay through the live write path.
+type restoredState struct {
+	layout *oreo.Layout
+	base   *oreo.Dataset
+	delta  *oreo.Dataset
+	warm   bool
 }
 
-func saveState(path string, l *oreo.Layout) error {
+func loadState(path string, boot *oreo.Dataset) *restoredState {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil // cold boot: no snapshot yet
+	}
+	defer f.Close()
+	l, warm, base, delta, err := oreo.LoadStateWithData(f, boot)
+	if err != nil {
+		log.Printf("oreoserve: %s unusable (%v); cold boot", path, err)
+		return nil
+	}
+	return &restoredState{layout: l, base: base, delta: delta, warm: warm}
+}
+
+func saveState(path string, pos serve.Position) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -251,7 +308,7 @@ func saveState(path string, l *oreo.Layout) error {
 	if err != nil {
 		return err
 	}
-	if err := oreo.SaveState(f, l); err != nil {
+	if err := oreo.SaveStateWithData(f, pos.Snapshot.Serving, pos.Dataset, pos.SeedRows, pos.Delta); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -110,6 +110,11 @@ func (c *ConcurrentOptimizer) CostQuery(q Query) Decision {
 	return c.Snapshot().CostQuery(q)
 }
 
+// Config returns the wrapped optimizer's resolved configuration; see
+// Optimizer.Config. The Config is immutable after New, so this needs no
+// lock and is safe alongside the decision path.
+func (c *ConcurrentOptimizer) Config() Config { return c.opt.Config() }
+
 // Events returns the retained trace events. Serialized with the decision
 // path (the trace ring buffer is not lock-free).
 func (c *ConcurrentOptimizer) Events() []TraceEvent {

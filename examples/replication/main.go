@@ -133,16 +133,18 @@ func main() {
 			time.Sleep(time.Millisecond)
 		}
 	}
-	leaderPos := func() uint64 { e, _, _ := leader.ReplicaPosition("orders"); return e }
+	leaderPos := func() uint64 { pos, _ := leader.ReplicaPosition("orders"); return pos.Epoch }
 	waitEpoch(leaderPos, 400)
-	_, snap, _ := leader.ReplicaPosition("orders")
+	lpos, _ := leader.ReplicaPosition("orders")
+	snap := lpos.Snapshot
 	fmt.Printf("\nleader after 400 queries: epoch %d, layout %q, %d reorganizations\n",
 		leaderPos(), snap.Serving.Name, snap.Stats.Reorganizations)
 
 	// --- Both followers converge to the same epoch and layout. ---
 	for i, fol := range followers {
 		waitEpoch(func() uint64 { return fol.Position("orders") }, 400)
-		_, fsnap, _ := fol.Core().ReplicaPosition("orders")
+		fpos, _ := fol.Core().ReplicaPosition("orders")
+		fsnap := fpos.Snapshot
 		fmt.Printf("follower %d: epoch %d, layout %q\n", i+1, fol.Position("orders"), fsnap.Serving.Name)
 	}
 
@@ -190,8 +192,9 @@ func main() {
 	// --- Cross-check at the shared epoch: follower answers are
 	// bit-identical to the leader's. ---
 	probe := oreo.Query{Preds: []oreo.Predicate{oreo.IntRange("order_ts", 1000, 4999)}}
-	_, ls, _ := leader.ReplicaPosition("orders")
-	_, fs, _ := followers[0].Core().ReplicaPosition("orders")
+	lp, _ := leader.ReplicaPosition("orders")
+	fp, _ := followers[0].Core().ReplicaPosition("orders")
+	ls, fs := lp.Snapshot, fp.Snapshot
 	ld, fd := ls.CostQuery(probe), fs.CostQuery(probe)
 	fmt.Printf("\nprobe cost: leader %.6f, follower %.6f, survivors %d vs %d — bit-identical: %v\n",
 		ld.Cost, fd.Cost, len(ld.SurvivorPartitions()), len(fd.SurvivorPartitions()),

@@ -193,6 +193,16 @@ type Options struct {
 	// this purely for latency (the serving layer defaults it to
 	// runtime.NumCPU()).
 	Parallelism int
+	// Delta, when non-nil, is the table's unpartitioned live-write tail:
+	// rows appended since the last compaction, not yet covered by the
+	// store's partitioning. The scan visits it after every survivor
+	// block, as one extra always-surviving segment — it has no metadata
+	// partitions can be pruned by, so skipping it is never sound. Its
+	// rows are re-checked row-at-a-time and its aggregate partial merges
+	// strictly last in both engines, so kernel ≡ interpreted and
+	// pruned ≡ unpruned stay bitwise with a non-empty delta. The delta
+	// must share the store's schema (pointer identity).
+	Delta *table.Dataset
 }
 
 // Result is one scan's outcome.
@@ -208,8 +218,14 @@ type Result struct {
 	// Aggs holds one result per requested aggregate, in request order.
 	Aggs []AggValue
 	// RowIDs holds the matched rows' original dataset indices when
-	// Options.CollectRows is set; nil otherwise.
+	// Options.CollectRows is set; nil otherwise. Delta rows are indexed
+	// past the base: delta row r reports TotalRows()+r.
 	RowIDs []int
+	// DeltaRows is the number of live-write tail rows examined (zero
+	// without Options.Delta). They are included in RowsExamined — the
+	// delta is always read in full — but not in PartitionsRead, which
+	// counts base partitions only.
+	DeltaRows int
 	// Workers is the number of scan workers actually used: 1 for a
 	// sequential scan, Options.Parallelism clamped to the survivor
 	// count otherwise. Purely observational — results do not depend on
@@ -273,11 +289,72 @@ func (s *Store) Scan(q query.Query, survivors []int, aggs []AggSpec, opts Option
 	if err != nil {
 		return Result{}, err
 	}
+	if err := s.scanDelta(&res, q, accs, opts); err != nil {
+		return Result{}, err
+	}
 	res.Aggs = make([]AggValue, len(accs))
 	for i := range accs {
 		res.Aggs[i] = accs[i].value()
 	}
 	return res, nil
+}
+
+// scanDelta executes the query over the live-write tail, when the scan
+// carries one. The tail is a single unpartitioned segment visited after
+// every survivor block: rows are re-checked through the interpreted
+// row filter (shared verbatim by both engines, so they agree on the
+// delta trivially), the tail's aggregate partial merges last — the same
+// per-block merge discipline the base scan uses, preserving bitwise
+// results across engines and skip-lists — and matched rows are indexed
+// past the base (TotalRows()+r). Parallel scans run it sequentially
+// after the pool drains, inside the ordered merge.
+func (s *Store) scanDelta(res *Result, q query.Query, accs []aggAcc, opts Options) error {
+	delta := opts.Delta
+	if delta == nil || delta.NumRows() == 0 {
+		return nil
+	}
+	if delta.Schema() != s.schema {
+		return fmt.Errorf("exec: delta segment schema differs from the store's")
+	}
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return fmt.Errorf("exec: scan canceled: %w", err)
+		}
+	}
+	n := delta.NumRows()
+	res.DeltaRows = n
+	res.RowsExamined += n
+	f := bindFilter(s.schema, q)
+	if f.never {
+		return nil
+	}
+	partials := make([]aggAcc, len(accs))
+	for i := range accs {
+		partials[i] = aggAcc{op: accs[i].op, col: accs[i].col, ci: accs[i].ci, typ: accs[i].typ,
+			valid: accs[i].op == AggCount || accs[i].op == AggSum}
+	}
+	base := s.TotalRows()
+	matched := 0
+	for r := 0; r < n; r++ {
+		if !f.match(delta, r) {
+			continue
+		}
+		matched++
+		for i := range partials {
+			partials[i].add(delta, r)
+		}
+		if opts.CollectRows {
+			res.RowIDs = append(res.RowIDs, base+r)
+		}
+	}
+	if matched == 0 {
+		return nil
+	}
+	res.Matched += matched
+	for i := range accs {
+		mergeAgg(&accs[i], &partials[i])
+	}
+	return nil
 }
 
 // scanSequential is the single-goroutine kernel path: per survivor
@@ -379,6 +456,9 @@ func (s *Store) ScanInterpreted(q query.Query, survivors []int, aggs []AggSpec, 
 		for i := range accs {
 			mergeAgg(&accs[i], &partials[i])
 		}
+	}
+	if err := s.scanDelta(&res, q, accs, opts); err != nil {
+		return Result{}, err
 	}
 	res.Aggs = make([]AggValue, len(accs))
 	for i := range accs {

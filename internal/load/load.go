@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,24 @@ type Spec struct {
 	// instead of individual POST /v1/query requests.
 	Stream bool
 
+	// AppendRatio mixes live writes into the run: with ratio r > 0,
+	// every k-th operation (k = round(1/r)) is an append instead of a
+	// query. The schedule is deterministic by operation index, so a
+	// Count-bounded run lands exactly floor(Count/k) append operations —
+	// a closed form CI assertions can check against server counters.
+	// Appends always go over POST /v2/tables/{t}/append, even when
+	// Stream routes the queries over a stream connection.
+	AppendRatio float64
+	// AppendTable is the table appends target; required when
+	// AppendRatio > 0.
+	AppendTable string
+	// MakeRow builds the seq-th appended row (seq counts appended rows
+	// from 0, densely across all workers); required when AppendRatio > 0.
+	// It must be deterministic in seq and safe for concurrent calls.
+	MakeRow func(seq int) client.Row
+	// AppendBatch is the rows per append operation; zero means 1.
+	AppendBatch int
+
 	// Progress, when set, receives a snapshot roughly every
 	// ProgressEvery (default 1s) while the run is live.
 	Progress      func(Snapshot)
@@ -94,6 +113,11 @@ type Report struct {
 	// the achieved rate Sent/Elapsed.
 	TargetQPS float64
 	QPS       float64
+	// AppendOps counts completed append operations (a subset of Sent);
+	// Appended counts the rows those operations durably landed — failed
+	// appends contribute to neither.
+	AppendOps uint64
+	Appended  uint64
 	// Latency percentiles over successful and failed completions alike.
 	P50, P90, P99, Max time.Duration
 }
@@ -106,6 +130,9 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, ", target %.0f", r.TargetQPS)
 	}
 	fmt.Fprintf(&b, "), %d failed\n", r.Failed)
+	if r.AppendOps > 0 {
+		fmt.Fprintf(&b, "appended %d rows in %d batches\n", r.Appended, r.AppendOps)
+	}
 	fmt.Fprintf(&b, "latency p50 %v  p90 %v  p99 %v  max %v",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
@@ -114,20 +141,40 @@ func (r *Report) String() string {
 
 // run is the shared mutable state of one load run.
 type run struct {
-	spec    Spec
-	c       *client.Client
-	ctx     context.Context
-	pool    []client.Query
-	next    atomic.Uint64 // pool cursor
-	sent    atomic.Uint64
-	failed  atomic.Uint64
-	hist    *metrics.Histogram
-	started time.Time
+	spec      Spec
+	c         *client.Client
+	ctx       context.Context
+	pool      []client.Query
+	every     int           // every-th operation is an append (0 = read-only)
+	next      atomic.Uint64 // operation cursor
+	sent      atomic.Uint64
+	failed    atomic.Uint64
+	appendOps atomic.Uint64
+	appended  atomic.Uint64
+	hist      *metrics.Histogram
+	started   time.Time
 }
 
 // Run executes the spec and blocks until the run completes.
 func Run(ctx context.Context, spec Spec) (*Report, error) {
-	if len(spec.Queries) == 0 {
+	every := 0
+	if spec.AppendRatio > 0 {
+		if spec.AppendRatio > 1 {
+			return nil, fmt.Errorf("load: append ratio %g outside (0, 1]", spec.AppendRatio)
+		}
+		if spec.AppendTable == "" || spec.MakeRow == nil {
+			return nil, errors.New("load: append ratio needs AppendTable and MakeRow")
+		}
+		if spec.AppendBatch <= 0 {
+			spec.AppendBatch = 1
+		}
+		if every = int(math.Round(1 / spec.AppendRatio)); every < 1 {
+			every = 1
+		}
+	}
+	// every == 1 is a pure-write run; only then may the query pool be
+	// empty.
+	if len(spec.Queries) == 0 && every != 1 {
 		return nil, errors.New("load: empty query pool")
 	}
 	if spec.Count <= 0 && spec.Duration <= 0 {
@@ -162,6 +209,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		c:       c,
 		ctx:     ctx,
 		pool:    spec.Queries,
+		every:   every,
 		hist:    metrics.NewHistogram(metrics.LatencyBuckets()),
 		started: time.Now(),
 	}
@@ -184,6 +232,8 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		Failed:    r.failed.Load(),
 		Elapsed:   elapsed,
 		TargetQPS: spec.QPS,
+		AppendOps: r.appendOps.Load(),
+		Appended:  r.appended.Load(),
 		P50:       secondsToDuration(r.hist.Quantile(0.50)),
 		P90:       secondsToDuration(r.hist.Quantile(0.90)),
 		P99:       secondsToDuration(r.hist.Quantile(0.99)),
@@ -199,18 +249,42 @@ func secondsToDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
 }
 
-// take reserves the next pool slot, or false when the Count budget is
-// exhausted.
-func (r *run) take() (client.Query, bool) {
+// take reserves the next operation slot, or ok=false when the Count
+// budget is exhausted. The slot is an append when the deterministic
+// schedule says so (every-th operation, counted from the every-th);
+// otherwise q is the query to send.
+func (r *run) take() (q client.Query, isAppend bool, seq int, ok bool) {
 	i := r.next.Add(1) - 1
 	if r.spec.Count > 0 && i >= uint64(r.spec.Count) {
-		return client.Query{}, false
+		return client.Query{}, false, 0, false
 	}
-	q := r.pool[i%uint64(len(r.pool))]
+	if r.every > 0 && i%uint64(r.every) == uint64(r.every)-1 {
+		// seq numbers append operations densely: operation i is the
+		// (i+1)/every-th append (1-based), so append op seq*(batch rows)
+		// lines up with the closed form floor(Count/every).
+		return client.Query{}, true, int(i / uint64(r.every)), true
+	}
+	q = r.pool[i%uint64(len(r.pool))]
 	// IDs number from 1 so stream answers stay attributable (wire ID 0
 	// means "no ID").
 	q.ID = int(i%uint64(len(r.pool))) + 1
-	return q, true
+	return q, false, 0, true
+}
+
+// appendOnce sends one scheduled append operation: a batch of
+// AppendBatch rows built from the dense row sequence.
+func (r *run) appendOnce(seq int) {
+	rows := make([]client.Row, r.spec.AppendBatch)
+	for j := range rows {
+		rows[j] = r.spec.MakeRow(seq*r.spec.AppendBatch + j)
+	}
+	start := time.Now()
+	ack, err := r.c.Append(r.ctx, r.spec.AppendTable, rows)
+	if err == nil {
+		r.appendOps.Add(1)
+		r.appended.Add(uint64(ack.Appended))
+	}
+	r.record(time.Since(start), err)
 }
 
 // record accounts one completed request. Failures caused only by the
@@ -309,9 +383,13 @@ func (r *run) worker(tickets <-chan struct{}) {
 		if r.ctx.Err() != nil {
 			return
 		}
-		q, ok := r.take()
+		q, isAppend, seq, ok := r.take()
 		if !ok {
 			return
+		}
+		if isAppend {
+			r.appendOnce(seq)
+			continue
 		}
 		var err error
 		start := time.Now()

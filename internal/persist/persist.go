@@ -86,8 +86,15 @@ func LoadLayout(r io.Reader, ds *table.Dataset) (*layout.Layout, error) {
 
 // Bind rebinds a layout document to the dataset, validating shape and
 // recomputing all partition metadata from the live data — nothing in
-// the document ever feeds partition skipping directly.
+// the document ever feeds partition skipping directly. Documents from
+// a newer format version are rejected explicitly rather than
+// misinterpreted: the version gate runs on every path a document
+// reaches a live layout through (file load or replication stream), not
+// just LoadLayout.
 func (f *LayoutDoc) Bind(ds *table.Dataset) (*layout.Layout, error) {
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unknown layout format version %d (this build reads version %d)", f.Version, FormatVersion)
+	}
 	if f.NumRows != ds.NumRows() {
 		return nil, fmt.Errorf("persist: layout covers %d rows, dataset has %d", f.NumRows, ds.NumRows())
 	}

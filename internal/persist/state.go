@@ -38,15 +38,138 @@ import (
 // rather than a cold start.
 
 // StateFormatVersion identifies the on-disk warm-start encoding.
-const StateFormatVersion = 1
+// Version 2 added the optional Data section (live-write tail + delta);
+// version-1 files carry no data section and still load.
+const StateFormatVersion = 2
+
+// stateVersionV1 is the pre-live-writes encoding: layout + stats +
+// memo, no Data section.
+const stateVersionV1 = 1
 
 // StateDoc is the serialized form of a warm-start snapshot: the layout
-// document plus the statistics block and cost memo captured with it.
+// document plus the statistics block and cost memo captured with it,
+// and — once a table takes live writes — the data the layout cannot
+// reproduce from the boot source alone (rows appended since boot).
 type StateDoc struct {
 	Version int       `json:"version"`
 	Layout  LayoutDoc `json:"layout"`
 	Stats   StatsDoc  `json:"stats"`
 	Memo    []MemoDoc `json:"memo,omitempty"`
+	// Data versions the rows themselves. Nil for tables that never took
+	// a live write (and for every version-1 document): the boot source
+	// reproduces the dataset exactly, so only the layout needs saving.
+	Data *DataDoc `json:"data,omitempty"`
+}
+
+// DataDoc records how a table's rows relate to its boot source: the
+// first BootRows rows come from the source the process loads at boot
+// (CSV file or generated fixture), Tail holds compacted appended rows
+// beyond those, and Delta holds rows still in the uncompacted delta
+// segment. BootRows pins the split so a restart can verify the boot
+// source still matches before grafting the tail on.
+type DataDoc struct {
+	BootRows int      `json:"boot_rows"`
+	Tail     *RowsDoc `json:"tail,omitempty"`
+	Delta    *RowsDoc `json:"delta,omitempty"`
+}
+
+// RowsDoc is a columnar row batch on the wire: one typed array per
+// schema column, floats as IEEE-754 bit patterns (JSON has no NaN, and
+// bit patterns keep the follower ≡ leader comparison exact). The same
+// framing carries warm-start tails, warm-start deltas, and replication
+// append batches.
+type RowsDoc struct {
+	NumRows int      `json:"num_rows"`
+	Columns []string `json:"columns"`
+	// Per-column arrays, indexed by schema column position; exactly one
+	// of the three is non-nil per position, matching the column's type.
+	Ints      [][]int64  `json:"ints,omitempty"`
+	FloatBits [][]uint64 `json:"float_bits,omitempty"`
+	Strs      [][]string `json:"strs,omitempty"`
+}
+
+// CaptureRows snapshots rows [from, to) of the dataset as a wire batch.
+func CaptureRows(ds *table.Dataset, from, to int) (*RowsDoc, error) {
+	if from < 0 || to > ds.NumRows() || from > to {
+		return nil, fmt.Errorf("persist: capture range [%d,%d) outside dataset of %d rows", from, to, ds.NumRows())
+	}
+	s := ds.Schema()
+	f := &RowsDoc{
+		NumRows:   to - from,
+		Columns:   s.Names(),
+		Ints:      make([][]int64, s.NumCols()),
+		FloatBits: make([][]uint64, s.NumCols()),
+		Strs:      make([][]string, s.NumCols()),
+	}
+	for c := 0; c < s.NumCols(); c++ {
+		switch s.Col(c).Type {
+		case table.Int64:
+			f.Ints[c] = append([]int64(nil), ds.Int64Col(c)[from:to]...)
+		case table.Float64:
+			bits := make([]uint64, 0, to-from)
+			for _, v := range ds.Float64Col(c)[from:to] {
+				bits = append(bits, math.Float64bits(v))
+			}
+			f.FloatBits[c] = bits
+		case table.String:
+			f.Strs[c] = append([]string(nil), ds.StringCol(c)[from:to]...)
+		}
+	}
+	return f, nil
+}
+
+// Dataset materializes the batch against the schema, which becomes the
+// result's schema (pointer identity — the contract Concat and the delta
+// segment require). Shape is validated column by column; a batch saved
+// against a different schema is an explicit error, never a
+// misinterpreted dataset.
+func (f *RowsDoc) Dataset(schema *table.Schema) (*table.Dataset, error) {
+	if len(f.Columns) != schema.NumCols() {
+		return nil, fmt.Errorf("persist: row batch has %d columns, schema has %d", len(f.Columns), schema.NumCols())
+	}
+	for i, name := range f.Columns {
+		if schema.Col(i).Name != name {
+			return nil, fmt.Errorf("persist: row batch column %d is %q, schema has %q", i, name, schema.Col(i).Name)
+		}
+	}
+	colLen := func(c int) int {
+		switch schema.Col(c).Type {
+		case table.Int64:
+			if c < len(f.Ints) {
+				return len(f.Ints[c])
+			}
+		case table.Float64:
+			if c < len(f.FloatBits) {
+				return len(f.FloatBits[c])
+			}
+		case table.String:
+			if c < len(f.Strs) {
+				return len(f.Strs[c])
+			}
+		}
+		return -1
+	}
+	b := table.NewBuilder(schema, f.NumRows)
+	for c := 0; c < schema.NumCols(); c++ {
+		if n := colLen(c); n != f.NumRows {
+			return nil, fmt.Errorf("persist: row batch column %q carries %d values, batch declares %d rows", schema.Col(c).Name, n, f.NumRows)
+		}
+	}
+	row := make([]table.Value, schema.NumCols())
+	for r := 0; r < f.NumRows; r++ {
+		for c := 0; c < schema.NumCols(); c++ {
+			switch schema.Col(c).Type {
+			case table.Int64:
+				row[c] = table.Int(f.Ints[c][r])
+			case table.Float64:
+				row[c] = table.Float(math.Float64frombits(f.FloatBits[c][r]))
+			case table.String:
+				row[c] = table.Str(f.Strs[c][r])
+			}
+		}
+		b.AppendRow(row...)
+	}
+	return b.Build(), nil
 }
 
 // StatsDoc mirrors table.StatsBlock's numeric content. Floats are
@@ -167,10 +290,98 @@ func CaptureState(l *layout.Layout) (*StateDoc, error) {
 	return f, nil
 }
 
+// CaptureStateWithData builds a warm-start snapshot that also carries
+// the rows the boot source cannot reproduce: base is the table's
+// current compacted dataset (the one l covers), of which the first
+// bootRows rows come from the boot source; delta is the uncompacted
+// delta segment (nil or empty for none). A table that never took a
+// live write (bootRows == base rows, empty delta) gets no Data section
+// and the document is readable by version-1 loaders.
+func CaptureStateWithData(l *layout.Layout, base *table.Dataset, bootRows int, delta *table.Dataset) (*StateDoc, error) {
+	f, err := CaptureState(l)
+	if err != nil {
+		return nil, err
+	}
+	if bootRows < 0 || bootRows > base.NumRows() {
+		return nil, fmt.Errorf("persist: boot rows %d outside dataset of %d rows", bootRows, base.NumRows())
+	}
+	d := &DataDoc{BootRows: bootRows}
+	dirty := false
+	if bootRows < base.NumRows() {
+		if d.Tail, err = CaptureRows(base, bootRows, base.NumRows()); err != nil {
+			return nil, err
+		}
+		dirty = true
+	}
+	if delta != nil && delta.NumRows() > 0 {
+		if d.Delta, err = CaptureRows(delta, 0, delta.NumRows()); err != nil {
+			return nil, err
+		}
+		dirty = true
+	}
+	if dirty {
+		f.Data = d
+	}
+	return f, nil
+}
+
+// BindData resolves the document's data section against the boot
+// dataset: it returns the base dataset the layout covers (boot plus the
+// saved tail) and the saved delta rows (nil when none), both sharing
+// the boot schema. Call it before Bind — Bind validates the layout
+// against the returned base, and its statistics gate then proves the
+// reassembled rows match the ones the document was captured over. A
+// boot source that shrank or grew since the save is an explicit error:
+// the saved tail would land on the wrong rows.
+func (f *StateDoc) BindData(boot *table.Dataset) (base, delta *table.Dataset, err error) {
+	if err := f.checkVersion(); err != nil {
+		return nil, nil, err
+	}
+	if f.Data == nil {
+		return boot, nil, nil
+	}
+	if boot.NumRows() != f.Data.BootRows {
+		return nil, nil, fmt.Errorf("persist: state was saved over a %d-row boot source, booted with %d rows", f.Data.BootRows, boot.NumRows())
+	}
+	base = boot
+	if f.Data.Tail != nil {
+		tail, err := f.Data.Tail.Dataset(boot.Schema())
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: rebuilding saved tail: %w", err)
+		}
+		base = table.Concat(boot, tail)
+	}
+	if f.Data.Delta != nil {
+		if delta, err = f.Data.Delta.Dataset(boot.Schema()); err != nil {
+			return nil, nil, fmt.Errorf("persist: rebuilding saved delta: %w", err)
+		}
+	}
+	return base, delta, nil
+}
+
+// checkVersion gates every read path on the format version: both
+// supported encodings load, anything newer is an explicit error.
+func (f *StateDoc) checkVersion() error {
+	if f.Version != StateFormatVersion && f.Version != stateVersionV1 {
+		return fmt.Errorf("persist: unknown state format version %d (this build reads versions %d-%d)", f.Version, stateVersionV1, StateFormatVersion)
+	}
+	return nil
+}
+
 // SaveState writes a warm-start snapshot of the layout; see
 // CaptureState for what it carries.
 func SaveState(w io.Writer, l *layout.Layout) error {
 	f, err := CaptureState(l)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(f)
+}
+
+// SaveStateWithData writes a warm-start snapshot that also carries the
+// rows the boot source cannot reproduce; see CaptureStateWithData.
+func SaveStateWithData(w io.Writer, l *layout.Layout, base *table.Dataset, bootRows int, delta *table.Dataset) error {
+	f, err := CaptureStateWithData(l, base, bootRows, delta)
 	if err != nil {
 		return err
 	}
@@ -187,8 +398,8 @@ func SaveState(w io.Writer, l *layout.Layout) error {
 // replication snapshot it is a data divergence the caller must treat as
 // fatal.
 func (f *StateDoc) Bind(ds *table.Dataset) (*layout.Layout, bool, error) {
-	if f.Version != StateFormatVersion {
-		return nil, false, fmt.Errorf("persist: unsupported state version %d (want %d)", f.Version, StateFormatVersion)
+	if err := f.checkVersion(); err != nil {
+		return nil, false, err
 	}
 	l, err := f.Layout.Bind(ds)
 	if err != nil {
@@ -223,4 +434,26 @@ func LoadState(r io.Reader, ds *table.Dataset) (*layout.Layout, bool, error) {
 		return nil, false, fmt.Errorf("persist: decoding state: %w", err)
 	}
 	return f.Bind(ds)
+}
+
+// LoadStateWithData reads a snapshot written by SaveStateWithData and
+// reassembles the full serving state against the boot dataset: the
+// saved tail is re-concatenated onto boot (BindData), the layout is
+// rebound against that grown base (Bind, with the usual statistics
+// gate deciding warm), and the saved delta segment rows come back as
+// their own dataset (nil when the save had none). Version-1 files —
+// and version-2 files for tables that never took a live write — load
+// with base == boot and a nil delta.
+func LoadStateWithData(r io.Reader, boot *table.Dataset) (l *layout.Layout, warm bool, base, delta *table.Dataset, err error) {
+	var f StateDoc
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, false, nil, nil, fmt.Errorf("persist: decoding state: %w", err)
+	}
+	if base, delta, err = f.BindData(boot); err != nil {
+		return nil, false, nil, nil, err
+	}
+	if l, warm, err = f.Bind(base); err != nil {
+		return nil, false, nil, nil, err
+	}
+	return l, warm, base, delta, nil
 }

@@ -17,6 +17,7 @@ import (
 	"oreo"
 	"oreo/internal/metrics"
 	"oreo/internal/serve"
+	"oreo/internal/table"
 )
 
 // Follower defaults.
@@ -88,6 +89,11 @@ type FollowerStats struct {
 	Resumes    uint64
 	Gaps       uint64
 	Reconnects uint64
+	// Appends / Compactions count applied live-write records: append
+	// batches extended into the local delta copy, and delta folds
+	// rebuilt into a grown local base.
+	Appends     uint64
+	Compactions uint64
 	// Forwarded / ForwardDropped / ForwardRejected count upstream
 	// observation outcomes (ForwardDropped includes local queue
 	// overflow and failed upstream posts).
@@ -117,6 +123,15 @@ type Follower struct {
 	positions map[string]uint64
 	layouts   map[string]*oreo.Layout
 	applied   map[string]bool
+	// bases and deltas are the follower's local copies of each table's
+	// partitioned base (grown past the boot dataset by applied
+	// compactions) and uncompacted live tail (nil ≡ empty). Snapshot
+	// records reset both; append records extend the delta; compact
+	// records fold the delta into the base. Layout records bind against
+	// bases, never the boot dataset — a switch after a compaction
+	// describes the grown row set.
+	bases  map[string]*oreo.Dataset
+	deltas map[string]*oreo.Dataset
 	// seen is the newest epoch decoded off the stream per table, ahead
 	// of apply: seen minus positions is the follower-side replication
 	// lag gauge — nonzero exactly while an apply (a store rebuild, say)
@@ -135,6 +150,7 @@ type Follower struct {
 
 	stats struct {
 		snapshots, decisions, resumes, gaps, reconnects atomicUint64
+		appends, compactions                            atomicUint64
 	}
 }
 
@@ -184,6 +200,8 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 		positions: make(map[string]uint64, len(cfg.Tables)),
 		layouts:   make(map[string]*oreo.Layout, len(cfg.Tables)),
 		applied:   make(map[string]bool, len(cfg.Tables)),
+		bases:     make(map[string]*oreo.Dataset, len(cfg.Tables)),
+		deltas:    make(map[string]*oreo.Dataset, len(cfg.Tables)),
 		seen:      make(map[string]uint64, len(cfg.Tables)),
 		ready:     make(chan struct{}),
 		failed:    make(chan struct{}),
@@ -258,6 +276,12 @@ func (f *Follower) registerMetrics() {
 	reg.CounterFunc("oreo_replication_reconnects_total",
 		"Subscription attempts after the first.",
 		nil, counterLoad(&f.stats.reconnects))
+	reg.CounterFunc("oreo_replication_appends_applied_total",
+		"Append records applied from the leader's stream (live-write batches extended into the local delta).",
+		nil, counterLoad(&f.stats.appends))
+	reg.CounterFunc("oreo_replication_compactions_applied_total",
+		"Compact records applied from the leader's stream (delta folds rebuilt into the local base).",
+		nil, counterLoad(&f.stats.compactions))
 	if f.fwd != nil {
 		reg.CounterFunc("oreo_replication_forwarded_total",
 			"Observations forwarded upstream to the leader.",
@@ -324,11 +348,13 @@ func (f *Follower) Position(table string) uint64 {
 // Stats returns the follower's replication and forwarding counters.
 func (f *Follower) Stats() FollowerStats {
 	st := FollowerStats{
-		Snapshots:  f.stats.snapshots.Load(),
-		Decisions:  f.stats.decisions.Load(),
-		Resumes:    f.stats.resumes.Load(),
-		Gaps:       f.stats.gaps.Load(),
-		Reconnects: f.stats.reconnects.Load(),
+		Snapshots:   f.stats.snapshots.Load(),
+		Decisions:   f.stats.decisions.Load(),
+		Resumes:     f.stats.resumes.Load(),
+		Gaps:        f.stats.gaps.Load(),
+		Reconnects:  f.stats.reconnects.Load(),
+		Appends:     f.stats.appends.Load(),
+		Compactions: f.stats.compactions.Load(),
 	}
 	if f.fwd != nil {
 		st.Forwarded = f.fwd.forwarded.Load()
@@ -483,9 +509,13 @@ func (f *Follower) subscribeOnce() (applied int, err error) {
 	return applied, nil // leader closed the stream cleanly
 }
 
-// apply applies one stream record to the replica core.
+// apply applies one stream record to the replica core. Layout, data,
+// and snapshot records share one epoch counter, so the ordering
+// discipline is uniform: duplicates (epoch at or below the applied
+// position) are post-re-snapshot overlap and skip silently; anything
+// other than the exact next epoch is a gap that forces a reconnect.
 func (f *Follower) apply(rec *Record) error {
-	ds, ok := f.datasets[rec.Table]
+	boot, ok := f.datasets[rec.Table]
 	if !ok {
 		return fmt.Errorf("stream record for unsubscribed table %q", rec.Table)
 	}
@@ -501,7 +531,14 @@ func (f *Follower) apply(rec *Record) error {
 		if rec.State == nil {
 			return fmt.Errorf("snapshot record for %q has no state", rec.Table)
 		}
-		lay, warm, err := rec.State.Bind(ds)
+		// Reassemble the rows the snapshot describes: the local boot
+		// dataset plus whatever tail and delta the leader shipped (only
+		// rows the boot source cannot reproduce travel on the wire).
+		base, delta, err := rec.State.BindData(boot)
+		if err != nil {
+			return fmt.Errorf("%w: reassembling %q snapshot data: %v", errDiverged, rec.Table, err)
+		}
+		lay, warm, err := rec.State.Bind(base)
 		if err != nil {
 			// The shape itself does not fit the local data: wrong table,
 			// wrong schema, wrong row count. Retrying cannot fix it.
@@ -514,41 +551,98 @@ func (f *Follower) apply(rec *Record) error {
 			// would answer bit-different costs — fail loudly instead.
 			return fmt.Errorf("%w: table %q statistics block mismatch (local data differs from leader's)", errDiverged, rec.Table)
 		}
-		if err := f.applySnap(rec, lay, ds); err != nil {
+		if err := f.publish(rec, lay, base, delta, 0, false); err != nil {
 			return err
 		}
 		f.stats.snapshots.Add(1)
 		return nil
 
 	case RecordDecision:
-		f.mu.Lock()
-		last, seen := f.positions[rec.Table], f.applied[rec.Table]
-		lay := f.layouts[rec.Table]
-		f.mu.Unlock()
-		if !seen {
-			return fmt.Errorf("decision record for %q before any snapshot", rec.Table)
-		}
-		if rec.Epoch <= last {
-			return nil // overlap after a (re-)snapshot; already covered
-		}
-		if rec.Epoch != last+1 {
-			f.stats.gaps.Add(1)
-			return fmt.Errorf("epoch gap on %q: have %d, got %d", rec.Table, last, rec.Epoch)
+		base, delta, lay, skip, err := f.nextEpoch(rec)
+		if err != nil || skip {
+			return err
 		}
 		if rec.Switched {
 			if rec.Layout == nil {
 				return fmt.Errorf("switch record for %q carries no layout", rec.Table)
 			}
-			newLay, err := rec.Layout.Bind(ds)
+			// Bind against the current base, not the boot dataset: a
+			// switch after a compaction describes the grown row set.
+			newLay, err := rec.Layout.Bind(base)
 			if err != nil {
 				return fmt.Errorf("%w: binding %q switched layout: %v", errDiverged, rec.Table, err)
 			}
 			lay = newLay
 		}
-		if err := f.applySnap(rec, lay, ds); err != nil {
+		if err := f.publish(rec, lay, base, delta, 0, false); err != nil {
 			return err
 		}
 		f.stats.decisions.Add(1)
+		return nil
+
+	case RecordAppend:
+		base, delta, lay, skip, err := f.nextEpoch(rec)
+		if err != nil || skip {
+			return err
+		}
+		if rec.Rows == nil {
+			return fmt.Errorf("append record for %q carries no rows", rec.Table)
+		}
+		batch, err := rec.Rows.Dataset(boot.Schema())
+		if err != nil {
+			return fmt.Errorf("%w: rebuilding %q append batch: %v", errDiverged, rec.Table, err)
+		}
+		if delta == nil {
+			delta = batch
+		} else {
+			delta = table.Concat(delta, batch)
+		}
+		if rec.DeltaRows != delta.NumRows() {
+			// The leader's post-append delta size disagrees with ours: a
+			// record was lost in a way the epoch discipline missed.
+			return fmt.Errorf("%w: table %q delta is %d rows after append, leader reports %d",
+				errDiverged, rec.Table, delta.NumRows(), rec.DeltaRows)
+		}
+		if err := f.publish(rec, lay, base, delta, batch.NumRows(), false); err != nil {
+			return err
+		}
+		f.stats.appends.Add(1)
+		return nil
+
+	case RecordCompact:
+		base, delta, _, skip, err := f.nextEpoch(rec)
+		if err != nil || skip {
+			return err
+		}
+		if rec.State == nil {
+			return fmt.Errorf("compact record for %q carries no state", rec.Table)
+		}
+		var deltaRows int
+		if delta != nil {
+			deltaRows = delta.NumRows()
+		}
+		if rec.Folded != deltaRows {
+			return fmt.Errorf("%w: table %q compaction folded %d rows on the leader, local delta holds %d",
+				errDiverged, rec.Table, rec.Folded, deltaRows)
+		}
+		// The compact record carries no rows: grow the base from rows
+		// already applied, and let the shipped state's statistics block
+		// prove the result bit-identical to the leader's compacted data.
+		grown := base
+		if deltaRows > 0 {
+			grown = table.Concat(base, delta)
+		}
+		lay, warm, err := rec.State.Bind(grown)
+		if err != nil {
+			return fmt.Errorf("%w: binding %q compacted state: %v", errDiverged, rec.Table, err)
+		}
+		if !warm {
+			return fmt.Errorf("%w: table %q compacted statistics block mismatch (local rows differ from leader's)", errDiverged, rec.Table)
+		}
+		if err := f.publish(rec, lay, grown, nil, 0, true); err != nil {
+			return err
+		}
+		f.stats.compactions.Add(1)
 		return nil
 
 	default:
@@ -560,9 +654,31 @@ func (f *Follower) apply(rec *Record) error {
 	}
 }
 
-// applySnap publishes (epoch, snapshot) into the core and updates the
-// follower's positions.
-func (f *Follower) applySnap(rec *Record, lay *oreo.Layout, ds *oreo.Dataset) error {
+// nextEpoch runs the shared ordering discipline for post-snapshot
+// records and returns the table's current local state. skip reports a
+// duplicate (already covered by a re-snapshot) that must be ignored
+// without applying anything.
+func (f *Follower) nextEpoch(rec *Record) (base, delta *oreo.Dataset, lay *oreo.Layout, skip bool, err error) {
+	f.mu.Lock()
+	last, seen := f.positions[rec.Table], f.applied[rec.Table]
+	base, delta, lay = f.bases[rec.Table], f.deltas[rec.Table], f.layouts[rec.Table]
+	f.mu.Unlock()
+	if !seen {
+		return nil, nil, nil, false, fmt.Errorf("%s record for %q before any snapshot", rec.Type, rec.Table)
+	}
+	if rec.Epoch <= last {
+		return nil, nil, nil, true, nil // overlap after a (re-)snapshot; already covered
+	}
+	if rec.Epoch != last+1 {
+		f.stats.gaps.Add(1)
+		return nil, nil, nil, false, fmt.Errorf("epoch gap on %q: have %d, got %d", rec.Table, last, rec.Epoch)
+	}
+	return base, delta, lay, false, nil
+}
+
+// publish pushes (epoch, snapshot, base, delta) into the core and
+// updates the follower's positions and local data copies.
+func (f *Follower) publish(rec *Record, lay *oreo.Layout, base, delta *oreo.Dataset, appended int, compacted bool) error {
 	snap := oreo.OptimizerSnapshot{Serving: lay}
 	if rec.Stats != nil {
 		snap.Stats = *rec.Stats
@@ -573,12 +689,22 @@ func (f *Follower) applySnap(rec *Record, lay *oreo.Layout, ds *oreo.Dataset) er
 		// name-only stand-in keeps the wire record small.
 		snap.Pending = &oreo.Layout{Name: rec.Pending}
 	}
-	if err := f.core.ApplyReplica(rec.Table, rec.Epoch, snap); err != nil {
+	st := serve.ReplicaState{
+		Epoch:     rec.Epoch,
+		Snapshot:  snap,
+		Dataset:   base,
+		Delta:     delta,
+		Appended:  appended,
+		Compacted: compacted,
+	}
+	if err := f.core.ApplyReplica(rec.Table, st); err != nil {
 		return fmt.Errorf("applying %q state: %w", rec.Table, err)
 	}
 	f.mu.Lock()
 	f.positions[rec.Table] = rec.Epoch
 	f.layouts[rec.Table] = lay
+	f.bases[rec.Table] = base
+	f.deltas[rec.Table] = delta
 	if rec.Generation != "" {
 		f.gen = rec.Generation
 	}

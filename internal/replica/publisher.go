@@ -147,10 +147,11 @@ const obsReceivedHelp = "Observations forwarded by followers, by outcome: observ
 // successfully offered position until the in-stream re-snapshot lands,
 // so a growing value is exactly "a follower is falling behind".
 func (p *Publisher) lagEpochs(table string) uint64 {
-	cur, _, ok := p.core.ReplicaPosition(table)
+	pos, ok := p.core.ReplicaPosition(table)
 	if !ok {
 		return 0
 	}
+	cur := pos.Epoch
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var lag uint64
@@ -253,9 +254,11 @@ func (s *subscriber) offer(data []byte, table string, epoch uint64) {
 }
 
 // publish is the decision hook: encode once, fan out non-blocking.
-// It runs on each table's decision consumer goroutine — serialized per
+// It runs on each table's event consumer goroutine — serialized per
 // table, concurrent across tables — so per-table record order on every
-// subscriber channel matches epoch order.
+// subscriber channel matches epoch order. All three update kinds share
+// the path: decisions, append batches, and compactions are one totally
+// ordered log.
 func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
 	p.mu.Lock()
 	var interested []*subscriber
@@ -270,7 +273,6 @@ func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
 	}
 
 	rec := Record{
-		Type:     RecordDecision,
 		Table:    table,
 		Epoch:    upd.Epoch,
 		Cost:     upd.Cost,
@@ -280,20 +282,49 @@ func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
 	if upd.Snapshot.Pending != nil {
 		rec.Pending = upd.Snapshot.Pending.Name
 	}
-	if upd.Switched {
-		doc, err := persist.CaptureLayout(upd.Snapshot.Serving)
+	gapAll := func(context string, err error) {
+		// A state that cannot be captured cannot be replicated; force
+		// every interested subscriber through the snapshot path rather
+		// than shipping a record they cannot apply. (Unreachable for
+		// states the serve core produces.)
+		p.logf("replica: %s for %s: %v", context, table, err)
+		for _, s := range interested {
+			s.markGapped()
+		}
+	}
+	switch upd.Kind {
+	case serve.UpdateAppend:
+		rec.Type = RecordAppend
+		rec.DeltaRows = upd.DeltaRows
+		rows, err := persist.CaptureRows(upd.Rows, 0, upd.Rows.NumRows())
 		if err != nil {
-			// A serving layout that cannot be captured cannot be
-			// replicated; force every interested subscriber through the
-			// snapshot path rather than shipping a decision they cannot
-			// apply. (Unreachable for layouts the optimizer produces.)
-			p.logf("replica: capturing switched layout for %s: %v", table, err)
-			for _, s := range interested {
-				s.markGapped()
-			}
+			gapAll("capturing append batch", err)
 			return
 		}
-		rec.Layout = doc
+		rec.Rows = rows
+	case serve.UpdateCompact:
+		rec.Type = RecordCompact
+		rec.DeltaRows = upd.DeltaRows
+		rec.Folded = upd.Folded
+		// The compacted layout ships with stats + memo but no rows: the
+		// follower reassembles the grown base from records it already
+		// applied and binds this state against it.
+		state, err := persist.CaptureState(upd.Snapshot.Serving)
+		if err != nil {
+			gapAll("capturing compacted state", err)
+			return
+		}
+		rec.State = state
+	default:
+		rec.Type = RecordDecision
+		if upd.Switched {
+			doc, err := persist.CaptureLayout(upd.Snapshot.Serving)
+			if err != nil {
+				gapAll("capturing switched layout", err)
+				return
+			}
+			rec.Layout = doc
+		}
 	}
 	data, err := json.Marshal(&rec)
 	if err != nil {
@@ -310,27 +341,32 @@ func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
 }
 
 // snapshotRecord captures one table's current state as a snapshot
-// record. The (epoch, snapshot) pair comes from the core's published
-// replication position, so it is coherent by construction.
+// record. The whole position — epoch, snapshot, grown base, live delta
+// — comes from the core's published replication position, so it is
+// coherent by construction; the state document carries every row the
+// follower's boot source cannot reproduce (compacted tail + delta).
 func (p *Publisher) snapshotRecord(table string) (*Record, error) {
-	epoch, snap, ok := p.core.ReplicaPosition(table)
+	pos, ok := p.core.ReplicaPosition(table)
 	if !ok {
 		return nil, fmt.Errorf("replica: no position for table %q", table)
 	}
-	state, err := persist.CaptureState(snap.Serving)
+	state, err := persist.CaptureStateWithData(pos.Snapshot.Serving, pos.Dataset, pos.SeedRows, pos.Delta)
 	if err != nil {
 		return nil, fmt.Errorf("replica: capturing state for %q: %w", table, err)
 	}
 	rec := &Record{
 		Type:       RecordSnapshot,
 		Table:      table,
-		Epoch:      epoch,
+		Epoch:      pos.Epoch,
 		Generation: p.gen,
 		State:      state,
-		Stats:      &snap.Stats,
+		Stats:      &pos.Snapshot.Stats,
 	}
-	if snap.Pending != nil {
-		rec.Pending = snap.Pending.Name
+	if pos.Snapshot.Pending != nil {
+		rec.Pending = pos.Snapshot.Pending.Name
+	}
+	if pos.Delta != nil {
+		rec.DeltaRows = pos.Delta.NumRows()
 	}
 	return rec, nil
 }
@@ -447,13 +483,14 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		if !set[t] {
 			continue
 		}
-		epoch, _, ok := p.core.ReplicaPosition(t)
+		pos, ok := p.core.ReplicaPosition(t)
+		epoch := pos.Epoch
 		// Resume requires the follower to EXPLICITLY claim this table's
 		// position: a missing key must not read as "epoch 0" and match
 		// an idle table, or a follower that never applied the table's
 		// snapshot would be resumed into permanent unavailability.
-		pos, claimed := req.Positions[t]
-		if ok && req.Generation == p.gen && claimed && pos == epoch {
+		claim, claimed := req.Positions[t]
+		if ok && req.Generation == p.gen && claimed && claim == epoch {
 			data, err := json.Marshal(&Record{Type: RecordResume, Table: t, Epoch: epoch, Generation: p.gen})
 			if err != nil || !writeRec(data) {
 				return

@@ -32,6 +32,14 @@
 //     RLE. Followers apply records in epoch order; non-switch records
 //     are a pointer update, switch records rebuild the layout (and the
 //     execution store, in lockstep) off the request path.
+//   - Live writes travel in the same stream, on the same epoch counter:
+//     append records carry the landed rows (columnar, floats as bit
+//     patterns), and compact records carry the post-fold layout with no
+//     rows at all — the follower already holds every row and rebuilds
+//     the grown base locally, with the statistics block proving the
+//     result bit-identical to the leader's. Data and layout share one
+//     totally ordered log, so a follower is bit-identical to the
+//     leader at every epoch, not just at layout boundaries.
 //
 // Epochs are per-table monotonic decision sequence numbers, surfaced
 // as layout_epochs on /healthz of both leader and follower, so
@@ -86,6 +94,18 @@ const (
 	// RecordResume confirms a resubscription that missed nothing: the
 	// follower's position matches the leader's, so no snapshot is sent.
 	RecordResume = "resume"
+	// RecordAppend carries one live-write batch: the next epoch, the
+	// appended rows in the persist columnar framing (float cells as bit
+	// patterns, so follower ≡ leader stays exact), and the delta size
+	// after the append. Followers extend their local delta copy.
+	RecordAppend = "append"
+	// RecordCompact announces a delta fold: the next epoch, the folded
+	// row count, and the compacted layout in the persist state framing —
+	// WITHOUT rows. The follower already holds every row (base + delta
+	// from prior records); it concatenates them locally and binds the
+	// shipped layout against the result, with the statistics block as
+	// the bit-exactness gate.
+	RecordCompact = "compact"
 )
 
 // Record is one NDJSON line of the replication stream (leader →
@@ -117,6 +137,16 @@ type Record struct {
 	// of this record ("" when none), so follower answers report the
 	// same reorganizing state the leader's do.
 	Pending string `json:"pending,omitempty"`
+	// Rows is the appended batch (append records only), in the persist
+	// columnar framing.
+	Rows *persist.RowsDoc `json:"rows,omitempty"`
+	// DeltaRows is the delta segment's size after this record (append
+	// and compact records), a cheap coherence check for followers.
+	DeltaRows int `json:"delta_rows,omitempty"`
+	// Folded is the delta row count a compaction folded into the base
+	// (compact records only). A follower whose local delta disagrees has
+	// diverged and must fail rather than build a different base.
+	Folded int `json:"folded,omitempty"`
 }
 
 // SubscribeRequest is the body of POST /v2/replication/subscribe.

@@ -153,14 +153,16 @@ var probeAggs = []exec.AggSpec{
 // aggregates over freshly materialized stores on each side.
 func assertBitIdentical(t *testing.T, leader, follower *serve.Core, dsL, dsF *oreo.Dataset, rows int, checkExec bool) {
 	t.Helper()
-	le, ls, ok := leader.ReplicaPosition("orders")
+	lpos, ok := leader.ReplicaPosition("orders")
 	if !ok {
 		t.Fatal("leader has no position")
 	}
-	fe, fs, ok := follower.ReplicaPosition("orders")
+	fpos, ok := follower.ReplicaPosition("orders")
 	if !ok {
 		t.Fatal("follower has no position")
 	}
+	le, ls := lpos.Epoch, lpos.Snapshot
+	fe, fs := fpos.Epoch, fpos.Snapshot
 	if le != fe {
 		t.Fatalf("epoch mismatch: leader %d, follower %d", le, fe)
 	}
@@ -244,12 +246,12 @@ func TestFollowerBitIdentityEveryEpoch(t *testing.T) {
 		}
 		want := uint64(i + 1)
 		waitFor(t, fmt.Sprintf("leader epoch %d", want), func() bool {
-			e, _, _ := leader.ReplicaPosition("orders")
-			return e == want
+			pos, _ := leader.ReplicaPosition("orders")
+			return pos.Epoch == want
 		})
 		waitFor(t, fmt.Sprintf("follower epoch %d", want), func() bool {
-			e, _, _ := fol.Core().ReplicaPosition("orders")
-			return e == want
+			pos, _ := fol.Core().ReplicaPosition("orders")
+			return pos.Epoch == want
 		})
 		// Full bit-identity at every epoch; the (costlier) execution
 		// probes every 10 epochs and around the fault injections.
@@ -270,8 +272,8 @@ func TestFollowerBitIdentityEveryEpoch(t *testing.T) {
 			pub.DropSubscribers()
 			waitFor(t, "reconnect", func() bool { return fol.Stats().Reconnects > before })
 			waitFor(t, "re-sync after reconnect", func() bool {
-				e, _, _ := fol.Core().ReplicaPosition("orders")
-				return e == want && fol.Err() == nil
+				pos, _ := fol.Core().ReplicaPosition("orders")
+				return pos.Epoch == want && fol.Err() == nil
 			})
 		}
 	}
@@ -285,7 +287,8 @@ func TestFollowerBitIdentityEveryEpoch(t *testing.T) {
 	}
 	// The workload must actually have reorganized, or the property is
 	// vacuous.
-	_, snap, _ := leader.ReplicaPosition("orders")
+	lp, _ := leader.ReplicaPosition("orders")
+	snap := lp.Snapshot
 	if snap.Stats.Reorganizations == 0 {
 		t.Error("workload never reorganized; property not exercised")
 	}
@@ -351,15 +354,16 @@ func TestObservationForwarding(t *testing.T) {
 	// decision loop must see them all (the queue is big enough that
 	// none sample out in this test).
 	waitFor(t, "leader processed forwarded observations", func() bool {
-		e, _, _ := leader.ReplicaPosition("orders")
-		return e == uint64(total)
+		pos, _ := leader.ReplicaPosition("orders")
+		return pos.Epoch == uint64(total)
 	})
 	waitFor(t, "follower converged", func() bool {
 		return fol.Position("orders") == uint64(total)
 	})
 	assertBitIdentical(t, leader, fol.Core(), dsL, dsF, rows, true)
 
-	_, snap, _ := leader.ReplicaPosition("orders")
+	lp, _ := leader.ReplicaPosition("orders")
+	snap := lp.Snapshot
 	if snap.Stats.Reorganizations == 0 {
 		t.Error("forwarded workload never reorganized the leader; loop not exercised")
 	}

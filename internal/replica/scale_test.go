@@ -83,8 +83,8 @@ func TestFollowerStreamReplaySDK(t *testing.T) {
 	// The observations must reach the leader's decision loop and the
 	// resulting epoch must come back: both /healthz readings converge.
 	waitFor(t, "leader processed forwarded replay", func() bool {
-		e, _, _ := leader.ReplicaPosition("orders")
-		return e == uint64(n)
+		pos, _ := leader.ReplicaPosition("orders")
+		return pos.Epoch == uint64(n)
 	})
 	waitFor(t, "follower reports leader epoch", func() bool {
 		h, err := c.Health(ctx)

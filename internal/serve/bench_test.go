@@ -75,7 +75,7 @@ func BenchmarkServingMutexQPS(b *testing.B) {
 // subsystem is ≥10x BenchmarkServingMutexQPS on an 8-core box.
 func BenchmarkServingSnapshotQPS(b *testing.B) {
 	ds, opt, queries := benchFixture(b)
-	sh := newShard("orders", ds, opt, DefaultQueueSize, 1, metrics.NewRegistry())
+	sh := newShard("orders", ds, opt, DefaultQueueSize, 1, ds.NumRows(), DefaultCompactThreshold, metrics.NewRegistry())
 	defer sh.close()
 	var i atomic.Uint64
 	b.ResetTimer()
@@ -248,7 +248,7 @@ func TestStreamThroughputBar(t *testing.T) {
 // the per-query figure.
 func BenchmarkServingSnapshotBatch32(b *testing.B) {
 	ds, opt, queries := benchFixture(b)
-	sh := newShard("orders", ds, opt, DefaultQueueSize, 1, metrics.NewRegistry())
+	sh := newShard("orders", ds, opt, DefaultQueueSize, 1, ds.NumRows(), DefaultCompactThreshold, metrics.NewRegistry())
 	defer sh.close()
 	const batch = 32
 	var i atomic.Uint64

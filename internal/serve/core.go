@@ -34,6 +34,21 @@ type CoreConfig struct {
 	// partials merge in skip-list order regardless of which worker
 	// produced them — so this tunes latency only. Negative is an error.
 	ScanParallelism int
+	// CompactThreshold triggers an automatic delta fold when a table's
+	// delta segment reaches this many rows (checked after each append).
+	// Zero selects DefaultCompactThreshold; negative disables
+	// auto-compaction entirely (Compact still folds on demand).
+	// Replica cores apply the leader's folds; the field is ignored there.
+	CompactThreshold int
+	// SeedRows records, per table, the row count of the table's boot
+	// source (the CSV or fixture the dataset originally came from) when
+	// the dataset handed to the optimizer has already grown past it —
+	// a leader warm-starting from persisted state whose base includes a
+	// compacted tail. Persistence frames saved tails relative to this
+	// stable prefix (persist.DataDoc.BootRows), so a restart against
+	// the same boot source can reassemble the exact base. Tables absent
+	// from the map seed at their dataset's full row count.
+	SeedRows map[string]int
 }
 
 // resolveScanParallelism applies CoreConfig.ScanParallelism's
@@ -123,6 +138,9 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
 	c := &Core{
 		names:     names,
 		shards:    make(map[string]*shard, len(names)),
@@ -133,7 +151,15 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 	}
 	c.registerCoreMetrics()
 	for _, name := range names {
-		c.shards[name] = newShard(name, m.Dataset(name), m.Optimizer(name), cfg.QueueSize, scanPar, c.reg)
+		ds := m.Dataset(name)
+		seedRows := ds.NumRows()
+		if n, ok := cfg.SeedRows[name]; ok {
+			if n < 0 || n > ds.NumRows() {
+				return nil, errInvalid("serve: SeedRows[%q] = %d, want within [0, %d]", name, n, ds.NumRows())
+			}
+			seedRows = n
+		}
+		c.shards[name] = newShard(name, ds, m.Optimizer(name), cfg.QueueSize, scanPar, seedRows, cfg.CompactThreshold, c.reg)
 	}
 	return c, nil
 }
@@ -225,30 +251,67 @@ func (c *Core) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
 	return st.snap, true
 }
 
-// ReplicaPosition returns the named table's replication position: the
-// monotonic decision epoch and the snapshot published at exactly that
-// epoch, as one coherent pair. On a leader this is what a replication
-// publisher snapshots for a new subscriber; on a follower it is the
-// applied position. ok is false for unknown tables and replica tables
-// with no snapshot yet.
-func (c *Core) ReplicaPosition(table string) (epoch uint64, snap oreo.OptimizerSnapshot, ok bool) {
+// Position is one table's coherent replication position: the monotonic
+// epoch, the snapshot published at exactly that epoch, the partitioned
+// base dataset the snapshot's layouts describe, the live delta tail
+// (nil when empty), and the row count of the table's boot source that
+// persistence frames tails against. Everything was true at the same
+// instant — epochs cover data and layout alike.
+type Position struct {
+	Epoch    uint64
+	Snapshot oreo.OptimizerSnapshot
+	// Dataset is the current partitioned base (grown past the boot
+	// source by compactions, if any).
+	Dataset *oreo.Dataset
+	// Delta is the immutable live-tail view as of Epoch; nil ≡ empty.
+	Delta *oreo.Dataset
+	// SeedRows is the boot source's row count; see CoreConfig.SeedRows.
+	SeedRows int
+}
+
+// ReplicaPosition returns the named table's replication position. On a
+// leader this is what a replication publisher snapshots for a new
+// subscriber (and what a host persists at shutdown); on a follower it
+// is the applied position. ok is false for unknown tables and replica
+// tables with no snapshot yet.
+func (c *Core) ReplicaPosition(table string) (Position, bool) {
 	sh, found := c.shards[table]
 	if !found {
-		return 0, oreo.OptimizerSnapshot{}, false
+		return Position{}, false
 	}
 	st, err := sh.view()
 	if err != nil {
-		return 0, oreo.OptimizerSnapshot{}, false
+		return Position{}, false
 	}
-	return st.epoch, st.snap, true
+	return Position{Epoch: st.epoch, Snapshot: st.snap, Dataset: st.ds, Delta: st.delta, SeedRows: sh.seedRows}, true
 }
 
-// ApplyReplica publishes an externally decoded (epoch, snapshot) pair
-// for the named replica table: the follower's write path. The epoch
-// must come from the leader's decision stream so /healthz lag reads
-// line up across the cluster. Fails on leaders — a leader's state is
-// written only by its own decision loops.
-func (c *Core) ApplyReplica(table string, epoch uint64, snap oreo.OptimizerSnapshot) error {
+// ReplicaState is one externally decoded state a follower applies: the
+// epoch-stamped snapshot plus the base dataset and delta tail it
+// describes. Appended and Compacted annotate what this update did so
+// the follower's own write-path metrics track the leader's (an append
+// record sets Appended to its batch size; a compact record sets
+// Compacted).
+type ReplicaState struct {
+	Epoch    uint64
+	Snapshot oreo.OptimizerSnapshot
+	// Dataset is the partitioned base paired with Snapshot.Serving; its
+	// row count must match the serving layout's.
+	Dataset *oreo.Dataset
+	// Delta is the live tail as of Epoch; nil means empty.
+	Delta *oreo.Dataset
+	// Appended is the number of rows this update appended (metrics).
+	Appended int
+	// Compacted reports that this update folded the delta (metrics).
+	Compacted bool
+}
+
+// ApplyReplica publishes an externally decoded state for the named
+// replica table: the follower's write path. The epoch must come from
+// the leader's stream so /healthz lag reads line up across the
+// cluster. Fails on leaders — a leader's state is written only by its
+// own event loops.
+func (c *Core) ApplyReplica(table string, st ReplicaState) error {
 	sh, ok := c.shards[table]
 	if !ok {
 		return errNotFound("unknown table %q", table)
@@ -256,10 +319,23 @@ func (c *Core) ApplyReplica(table string, epoch uint64, snap oreo.OptimizerSnaps
 	if !sh.replica {
 		return errInvalid("table %q is not a replica", table)
 	}
-	if snap.Serving == nil {
+	if st.Snapshot.Serving == nil {
 		return errInvalid("replica snapshot for %q has no serving layout", table)
 	}
-	sh.applyReplica(epoch, snap)
+	if st.Dataset == nil {
+		return errInvalid("replica state for %q has no dataset", table)
+	}
+	if st.Dataset.Schema() != sh.ds.Schema() {
+		return errInvalid("replica state for %q was built over a different schema instance", table)
+	}
+	if st.Dataset.NumRows() != st.Snapshot.Serving.Part.TotalRows {
+		return errInvalid("replica state for %q pairs a %d-row layout with a %d-row dataset",
+			table, st.Snapshot.Serving.Part.TotalRows, st.Dataset.NumRows())
+	}
+	if st.Delta != nil && st.Delta.Schema() != sh.ds.Schema() {
+		return errInvalid("replica delta for %q was built over a different schema instance", table)
+	}
+	sh.applyReplica(st)
 	return nil
 }
 
@@ -486,6 +562,7 @@ func (c *Core) Health() HealthResponse {
 		Advertise:       c.advertise,
 		Tables:          names,
 		LayoutEpochs:    make(map[string]uint64, len(names)),
+		DeltaRows:       make(map[string]int, len(names)),
 		ScanParallelism: c.scanPar,
 	}
 	for _, name := range names {
@@ -510,10 +587,12 @@ func (c *Core) Health() HealthResponse {
 			// process is up but not serving this table yet.
 			resp.Status = "initializing"
 			resp.LayoutEpochs[name] = 0
+			resp.DeltaRows[name] = 0
 			continue
 		}
 		resp.Queries += st.snap.Stats.Queries
 		resp.LayoutEpochs[name] = st.epoch
+		resp.DeltaRows[name] = st.deltaRows()
 	}
 	return resp
 }

@@ -26,6 +26,12 @@ const (
 	// leader. The request was well-formed; retrying it after catch-up
 	// succeeds. HTTP 503.
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal marks a server-side failure the client did nothing to
+	// cause — a compaction rebuild failing over a grown base. These are
+	// impossible by construction today (compaction revalidates inputs the
+	// builder already accepted) but get a code so a real one surfaces as
+	// HTTP 500, not a misbilled 400. HTTP 500.
+	CodeInternal ErrorCode = "internal"
 )
 
 // Error is the typed failure every Core method returns. It implements
@@ -53,6 +59,10 @@ func errUnavailable(format string, args ...any) *Error {
 	return &Error{Code: CodeUnavailable, Message: fmt.Sprintf(format, args...)}
 }
 
+func errInternal(format string, args ...any) *Error {
+	return &Error{Code: CodeInternal, Message: fmt.Sprintf(format, args...)}
+}
+
 // httpStatus maps an error coming out of Core to the status the v1
 // contract has always used: unknown table 404, everything else a client
 // sent wrong 400. Unknown error values (never produced by Core today)
@@ -67,6 +77,8 @@ func httpStatus(err error) int {
 			return 400
 		case CodeUnavailable:
 			return 503
+		case CodeInternal:
+			return 500
 		}
 	}
 	return 500

@@ -51,13 +51,20 @@
 //	GET  /healthz                   liveness + per-table registry
 //
 // /v2 carries the same request/response shapes on the same paths, plus
-// the streaming bulk endpoint built for log replay:
+// the streaming bulk endpoint built for log replay and the live write
+// path:
 //
 //	POST /v2/query/stream           NDJSON in → NDJSON out: one
 //	                                QueryRequest per line, one BatchItem
 //	                                per line back, answered in order from
 //	                                the lock-free snapshot path;
 //	                                ?flush_every=N controls flushing
+//	POST /v2/tables/{table}/append  rows in → durable append into the
+//	                                table's delta segment; visible to
+//	                                every subsequent query on return
+//	POST /v2/tables/{table}/compact fold the delta into the base layout
+//	                                now (auto-compaction covers the
+//	                                steady state)
 //
 // A replay client streams a captured query log through one connection
 // and one encoder, amortizing the per-request HTTP and JSON overhead
@@ -113,6 +120,14 @@ type Config struct {
 	// ScanParallelism is the execute-path scan worker count; zero
 	// selects runtime.NumCPU() (see CoreConfig.ScanParallelism).
 	ScanParallelism int
+	// CompactThreshold is the delta row count that triggers automatic
+	// compaction after an append; zero selects DefaultCompactThreshold,
+	// negative disables auto-compaction (see CoreConfig.CompactThreshold).
+	CompactThreshold int
+	// SeedRows maps tables to their boot-source row counts for
+	// warm-started hosts whose datasets already include appended tail
+	// rows (see CoreConfig.SeedRows).
+	SeedRows map[string]int
 }
 
 // Server is the HTTP codec over a serving Core: it decodes bytes,
@@ -128,7 +143,13 @@ type Server struct {
 // MultiOptimizer (and its per-table Optimizers) must not be used
 // directly afterwards: every shard owns its table's decision path.
 func New(m *oreo.MultiOptimizer, cfg Config) (*Server, error) {
-	core, err := NewCore(m, CoreConfig{QueueSize: cfg.QueueSize, Advertise: cfg.Advertise, ScanParallelism: cfg.ScanParallelism})
+	core, err := NewCore(m, CoreConfig{
+		QueueSize:        cfg.QueueSize,
+		Advertise:        cfg.Advertise,
+		ScanParallelism:  cfg.ScanParallelism,
+		CompactThreshold: cfg.CompactThreshold,
+		SeedRows:         cfg.SeedRows,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +182,10 @@ func NewServer(core *Core, cfg Config) *Server {
 	// per connection, not per NDJSON line); per-query stream latency is
 	// a client-side measurement (oreoload, oreoreplay).
 	s.mux.HandleFunc("POST /v2/query/stream", s.instrument("stream", s.handleStream))
+	// The live write path is /v2-only: /v1 is the frozen read-replay
+	// contract and gains no routes.
+	s.mux.HandleFunc("POST /v2/tables/{table}/append", s.instrument("append", s.handleAppend))
+	s.mux.HandleFunc("POST /v2/tables/{table}/compact", s.instrument("compact", s.handleCompact))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	reg := core.Metrics()
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -250,11 +275,25 @@ func (s *Server) Snapshot(table string) (oreo.OptimizerSnapshot, bool) {
 // writing the error response itself on failure. An oversized body is
 // 413 with the standard error shape; everything else malformed is 400.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decode(w, r, v, false)
+}
+
+// decodeBodyNumber is decodeBody with json.Number decoding, for bodies
+// carrying row data where float64 coercion would lose int64 precision.
+func (s *Server) decodeBodyNumber(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decode(w, r, v, true)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any, useNumber bool) bool {
 	body := r.Body
 	if s.maxBody > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
-	if err := json.NewDecoder(body).Decode(v); err != nil {
+	dec := json.NewDecoder(body)
+	if useNumber {
+		dec.UseNumber()
+	}
+	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -317,6 +356,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.core.Trace(r.PathValue("table"))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAppend decodes with json.Number enabled: append rows carry
+// arbitrary client numbers, and the default float64 decode would
+// silently round int64 cells above 2⁵³ before the typed conversion
+// could reject them.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if !s.decodeBodyNumber(w, r, &req) {
+		return
+	}
+	resp, err := s.core.Append(r.Context(), r.PathValue("table"), req.Rows)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.core.Compact(r.Context(), r.PathValue("table"))
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return

@@ -486,11 +486,12 @@ func TestReplicaCoreUnavailableBeforeSnapshot(t *testing.T) {
 	}
 
 	// Applying a snapshot flips the whole surface on.
-	epoch, snap, ok := base.core.ReplicaPosition("orders")
+	pos, ok := base.core.ReplicaPosition("orders")
 	if !ok {
 		t.Fatal("leader has no position")
 	}
-	if err := rc.ApplyReplica("orders", epoch+1, snap); err != nil {
+	epoch, snap := pos.Epoch, pos.Snapshot
+	if err := rc.ApplyReplica("orders", ReplicaState{Epoch: epoch + 1, Snapshot: snap, Dataset: pos.Dataset}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := rc.Answer(context.Background(), req); err != nil {

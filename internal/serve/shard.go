@@ -2,78 +2,126 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"oreo"
 	"oreo/internal/exec"
+	"oreo/internal/layout"
 	"oreo/internal/metrics"
+	"oreo/internal/table"
 )
 
 // shard is one table's serving unit. It runs in one of two modes:
 //
 // In leader mode it pairs a read-mostly optimizer with the bounded
-// observation queue that decouples request handling from the sequential
+// event queue that decouples request handling from the sequential
 // decision path. The read path (serveQuery / serveExecute) is
 // lock-free: it costs the query and extracts the survivor skip-list
 // against the atomically published layout snapshot — and, for execute
 // requests, scans the matching execution store — then hands the query
 // to the decision loop through a non-blocking send. The write path is
-// one background consumer goroutine draining the queue into
-// ConcurrentOptimizer.ProcessQuery, so the mutex-serialized decision
-// path never sits on a request's critical path. When the queue is full
-// the query is sampled out of reorganization decisions (counted in
-// dropped) rather than blocking the request — under overload OREO sees
-// a uniform sample of the stream, which its sliding-window machinery is
-// built for.
+// one background consumer goroutine draining the queue, so the
+// mutex-serialized decision path never sits on a request's critical
+// path. The queue carries three event kinds:
 //
-// In replica mode there is no optimizer and no decision loop: the
-// (epoch, snapshot) pair is applied from outside (a replication
-// follower decoding the leader's decision stream — see
+//   - observations (evObserve) feed ConcurrentOptimizer.ProcessQuery.
+//     When the queue is full the query is sampled out of reorganization
+//     decisions (counted in dropped) rather than blocking the request —
+//     under overload OREO sees a uniform sample of the stream, which
+//     its sliding-window machinery is built for.
+//   - appends (evAppend) land a decoded row batch in the table's delta
+//     segment. Unlike observations they are never dropped: the sender
+//     blocks until the consumer has made the rows visible, then gets an
+//     acknowledgment carrying the new epoch.
+//   - compactions (evCompact) fold the delta into the base: the current
+//     layout's assignment is extended over the delta rows (least-
+//     widening placement), the grown dataset is repartitioned under it,
+//     and a fresh optimizer takes over with the compacted layout as its
+//     initial state.
+//
+// Every event advances the table's single epoch counter, so layout
+// decisions and data changes share one totally ordered stream — the
+// property replication relies on for bit-identical followers.
+//
+// In replica mode there is no optimizer and no event loop: the
+// (epoch, snapshot, base, delta) state is applied from outside (a
+// replication follower decoding the leader's stream — see
 // internal/replica), the read path serves from it exactly as a leader
 // shard would, and observations are handed to a forward function that
 // ships them upstream instead of into a local queue. A replica shard
 // that has not yet applied its first snapshot answers unavailable.
 type shard struct {
 	table string
-	ds    *oreo.Dataset
+	// ds is the boot-time dataset — the schema anchor (the schema
+	// pointer never changes across appends and compactions) and the
+	// fallback seed source. The *current* base lives in rep: compaction
+	// grows it past ds.
+	ds *oreo.Dataset
 
 	// copt is the decision engine — leader mode only, nil on a replica.
-	copt *oreo.ConcurrentOptimizer
+	// It is an atomic pointer because compaction replaces the optimizer
+	// wholesale (a fresh engine over the grown base, carrying the
+	// compacted layout as its initial state) while request goroutines
+	// keep reading trace events and snapshots.
+	copt atomic.Pointer[oreo.ConcurrentOptimizer]
+	// optCfg is the resolved optimizer configuration, reused for the
+	// rebuilt engines compaction installs (only Initial is overridden).
+	optCfg oreo.Config
+	// seedRows is the row count of the table's boot source (the CSV or
+	// fixture the process started from), which persistence needs to
+	// frame tails relative to a stable prefix; see CoreConfig.SeedRows.
+	seedRows int
 
 	// replica marks a shard whose state is externally applied; forward
 	// is its observation hand-off (upstream, not a local queue).
 	replica bool
 	forward func(oreo.Query) bool
 
-	// rep is the published (epoch, snapshot) pair every read serves
-	// from: one atomic load yields a decision sequence number and the
-	// layout/stats view that was true at exactly that sequence number.
-	// Leader shards publish it from the decision consumer after each
-	// processed query; replica shards publish it from applyReplica. On a
-	// replica it is nil until the first snapshot lands.
+	// rep is the published (epoch, snapshot, base, delta) state every
+	// read serves from: one atomic load yields a sequence number, the
+	// layout/stats view, the partitioned base it describes, and the
+	// live delta tail that were all true at exactly that sequence
+	// number. Leader shards publish it from the event consumer after
+	// each processed event; replica shards publish it from
+	// applyReplica. On a replica it is nil until the first snapshot
+	// lands.
 	rep atomic.Pointer[repState]
 
-	// onDecision, when set, is invoked from the decision consumer after
-	// each processed query — the replication publish hook. Swapped
+	// onDecision, when set, is invoked from the event consumer after
+	// each processed event — the replication publish hook. Swapped
 	// atomically so it can be attached to a running core.
 	onDecision atomic.Pointer[func(table string, upd DecisionUpdate)]
 
 	// store is the execution state: the materialized per-partition row
-	// blocks paired with the exact layout they were arranged by. It is
-	// built lazily by the first execute request (storeMu serializes
-	// that one build), so costing-only deployments never pay the second
-	// copy of the data; once it exists, the decision consumer (leader)
-	// or applyReplica (replica) rebuilds and swaps it after each
-	// reorganization, in lockstep with the published snapshot, so
-	// execute requests read a (layout, data) pair that is always
-	// internally consistent — during a swap a request may execute on
-	// the outgoing layout one last time, never on a torn mix.
+	// blocks paired with the exact layout they were arranged by, plus
+	// the delta view scans must append. It is built lazily by the first
+	// execute request (storeMu serializes that one build), so
+	// costing-only deployments never pay the second copy of the data;
+	// once it exists, the event consumer (leader) or applyReplica
+	// (replica) swaps it in lockstep with the published state, so
+	// execute requests read a (layout, data, delta) triple that is
+	// always internally consistent — during a swap a request may
+	// execute on the outgoing state one last time, never on a torn mix.
 	store   atomic.Pointer[execState]
 	storeMu sync.Mutex
 
-	queue     chan oreo.Query
+	// delta is the table's live write tail — consumer-owned; requests
+	// only ever see immutable views of it through rep. Leader mode only.
+	delta *table.Delta
+	// compactThreshold triggers an automatic fold when the delta
+	// reaches this many rows; <= 0 disables auto-compaction.
+	compactThreshold int
+	// compactSeq names compacted layouts (compact-1, compact-2, …).
+	compactSeq int
+	// statsBase accumulates the cumulative counters of every optimizer
+	// retired by compaction, so published stats stay monotone across
+	// engine rebuilds. Consumer-owned.
+	statsBase oreo.Stats
+
+	queue     chan shardEvent
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 	// obsMu guards the handoff into queue against close: senders hold
@@ -101,49 +149,128 @@ type shard struct {
 	executions    *metrics.Counter
 	execRows      *metrics.Counter
 	parallelScans *metrics.Counter
+	// rowsAppended counts rows landed through the live write path (on a
+	// follower: applied from the leader's stream); compactions counts
+	// delta folds.
+	rowsAppended *metrics.Counter
+	compactions  *metrics.Counter
 
 	// scanPar is the worker count execute scans run with
 	// (exec.Options.Parallelism), resolved by the core at construction.
 	scanPar int
 }
 
-// repState is one published (epoch, snapshot) pair; see shard.rep.
+// repState is one published (epoch, snapshot, base, delta) state; see
+// shard.rep.
 type repState struct {
 	epoch uint64
 	snap  oreo.OptimizerSnapshot
+	// ds is the partitioned base the snapshot's layouts describe. It
+	// grows at compaction epochs and is otherwise stable.
+	ds *oreo.Dataset
+	// delta is the immutable live-tail view as of the epoch; nil means
+	// empty. Scans append it in full (it is unpartitioned, so it is an
+	// always-survivor extra partition), and costs count its rows.
+	delta *oreo.Dataset
 }
 
-// DecisionUpdate is what the decision consumer reports to an attached
-// hook after processing one query — the unit of the replication log.
-// Epoch is the table's monotonic decision sequence number (one per
-// processed query, starting at 1 for the first decision after boot);
-// Snapshot is the post-decision published state; Switched reports that
-// the serving layout changed with this decision (the physical swap, so
-// under ReorgDelay it fires when the swap lands, not when the switch
-// was decided — exactly what a follower mirroring served answers needs).
+// deltaRows returns the published delta's row count.
+func (st repState) deltaRows() int {
+	if st.delta == nil {
+		return 0
+	}
+	return st.delta.NumRows()
+}
+
+// Decision-update kinds; see DecisionUpdate.Kind.
+const (
+	// UpdateDecision is a processed observation (a layout decision).
+	UpdateDecision = "decision"
+	// UpdateAppend is a row batch landed in the delta segment.
+	UpdateAppend = "append"
+	// UpdateCompact is a delta fold into a new base layout.
+	UpdateCompact = "compact"
+)
+
+// DecisionUpdate is what the event consumer reports to an attached
+// hook after processing one event — the unit of the replication log.
+// Epoch is the table's monotonic sequence number (one per processed
+// event, starting at 1 for the first event after boot); Snapshot is
+// the post-event published state; Switched reports that the serving
+// layout changed with this event (the physical swap, so under
+// ReorgDelay it fires when the swap lands, not when the switch was
+// decided — exactly what a follower mirroring served answers needs).
+//
+// Kind distinguishes the three event families. Appends carry the
+// landed batch in Rows and the delta size after it in DeltaRows;
+// compactions carry the folded row count in Folded (their new base and
+// layout travel in Snapshot, whose Serving layout is the compacted
+// one, and Switched is always true).
 type DecisionUpdate struct {
+	Kind     string
 	Epoch    uint64
 	Cost     float64
 	Switched bool
 	Snapshot oreo.OptimizerSnapshot
+	// Rows is the appended batch (Kind == UpdateAppend only).
+	Rows *oreo.Dataset
+	// DeltaRows is the delta segment's size after this event.
+	DeltaRows int
+	// Folded is the number of delta rows folded into the base
+	// (Kind == UpdateCompact only).
+	Folded int
 }
 
 // execState pairs a layout with the execution store materialized for
-// it. Swapped atomically as one unit; see shard.store.
+// it and the delta view scans must append. Swapped atomically as one
+// unit; see shard.store.
 type execState struct {
 	layout *oreo.Layout
 	store  *exec.Store
+	delta  *oreo.Dataset // nil ≡ empty
 }
 
-func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, scanPar int, reg *metrics.Registry) *shard {
+// shardEvent is one unit of the consumer's totally ordered stream.
+type shardEvent struct {
+	kind evKind
+	q    oreo.Query    // evObserve
+	rows *oreo.Dataset // evAppend
+	// resp acknowledges appends and compactions (buffered, capacity 1).
+	resp chan eventAck
+}
+
+type evKind int
+
+const (
+	evObserve evKind = iota
+	evAppend
+	evCompact
+)
+
+// eventAck is the consumer's acknowledgment of an append or compact
+// event, taken after the new state is published — a client that has
+// its ack is guaranteed to see its rows on the very next read.
+type eventAck struct {
+	epoch     uint64
+	deltaRows int
+	folded    int
+	err       error
+}
+
+func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, scanPar, seedRows, compactThreshold int, reg *metrics.Registry) *shard {
+	copt := oreo.NewConcurrent(opt)
 	s := &shard{
-		table:   name,
-		ds:      ds,
-		copt:    oreo.NewConcurrent(opt),
-		queue:   make(chan oreo.Query, queueSize),
-		scanPar: scanPar,
+		table:            name,
+		ds:               ds,
+		optCfg:           copt.Config(),
+		seedRows:         seedRows,
+		delta:            table.NewDelta(ds.Schema()),
+		compactThreshold: compactThreshold,
+		queue:            make(chan shardEvent, queueSize),
+		scanPar:          scanPar,
 	}
-	s.rep.Store(&repState{epoch: 0, snap: s.copt.Snapshot()})
+	s.copt.Store(copt)
+	s.rep.Store(&repState{epoch: 0, snap: copt.Snapshot(), ds: ds})
 	s.registerMetrics(reg)
 	s.wg.Add(1)
 	go s.consume()
@@ -151,7 +278,7 @@ func newShard(name string, ds *oreo.Dataset, opt *oreo.Optimizer, queueSize, sca
 }
 
 // newReplicaShard builds a shard in replica mode: no optimizer, no
-// decision loop; state arrives through applyReplica and observations
+// event loop; state arrives through applyReplica and observations
 // leave through forward. It answers unavailable until the first
 // snapshot is applied.
 func newReplicaShard(name string, ds *oreo.Dataset, forward func(oreo.Query) bool, scanPar int, reg *metrics.Registry) *shard {
@@ -180,6 +307,10 @@ func (s *shard) registerMetrics(reg *metrics.Registry) {
 		"Rows examined by execution scans; rate() of this is scan rows per second.", lbl)
 	s.parallelScans = reg.Counter("oreo_parallel_scans_total",
 		"Execution scans that ran with more than one worker.", lbl)
+	s.rowsAppended = reg.Counter("oreo_rows_appended_total",
+		"Rows landed through the live write path (on a follower: applied from the leader's stream).", lbl)
+	s.compactions = reg.Counter("oreo_compactions_total",
+		"Delta-segment folds into a freshly partitioned base layout.", lbl)
 	reg.CounterFunc("oreo_served_cost_total",
 		"Cumulative served cost: the sum over answered queries of the scanned table fraction.", lbl,
 		func() float64 { return math.Float64frombits(s.costBits.Load()) })
@@ -217,6 +348,9 @@ func (s *shard) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("oreo_replication_epoch",
 		"Published decision epoch: decisions processed on a leader, last applied epoch on a follower. Leader minus follower is the replication lag.", lbl,
 		snapFn(func(st repState) float64 { return float64(st.epoch) }))
+	reg.GaugeFunc("oreo_delta_rows",
+		"Rows currently in the table's live delta segment (unpartitioned; scanned in full by every query).", lbl,
+		snapFn(func(st repState) float64 { return float64(st.deltaRows()) }))
 	reg.CounterFunc("oreo_memo_hits_total",
 		"Decision-path cost-memo hits for the serving layout.", lbl,
 		snapFn(func(st repState) float64 { return float64(st.snap.Serving.Engine().Stats().Hits) }))
@@ -228,36 +362,212 @@ func (s *shard) registerMetrics(reg *metrics.Registry) {
 		snapFn(func(st repState) float64 { return float64(st.snap.Serving.Engine().Stats().Entries) }))
 }
 
-// consume is the single decision consumer: it drains observed queries
-// into the full OREO decision path, republishing the (epoch, snapshot)
-// pair after each one and rebuilding the execution store (if one has
-// been materialized) whenever the serving layout changed. The rebuild
-// (a full data rewrite) runs here, on the decision goroutine — it is
-// the physical reorganization cost the optimizer's α models, and it
-// must never land on a request. The attached decision hook (if any)
-// runs last, so a replication publisher always describes a state the
-// leader itself already serves.
+// consume is the single event consumer — the serialization point for
+// everything that advances the table's epoch: layout decisions, row
+// appends, and compactions. It republishes the (epoch, snapshot, base,
+// delta) state after each event and keeps the execution store (if one
+// has been materialized) in lockstep. Store rebuilds (full data
+// rewrites) run here, on the consumer goroutine — they are the
+// physical reorganization cost the optimizer's α models, and they must
+// never land on a request. The attached decision hook (if any) runs
+// after the publish but before an append/compact acknowledgment, so a
+// replication publisher always describes a state the leader itself
+// already serves, and an acked writer knows its rows are in-stream.
 func (s *shard) consume() {
 	defer s.wg.Done()
-	prev := s.copt.CurrentLayout()
-	for q := range s.queue {
-		d := s.copt.ProcessQuery(q)
-		snap := s.copt.Snapshot()
-		epoch := s.rep.Load().epoch + 1
-		s.rep.Store(&repState{epoch: epoch, snap: snap})
-		switched := snap.Serving != prev
-		prev = snap.Serving
-		if st := s.store.Load(); st != nil && snap.Serving != st.layout {
-			s.store.Store(&execState{layout: snap.Serving, store: exec.MustNewStore(s.ds, snap.Serving.Part)})
+	prev := s.copt.Load().CurrentLayout()
+	for ev := range s.queue {
+		switch ev.kind {
+		case evObserve:
+			copt := s.copt.Load()
+			d := copt.ProcessQuery(ev.q)
+			snap := s.combinedSnapshot(copt)
+			cur := s.rep.Load()
+			st := &repState{epoch: cur.epoch + 1, snap: snap, ds: cur.ds, delta: cur.delta}
+			s.rep.Store(st)
+			switched := snap.Serving != prev
+			s.syncStore(st)
+			s.notify(DecisionUpdate{
+				Kind: UpdateDecision, Epoch: st.epoch, Cost: d.Cost,
+				Switched: switched, Snapshot: snap, DeltaRows: st.deltaRows(),
+			})
+		case evAppend:
+			ev.resp <- s.handleAppend(ev.rows)
+		case evCompact:
+			ev.resp <- s.handleCompact()
 		}
-		if fn := s.onDecision.Load(); fn != nil {
-			(*fn)(s.table, DecisionUpdate{Epoch: epoch, Cost: d.Cost, Switched: switched, Snapshot: snap})
-		}
+		prev = s.rep.Load().snap.Serving
 	}
 }
 
-// view returns the published (epoch, snapshot) pair, or an unavailable
-// error on a replica shard that has not applied its first snapshot.
+// handleAppend lands one row batch in the delta segment, publishes the
+// new state, and — when the delta has reached the auto-compaction
+// threshold — folds it immediately, all under the same consumer turn.
+func (s *shard) handleAppend(rows *oreo.Dataset) eventAck {
+	s.delta.AppendDataset(rows)
+	s.rowsAppended.Add(uint64(rows.NumRows()))
+	view := s.delta.View()
+	cur := s.rep.Load()
+	st := &repState{epoch: cur.epoch + 1, snap: cur.snap, ds: cur.ds, delta: view.Data}
+	s.rep.Store(st)
+	s.syncStore(st)
+	s.notify(DecisionUpdate{
+		Kind: UpdateAppend, Epoch: st.epoch, Snapshot: st.snap,
+		Rows: rows, DeltaRows: view.Rows(),
+	})
+	ack := eventAck{epoch: st.epoch, deltaRows: view.Rows()}
+	if s.compactThreshold > 0 && view.Rows() >= s.compactThreshold {
+		cack := s.handleCompact()
+		ack.epoch, ack.deltaRows, ack.err = cack.epoch, cack.deltaRows, cack.err
+	}
+	return ack
+}
+
+// handleCompact folds the delta into the base: the serving layout's
+// assignment is extended over the delta rows by least-widening
+// placement, the grown dataset is repartitioned under the extended
+// assignment (metadata recomputed exactly), and a fresh optimizer over
+// the grown base takes over with the compacted layout as its initial
+// state — the optimizer's own machinery (window, candidate generation,
+// D-UMTS counters) then reorganizes the compacted table as usual.
+// Cumulative stats survive the engine swap via statsBase. An empty
+// delta is a no-op that does not advance the epoch.
+func (s *shard) handleCompact() eventAck {
+	n := s.delta.Rows()
+	cur := s.rep.Load()
+	if n == 0 {
+		return eventAck{epoch: cur.epoch}
+	}
+	view := s.delta.View()
+	newDS := table.Concat(cur.ds, view.Data)
+	serving := cur.snap.Serving
+	assign := extendAssignment(serving.Part, view.Data)
+	part, err := table.BuildPartitioning(newDS, assign, serving.Part.NumPartitions)
+	if err != nil {
+		return eventAck{epoch: cur.epoch, deltaRows: n, err: fmt.Errorf("repartitioning grown base: %w", err)}
+	}
+	s.compactSeq++
+	newLayout := layout.New(fmt.Sprintf("compact-%d", s.compactSeq), newDS.Schema(), part)
+
+	cfg := s.optCfg
+	cfg.Initial = newLayout
+	cfg.InitialSort = nil
+	opt, err := oreo.New(newDS, cfg)
+	if err != nil {
+		return eventAck{epoch: cur.epoch, deltaRows: n, err: fmt.Errorf("rebuilding optimizer over grown base: %w", err)}
+	}
+	s.statsBase = addStats(s.statsBase, s.copt.Load().Stats())
+	copt := oreo.NewConcurrent(opt)
+	s.copt.Store(copt)
+	s.delta.Reset(n)
+	s.compactions.Add(1)
+
+	snap := s.combinedSnapshot(copt)
+	st := &repState{epoch: cur.epoch + 1, snap: snap, ds: newDS}
+	s.rep.Store(st)
+	s.syncStore(st)
+	s.notify(DecisionUpdate{
+		Kind: UpdateCompact, Epoch: st.epoch, Switched: true,
+		Snapshot: snap, Folded: n,
+	})
+	return eventAck{epoch: st.epoch, folded: n}
+}
+
+// extendAssignment returns the serving assignment extended over the
+// delta rows: each delta row goes to the partition whose metadata it
+// widens least — the number of columns whose range (numeric) or value
+// set (string) would have to grow to cover the row — tie-broken by
+// fewer rows, then lowest partition ID. Placement is judged against
+// the pre-compaction metadata only (not updated row by row), which
+// keeps it deterministic and cheap; BuildPartitioning recomputes all
+// metadata exactly afterwards. Every comparison is exact, so any
+// process replaying the same stream places rows identically.
+func extendAssignment(part *table.Partitioning, delta *table.Dataset) []int {
+	assign := make([]int, 0, len(part.Assign)+delta.NumRows())
+	assign = append(assign, part.Assign...)
+	for r := 0; r < delta.NumRows(); r++ {
+		best, bestWiden, bestRows := 0, delta.Schema().NumCols()+1, int(^uint(0)>>1)
+		for pid := 0; pid < part.NumPartitions; pid++ {
+			m := part.Meta[pid]
+			w := widening(m, delta, r)
+			if w < bestWiden || (w == bestWiden && m.NumRows < bestRows) {
+				best, bestWiden, bestRows = pid, w, m.NumRows
+			}
+		}
+		assign = append(assign, best)
+	}
+	return assign
+}
+
+// widening counts the columns of delta row r that partition metadata m
+// cannot already cover. Empty column stats count zero — a row landing
+// in an empty partition gets perfectly tight metadata, so empty
+// partitions are preferred absorbers. NaN floats never widen a range,
+// matching ColumnStats.AddFloat, whose min/max comparisons a NaN also
+// falls through.
+func widening(m *table.PartitionMeta, delta *table.Dataset, r int) int {
+	w := 0
+	schema := delta.Schema()
+	for c := 0; c < schema.NumCols(); c++ {
+		cs := &m.Stats[c]
+		if cs.Empty() {
+			continue
+		}
+		switch schema.Col(c).Type {
+		case table.Int64:
+			if v := delta.Int64At(c, r); v < cs.MinI || v > cs.MaxI {
+				w++
+			}
+		case table.Float64:
+			if v := delta.Float64At(c, r); v < cs.MinF || v > cs.MaxF {
+				w++
+			}
+		case table.String:
+			if !cs.ContainsString(delta.StringAt(c, r)) {
+				w++
+			}
+		}
+	}
+	return w
+}
+
+// combinedSnapshot returns the engine's snapshot with the cumulative
+// counters of every retired engine folded in, so published stats stay
+// monotone across the optimizer rebuilds compaction performs.
+// Consumer-owned (reads statsBase).
+func (s *shard) combinedSnapshot(copt *oreo.ConcurrentOptimizer) oreo.OptimizerSnapshot {
+	snap := copt.Snapshot()
+	snap.Stats = addStats(s.statsBase, snap.Stats)
+	return snap
+}
+
+// addStats folds the cumulative counters of base into cur: monotone
+// counters add, high-water marks take the max, and instantaneous
+// values (States) keep cur's reading.
+func addStats(base, cur oreo.Stats) oreo.Stats {
+	cur.Queries += base.Queries
+	cur.Reorganizations += base.Reorganizations
+	cur.QueryCost += base.QueryCost
+	cur.ReorgCost += base.ReorgCost
+	cur.Phases += base.Phases
+	if base.MaxStates > cur.MaxStates {
+		cur.MaxStates = base.MaxStates
+	}
+	if base.CompetitiveBound > cur.CompetitiveBound {
+		cur.CompetitiveBound = base.CompetitiveBound
+	}
+	return cur
+}
+
+// notify invokes the attached decision hook, if any.
+func (s *shard) notify(upd DecisionUpdate) {
+	if fn := s.onDecision.Load(); fn != nil {
+		(*fn)(s.table, upd)
+	}
+}
+
+// view returns the published state, or an unavailable error on a
+// replica shard that has not applied its first snapshot.
 func (s *shard) view() (repState, *Error) {
 	st := s.rep.Load()
 	if st == nil {
@@ -266,27 +576,54 @@ func (s *shard) view() (repState, *Error) {
 	return *st, nil
 }
 
-// applyReplica publishes an externally decoded (epoch, snapshot) pair —
-// the replica-mode write path — and, when a materialized execution
-// store exists, rebuilds it in lockstep on this (apply) goroutine so
-// the rebuild cost never lands on a request.
-func (s *shard) applyReplica(epoch uint64, snap oreo.OptimizerSnapshot) {
-	s.rep.Store(&repState{epoch: epoch, snap: snap})
+// applyReplica publishes an externally decoded state — the
+// replica-mode write path — and keeps a materialized execution store
+// in lockstep on this (apply) goroutine so the rebuild cost never
+// lands on a request.
+func (s *shard) applyReplica(st ReplicaState) {
+	rs := &repState{epoch: st.Epoch, snap: st.Snapshot, ds: st.Dataset, delta: st.Delta}
+	if rs.delta != nil && rs.delta.NumRows() == 0 {
+		rs.delta = nil
+	}
+	s.rep.Store(rs)
+	if st.Appended > 0 {
+		s.rowsAppended.Add(uint64(st.Appended))
+	}
+	if st.Compacted {
+		s.compactions.Add(1)
+	}
+	s.syncStore(rs)
+}
+
+// syncStore brings a materialized execution store in line with the
+// published state: a layout change rebuilds the per-partition blocks
+// from the (possibly grown) base, a delta change swaps just the view.
+// No-op until the first execute request materializes a store. Runs on
+// the event consumer (leader) or the apply goroutine (replica),
+// serialized against lazy materialization by storeMu.
+func (s *shard) syncStore(rst *repState) {
 	s.storeMu.Lock()
 	defer s.storeMu.Unlock()
-	if st := s.store.Load(); st != nil && st.layout != snap.Serving {
-		s.store.Store(&execState{layout: snap.Serving, store: exec.MustNewStore(s.ds, snap.Serving.Part)})
+	st := s.store.Load()
+	if st == nil {
+		return
+	}
+	if st.layout != rst.snap.Serving {
+		s.store.Store(&execState{layout: rst.snap.Serving, store: exec.MustNewStore(rst.ds, rst.snap.Serving.Part), delta: rst.delta})
+	} else if st.delta != rst.delta {
+		s.store.Store(&execState{layout: st.layout, store: st.store, delta: rst.delta})
 	}
 }
 
-// execStore returns the execution state, materializing it on first use.
-// The build is serialized under storeMu (concurrent first-execute
-// requests wait rather than each copying the table); afterwards loads
-// are lock-free. The state may trail the published serving layout
-// until the next lockstep rebuild — serveExecute reports that window
-// as an in-flight reorganization — but it is always an internally
-// consistent (layout, data) pair.
-func (s *shard) execStore(lay *oreo.Layout) *execState {
+// execStore returns the execution state, materializing it on first use
+// from the freshest published state. The build is serialized under
+// storeMu (concurrent first-execute requests wait rather than each
+// copying the table); afterwards loads are lock-free. The state may
+// trail the published serving layout until the next lockstep sync —
+// serveExecute reports that window as an in-flight reorganization —
+// but it is always an internally consistent (layout, data, delta)
+// triple.
+func (s *shard) execStore() *execState {
 	if st := s.store.Load(); st != nil {
 		return st
 	}
@@ -295,17 +632,19 @@ func (s *shard) execStore(lay *oreo.Layout) *execState {
 	if st := s.store.Load(); st != nil {
 		return st
 	}
-	st := &execState{layout: lay, store: exec.MustNewStore(s.ds, lay.Part)}
+	rst := s.rep.Load()
+	st := &execState{layout: rst.snap.Serving, store: exec.MustNewStore(rst.ds, rst.snap.Serving.Part), delta: rst.delta}
 	s.store.Store(st)
 	return st
 }
 
-// close stops the shard: no further observations are accepted, the
-// consumer (leader mode) drains what was already queued, and the call
-// returns once the decision loop has gone quiet. Idempotent — a
-// follower teardown may close the same core twice — and safe to call
-// while requests are still in flight: late observations are dropped,
-// not panicked on.
+// close stops the shard: no further observations or writes are
+// accepted, the consumer (leader mode) drains what was already queued
+// — including blocked appenders, which receive their acknowledgments —
+// and the call returns once the event loop has gone quiet. Idempotent
+// — a follower teardown may close the same core twice — and safe to
+// call while requests are still in flight: late observations are
+// dropped, not panicked on.
 func (s *shard) close() {
 	s.closeOnce.Do(func() {
 		s.obsMu.Lock()
@@ -331,11 +670,31 @@ func (s *shard) observe(q oreo.Query) bool {
 		return s.forward != nil && s.forward(q)
 	}
 	select {
-	case s.queue <- q:
+	case s.queue <- shardEvent{kind: evObserve, q: q}:
 		return true
 	default:
 		return false
 	}
+}
+
+// send enqueues an append or compact event and waits for the
+// consumer's acknowledgment. Unlike observations these are never
+// sampled out: the send blocks when the queue is full (writers get
+// backpressure, reads never do). The obsMu read lock is held only
+// across the enqueue — close() cannot close the channel mid-send
+// because it needs the write lock, and the consumer keeps draining
+// during shutdown, so a blocked send always completes and an enqueued
+// event is always acknowledged.
+func (s *shard) send(ev shardEvent) (eventAck, *Error) {
+	s.obsMu.RLock()
+	if s.obsClosed {
+		s.obsMu.RUnlock()
+		return eventAck{}, errUnavailable("table %q is shutting down", s.table)
+	}
+	ev.resp = make(chan eventAck, 1)
+	s.queue <- ev
+	s.obsMu.RUnlock()
+	return <-ev.resp, nil
 }
 
 // record runs the shared read-path bookkeeping — observation handoff
@@ -353,9 +712,32 @@ func (s *shard) record(q oreo.Query, cost float64) bool {
 	return observed
 }
 
+// combinedCost folds the delta segment into a base-layout cost: the
+// delta is unpartitioned, so every query scans it in full — it behaves
+// as one extra partition that always survives pruning. The combined
+// cost is (survivor row mass + delta rows) / (base rows + delta rows),
+// computed from integer masses so leaders and followers at the same
+// epoch derive bit-identical floats. With an empty delta the base cost
+// is returned untouched, bitwise.
+func combinedCost(base float64, survivors []int, part *oreo.Partitioning, deltaRows int) float64 {
+	if deltaRows == 0 {
+		return base
+	}
+	mass := 0
+	for _, pid := range survivors {
+		mass += part.RowsInPartition(pid)
+	}
+	total := part.TotalRows + deltaRows
+	if total == 0 {
+		return 0
+	}
+	return float64(mass+deltaRows) / float64(total)
+}
+
 // serveQuery answers one routed query: the lock-free snapshot read path
 // (OptimizerSnapshot.CostQuery) for cost and skip-list, then a
-// non-blocking observation handoff.
+// non-blocking observation handoff. A live delta rides on the cost as
+// an always-surviving extra partition.
 func (s *shard) serveQuery(q oreo.Query) (TableResult, error) {
 	st, verr := s.view()
 	if verr != nil {
@@ -363,14 +745,17 @@ func (s *shard) serveQuery(q oreo.Query) (TableResult, error) {
 	}
 	snap := st.snap
 	dec := snap.CostQuery(q)
-	observed := s.record(q, dec.Cost)
+	ids := dec.SurvivorPartitions()
+	cost := combinedCost(dec.Cost, ids, snap.Serving.Part, st.deltaRows())
+	observed := s.record(q, cost)
 
 	res := TableResult{
 		Table:              s.table,
-		Cost:               dec.Cost,
+		Cost:               cost,
 		Layout:             dec.Layout.Name,
 		NumPartitions:      dec.Layout.Part.NumPartitions,
-		SurvivorPartitions: dec.SurvivorPartitions(),
+		SurvivorPartitions: ids,
+		DeltaRows:          st.deltaRows(),
 		Observed:           observed,
 		QueryID:            q.ID,
 	}
@@ -384,13 +769,13 @@ func (s *shard) serveQuery(q oreo.Query) (TableResult, error) {
 // serveExecute answers one routed query *and* executes it: cost and
 // skip-list are evaluated against the execution state's layout (not the
 // possibly newer published snapshot, so pruning and data always agree),
-// then the store scans exactly the survivor partitions, re-checking
-// predicates per row and folding the requested aggregates. Errors are
-// client errors (invalid aggregates) or a canceled context, and leave
-// every counter untouched.
+// then the store scans exactly the survivor partitions — plus the
+// execution state's delta view, in full — re-checking predicates per
+// row and folding the requested aggregates. Errors are client errors
+// (invalid aggregates) or a canceled context, and leave every counter
+// untouched.
 func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggSpec) (TableResult, error) {
-	snapSt, verr := s.view()
-	if verr != nil {
+	if _, verr := s.view(); verr != nil {
 		return TableResult{}, verr
 	}
 	// Validate before materializing: on a cold shard the lazy store
@@ -399,12 +784,17 @@ func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggS
 	if err := exec.ValidateAggs(s.ds.Schema(), aggs); err != nil {
 		return TableResult{}, err
 	}
-	st := s.execStore(snapSt.snap.Serving)
-	cost, ids := st.layout.CostSurvivorsSnapshot(q)
+	st := s.execStore()
+	baseCost, ids := st.layout.CostSurvivorsSnapshot(q)
 	if ids == nil {
 		ids = []int{}
 	}
-	scan, err := st.store.Scan(q, ids, aggs, exec.Options{Context: ctx, Parallelism: s.scanPar})
+	deltaRows := 0
+	if st.delta != nil {
+		deltaRows = st.delta.NumRows()
+	}
+	cost := combinedCost(baseCost, ids, st.layout.Part, deltaRows)
+	scan, err := st.store.Scan(q, ids, aggs, exec.Options{Context: ctx, Parallelism: s.scanPar, Delta: st.delta})
 	if err != nil {
 		return TableResult{}, err
 	}
@@ -421,6 +811,7 @@ func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggS
 		Layout:             st.layout.Name,
 		NumPartitions:      st.layout.Part.NumPartitions,
 		SurvivorPartitions: ids,
+		DeltaRows:          deltaRows,
 		Observed:           observed,
 		QueryID:            q.ID,
 		Execution: &ExecutionJSON{
@@ -428,7 +819,8 @@ func (s *shard) serveExecute(ctx context.Context, q oreo.Query, aggs []exec.AggS
 			PartitionsRead:  scan.PartitionsRead,
 			PartitionsTotal: st.layout.Part.NumPartitions,
 			RowsExamined:    scan.RowsExamined,
-			RowsTotal:       st.store.TotalRows(),
+			RowsTotal:       st.store.TotalRows() + scan.DeltaRows,
+			DeltaRows:       scan.DeltaRows,
 			Aggregates:      encodeAggs(scan.Aggs),
 		},
 	}
@@ -499,6 +891,10 @@ func (s *shard) stats() (StatsResponse, error) {
 		ExecutionRowsRead: s.execRows.Load(),
 		QueueDepth:        len(s.queue),
 		QueueCapacity:     cap(s.queue),
+
+		DeltaRows:    rst.deltaRows(),
+		RowsAppended: s.rowsAppended.Load(),
+		Compactions:  s.compactions.Load(),
 	}, nil
 }
 
@@ -522,6 +918,7 @@ func (s *shard) layoutInfo() (LayoutResponse, error) {
 		NumPartitions: lay.Part.NumPartitions,
 		TotalRows:     lay.Part.TotalRows,
 		PartitionRows: rows,
+		DeltaRows:     rst.deltaRows(),
 	}
 	if snap.Pending != nil {
 		res.Reorganizing = true
@@ -533,12 +930,14 @@ func (s *shard) layoutInfo() (LayoutResponse, error) {
 // traceEvents returns the decision trace (empty unless the optimizer
 // was configured with TraceCapacity). Replica shards run no decisions,
 // so their trace is empty by construction — traces are a decision-path
-// artifact and live where decisions are made, on the leader.
+// artifact and live where decisions are made, on the leader. After a
+// compaction the trace is the fresh engine's: compaction retires the
+// old optimizer, trace and all.
 func (s *shard) traceEvents() []TraceEventJSON {
 	if s.replica {
 		return []TraceEventJSON{}
 	}
-	events := s.copt.Events()
+	events := s.copt.Load().Events()
 	out := make([]TraceEventJSON, 0, len(events))
 	for _, e := range events {
 		out = append(out, TraceEventJSON{

@@ -95,6 +95,12 @@ type ExecutionJSON struct {
 	PartitionsTotal int `json:"partitions_total"`
 	RowsExamined    int `json:"rows_examined"`
 	RowsTotal       int `json:"rows_total"`
+	// DeltaRows counts the delta-segment rows this scan examined on top
+	// of the survivor partitions (the delta is unpartitioned, so every
+	// execution reads all of it). Included in RowsExamined and RowsTotal;
+	// omitted while the delta is empty, which keeps pre-live-write
+	// responses byte-identical.
+	DeltaRows int `json:"delta_rows,omitempty"`
 	// Aggregates holds one entry per requested aggregate, in request
 	// order (absent aggregates were requested on a column this table
 	// does not have — routed queries only).
@@ -125,6 +131,13 @@ type TableResult struct {
 	// PendingLayout as of the answering snapshot.
 	Reorganizing  bool   `json:"reorganizing,omitempty"`
 	PendingLayout string `json:"pending_layout,omitempty"`
+	// DeltaRows is the size of the table's delta segment as of the
+	// answering snapshot. The delta is always scanned (it has no
+	// partitions to skip), so Cost already folds it in as an extra
+	// always-survivor mass; this reports the row count behind that.
+	// Omitted while empty, which keeps append-free responses
+	// byte-identical to the pre-live-write contract.
+	DeltaRows int `json:"delta_rows,omitempty"`
 	// Observed reports whether the query was enqueued for the decision
 	// loop. False means the observation queue was full and the query was
 	// sampled out of reorganization decisions (it was still answered).
@@ -176,6 +189,11 @@ type LayoutResponse struct {
 	PartitionRows []int  `json:"partition_rows"`
 	Reorganizing  bool   `json:"reorganizing,omitempty"`
 	PendingLayout string `json:"pending_layout,omitempty"`
+	// DeltaRows is the unpartitioned delta segment's current size —
+	// rows appended since the last compaction, sitting outside
+	// TotalRows/PartitionRows until a fold moves them into the base.
+	// Omitted while empty.
+	DeltaRows int `json:"delta_rows,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/tables/{table}/stats: the
@@ -222,6 +240,13 @@ type StatsResponse struct {
 	ExecutionRowsRead uint64 `json:"execution_rows_read"`
 	QueueDepth        int    `json:"queue_depth"`
 	QueueCapacity     int    `json:"queue_capacity"`
+
+	// Live write path counters: current delta segment size, rows landed
+	// through appends this boot, and compactions folded. All omitted
+	// while zero so write-free deployments keep the original body.
+	DeltaRows    int    `json:"delta_rows,omitempty"`
+	RowsAppended uint64 `json:"rows_appended,omitempty"`
+	Compactions  uint64 `json:"compactions,omitempty"`
 }
 
 // TraceEventJSON is one decision-trace event.
@@ -292,6 +317,42 @@ type HealthResponse struct {
 	// capacity-planning signals, not correctness ones.
 	ScanParallelism int    `json:"scan_parallelism"`
 	ParallelScans   uint64 `json:"parallel_scans"`
+	// DeltaRows maps each table to its current delta segment size: rows
+	// appended but not yet folded into the base layout. A settle loop
+	// watches these drop to zero after a compaction round. Arrived with
+	// the live write path, additively (see the doc comment above).
+	DeltaRows map[string]int `json:"delta_rows"`
+}
+
+// AppendRequest is the body of POST /v2/tables/{table}/append. Each
+// row maps every schema column name to its value; numbers are decoded
+// with full precision (the server reads them as json.Number), integer
+// columns reject fractional values, and extra or missing keys fail the
+// whole batch — nothing lands on a partial error.
+type AppendRequest struct {
+	Rows []map[string]any `json:"rows"`
+}
+
+// AppendResponse acknowledges a durable append: as of Epoch, the
+// Appended rows are visible to every query on this server (they landed
+// in the delta segment, which every scan reads). DeltaRows is the
+// delta size after the append — or after the auto-compaction it
+// triggered, in which case it is typically 0.
+type AppendResponse struct {
+	Table     string `json:"table"`
+	Epoch     uint64 `json:"epoch"`
+	Appended  int    `json:"appended"`
+	DeltaRows int    `json:"delta_rows"`
+}
+
+// CompactResponse acknowledges POST /v2/tables/{table}/compact: Folded
+// delta rows were rewritten into the base layout (0 when the delta was
+// already empty — an idempotent no-op that does not advance Epoch).
+type CompactResponse struct {
+	Table     string `json:"table"`
+	Epoch     uint64 `json:"epoch"`
+	Folded    int    `json:"folded"`
+	DeltaRows int    `json:"delta_rows"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

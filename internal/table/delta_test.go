@@ -1,0 +1,220 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func deltaTestSchema() *Schema {
+	return NewSchema(
+		Column{Name: "ts", Type: Int64},
+		Column{Name: "amount", Type: Float64},
+		Column{Name: "status", Type: String},
+	)
+}
+
+func deltaBatch(s *Schema, rng *rand.Rand, n int) *Dataset {
+	b := NewBuilder(s, n)
+	statuses := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i < n; i++ {
+		f := rng.Float64() * 100
+		if rng.Intn(20) == 0 {
+			f = math.NaN()
+		}
+		b.AppendRow(Int(rng.Int63n(1000)), Float(f),
+			Str(statuses[rng.Intn(len(statuses))]+fmt.Sprint(rng.Intn(16))))
+	}
+	return b.Build()
+}
+
+// statsByRescan recomputes column stats from scratch over a dataset —
+// the oracle the incremental delta stats must match.
+func statsByRescan(d *Dataset) []ColumnStats {
+	out := make([]ColumnStats, d.Schema().NumCols())
+	for c := range out {
+		out[c] = newColumnStats(d.Schema().Col(c).Type)
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		for c := 0; c < d.Schema().NumCols(); c++ {
+			switch d.Schema().Col(c).Type {
+			case Int64:
+				out[c].AddInt(d.Int64At(c, r))
+			case Float64:
+				out[c].AddFloat(d.Float64At(c, r))
+			case String:
+				out[c].AddString(d.StringAt(c, r))
+			}
+		}
+	}
+	return out
+}
+
+func statsEqual(t *testing.T, got, want ColumnStats) {
+	t.Helper()
+	if got.Type != want.Type || got.seen != want.seen {
+		t.Fatalf("stats shape mismatch: got %+v want %+v", got, want)
+	}
+	switch got.Type {
+	case Int64:
+		if got.MinI != want.MinI || got.MaxI != want.MaxI {
+			t.Fatalf("int range: got [%d,%d] want [%d,%d]", got.MinI, got.MaxI, want.MinI, want.MaxI)
+		}
+	case Float64:
+		if math.Float64bits(got.MinF) != math.Float64bits(want.MinF) ||
+			math.Float64bits(got.MaxF) != math.Float64bits(want.MaxF) {
+			t.Fatalf("float range: got [%v,%v] want [%v,%v]", got.MinF, got.MaxF, want.MinF, want.MaxF)
+		}
+	case String:
+		if got.MinS != want.MinS || got.MaxS != want.MaxS {
+			t.Fatalf("string range: got [%q,%q] want [%q,%q]", got.MinS, got.MaxS, want.MinS, want.MaxS)
+		}
+		if !reflect.DeepEqual(got.Distinct, want.Distinct) {
+			t.Fatalf("distinct sets differ: got %v want %v", got.Distinct, want.Distinct)
+		}
+		if (got.Bloom == nil) != (want.Bloom == nil) {
+			t.Fatalf("bloom presence differs: got %v want %v", got.Bloom != nil, want.Bloom != nil)
+		}
+	}
+}
+
+// TestDeltaIncrementalStatsMatchRescan holds the incrementally-kept
+// delta stats to a full recomputation over the accumulated rows, across
+// several append batches (including distinct-set overflow into Bloom).
+func TestDeltaIncrementalStatsMatchRescan(t *testing.T) {
+	s := deltaTestSchema()
+	rng := rand.New(rand.NewSource(7))
+	d := NewDelta(s)
+	for batch := 0; batch < 6; batch++ {
+		d.AppendDataset(deltaBatch(s, rng, 50))
+		v := d.View()
+		want := statsByRescan(v.Data)
+		for c := range want {
+			statsEqual(t, v.Stats[c], want[c])
+		}
+	}
+	if d.Rows() != 300 {
+		t.Fatalf("Rows() = %d, want 300", d.Rows())
+	}
+}
+
+// TestDeltaViewImmutable pins the snapshot contract: a view taken
+// before further appends keeps its row count, cell values, and stats.
+func TestDeltaViewImmutable(t *testing.T) {
+	s := deltaTestSchema()
+	rng := rand.New(rand.NewSource(11))
+	d := NewDelta(s)
+	d.AppendDataset(deltaBatch(s, rng, 40))
+
+	v1 := d.View()
+	if v2 := d.View(); v2 != v1 {
+		t.Fatal("View() not cached across quiet calls")
+	}
+	wantRows := v1.Rows()
+	wantCell := v1.Data.Int64At(0, 0)
+	wantMaxI := v1.Stats[0].MaxI
+
+	d.AppendDataset(deltaBatch(s, rng, 500)) // large enough to force reallocation
+	if v1.Rows() != wantRows {
+		t.Fatalf("view rows changed after append: %d -> %d", wantRows, v1.Rows())
+	}
+	if v1.Data.Int64At(0, 0) != wantCell {
+		t.Fatal("view cell changed after append")
+	}
+	if v1.Stats[0].MaxI != wantMaxI {
+		t.Fatal("view stats changed after append")
+	}
+	if v2 := d.View(); v2 == v1 || v2.Rows() != 540 {
+		t.Fatalf("fresh view wrong: same=%v rows=%d", v2 == v1, v2.Rows())
+	}
+}
+
+// TestDeltaReset pins the fold guard: resetting with a stale count
+// panics, resetting with the snapshot count empties the delta.
+func TestDeltaReset(t *testing.T) {
+	s := deltaTestSchema()
+	rng := rand.New(rand.NewSource(3))
+	d := NewDelta(s)
+	d.AppendDataset(deltaBatch(s, rng, 10))
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Reset with stale count did not panic")
+			}
+		}()
+		d.Reset(7)
+	}()
+
+	d.Reset(10)
+	if d.Rows() != 0 {
+		t.Fatalf("Rows() = %d after Reset, want 0", d.Rows())
+	}
+	v := d.View()
+	if v.Rows() != 0 || !v.Stats[0].Empty() {
+		t.Fatal("view after Reset not empty")
+	}
+	d.AppendDataset(deltaBatch(s, rng, 5))
+	if d.Rows() != 5 {
+		t.Fatalf("Rows() = %d after re-append, want 5", d.Rows())
+	}
+}
+
+// TestConcat checks row order and independence of the concatenated
+// dataset.
+func TestConcat(t *testing.T) {
+	s := deltaTestSchema()
+	rng := rand.New(rand.NewSource(5))
+	base := deltaBatch(s, rng, 30)
+	tail := deltaBatch(s, rng, 12)
+
+	got := Concat(base, tail)
+	if got.NumRows() != 42 {
+		t.Fatalf("NumRows = %d, want 42", got.NumRows())
+	}
+	if got.Schema() != s {
+		t.Fatal("Concat changed schema pointer")
+	}
+	for r := 0; r < base.NumRows(); r++ {
+		if got.Int64At(0, r) != base.Int64At(0, r) ||
+			math.Float64bits(got.Float64At(1, r)) != math.Float64bits(base.Float64At(1, r)) ||
+			got.StringAt(2, r) != base.StringAt(2, r) {
+			t.Fatalf("base row %d differs", r)
+		}
+	}
+	for r := 0; r < tail.NumRows(); r++ {
+		if got.Int64At(0, base.NumRows()+r) != tail.Int64At(0, r) {
+			t.Fatalf("tail row %d differs", r)
+		}
+	}
+}
+
+// TestColumnStatsClone pins deep-copy semantics, including the Bloom
+// filter after distinct-set overflow.
+func TestColumnStatsClone(t *testing.T) {
+	cs := newColumnStats(String)
+	for i := 0; i < MaxTrackedDistinct+10; i++ {
+		cs.AddString(fmt.Sprintf("v%03d", i))
+	}
+	if cs.Bloom == nil || cs.Distinct != nil {
+		t.Fatal("expected overflowed stats")
+	}
+	cl := cs.Clone()
+	if !cl.Bloom.MayContain("v000") {
+		t.Fatal("clone lost bloom contents")
+	}
+	cs.AddString("zzz-only-original")
+	if cl.MaxS == "zzz-only-original" {
+		t.Fatal("clone shares range with original")
+	}
+
+	cs2 := newColumnStats(String)
+	cs2.AddString("a")
+	cl2 := cs2.Clone()
+	cs2.AddString("b")
+	if _, ok := cl2.Distinct["b"]; ok {
+		t.Fatal("clone shares distinct map with original")
+	}
+}

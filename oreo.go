@@ -161,6 +161,40 @@
 // oreoserve -csv DIR — see examples/execution for the loop in
 // miniature.
 //
+// # Live writes
+//
+// Tables are not frozen at boot: POST /v2/tables/{table}/append lands
+// new rows through serve.Core (client.Append / client.BulkLoad on the
+// SDK side) into the table's *delta segment* — an append-only,
+// unpartitioned column block (table.Delta) with its own incrementally
+// maintained per-column statistics. The delta has no partitions to
+// prune, so every scan treats it as one extra always-surviving
+// segment: costs count its rows as always read, executes re-check its
+// rows row-by-row after the survivor blocks and merge its aggregate
+// partial last, and therefore pruned ≡ unpruned and kernel ≡
+// interpreted stay bitwise with writes in flight. Appended rows are
+// queryable on the leader immediately — the append is an epoch-
+// advancing event on the same per-table decision loop that serializes
+// reorganizations, so readers always see a coherent (layout, store,
+// delta) triple.
+//
+// A compactor folds the delta into the base: it concatenates the delta
+// rows onto the dataset, extends the serving layout's row→partition
+// assignment by placing each new row into the partition whose metadata
+// it widens least, rebuilds the optimizer over the grown dataset (same
+// resolved Config, same converged layout as Initial), and republishes
+// through the decision hook. Compaction triggers automatically past a
+// delta-size threshold or explicitly via POST /v2/tables/{table}/
+// compact. The replication epoch covers data and layout as one
+// sequence: append batches and compaction records ship in-stream
+// (see Replication below), and persist.StateDoc versions the data too
+// — warm-start restores the compacted tail and the pending delta, with
+// the statistics block gating integrity exactly as it does for
+// layouts. Per-table oreo_rows_appended_total, oreo_delta_rows, and
+// oreo_compactions_total land on /metrics, and /healthz reports each
+// table's live delta size. See examples/append for a leader + follower
+// converging over live appends.
+//
 // # Replication
 //
 // One process is the ceiling of the snapshot read path; replication
@@ -648,3 +682,11 @@ func (o *Optimizer) Stats() Stats {
 
 // Alpha returns the configured relative reorganization cost.
 func (o *Optimizer) Alpha() float64 { return o.cfg.Alpha }
+
+// Config returns the optimizer's resolved configuration — every zero
+// value replaced by the default New selected. Hosts that rebuild an
+// optimizer over grown data (the serving layer's compactor does, after
+// folding a live-write delta into the base) construct the successor
+// from this, overriding only Initial, so all tuning carries across the
+// rebuild.
+func (o *Optimizer) Config() Config { return o.cfg }

@@ -32,3 +32,24 @@ func SaveState(w io.Writer, l *Layout) error { return persist.SaveState(w, l) }
 // one bit-for-bit, and the boolean reports whether it was (a "warm"
 // restart). Pass the layout as Config.Initial to resume serving on it.
 func LoadState(r io.Reader, ds *Dataset) (*Layout, bool, error) { return persist.LoadState(r, ds) }
+
+// SaveStateWithData writes a warm-start snapshot that also carries the
+// rows the boot source cannot reproduce: the tail of base beyond the
+// first bootRows rows (appended batches a compaction folded in) and
+// the uncompacted delta segment (nil or empty for none). A table that
+// never took a live write produces exactly the SaveState encoding,
+// readable by older builds.
+func SaveStateWithData(w io.Writer, l *Layout, base *Dataset, bootRows int, delta *Dataset) error {
+	return persist.SaveStateWithData(w, l, base, bootRows, delta)
+}
+
+// LoadStateWithData reads a snapshot written by SaveStateWithData and
+// reassembles the full serving state against the boot dataset: base is
+// boot plus the saved tail (the dataset the returned layout covers —
+// pass it, not boot, as the table's dataset), delta is the saved delta
+// segment to replay through the live write path (nil when none), and
+// warm reports whether the cost memo survived the statistics gate.
+// Files written by SaveState load with base == boot and a nil delta.
+func LoadStateWithData(r io.Reader, boot *Dataset) (l *Layout, warm bool, base, delta *Dataset, err error) {
+	return persist.LoadStateWithData(r, boot)
+}
