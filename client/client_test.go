@@ -3,8 +3,6 @@ package client_test
 import (
 	"context"
 	"errors"
-	"go/parser"
-	"go/token"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -74,29 +72,9 @@ func newTestClient(t *testing.T) *client.Client {
 	return c
 }
 
-// TestStdlibOnly is the SDK's dependency contract, enforced: every
-// file of the client package imports only the standard library. A
-// downstream service embedding the SDK must never pull OREO internals
-// (or anything else) into its build.
-func TestStdlibOnly(t *testing.T) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ImportsOnly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg, ok := pkgs["client"]
-	if !ok {
-		t.Fatal("client package not found")
-	}
-	for fname, f := range pkg.Files {
-		for _, imp := range f.Imports {
-			path := strings.Trim(imp.Path.Value, `"`)
-			if strings.Contains(path, ".") || strings.HasPrefix(path, "oreo") {
-				t.Errorf("%s imports %q — the client package is stdlib-only", fname, path)
-			}
-		}
-	}
-}
+// The SDK's stdlib-only dependency contract is enforced by the
+// stdlibonly analyzer in internal/analysis (run by `oreovet` in CI),
+// which replaced the bespoke go/parser test that used to live here.
 
 func TestQueryAndErrorMapping(t *testing.T) {
 	c := newTestClient(t)

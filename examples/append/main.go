@@ -25,6 +25,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"time"
@@ -210,5 +211,6 @@ func main() {
 	fmt.Printf("probe past the boot keyspace: leader matched %d (sum %v), follower matched %d (sum %v) — bit-identical: %v\n",
 		le.MatchedRows, le.Aggregates[1].ValueF,
 		fe.MatchedRows, fe.Aggregates[1].ValueF,
-		le.MatchedRows == fe.MatchedRows && le.Aggregates[1].ValueF == fe.Aggregates[1].ValueF)
+		le.MatchedRows == fe.MatchedRows &&
+			math.Float64bits(le.Aggregates[1].ValueF) == math.Float64bits(fe.Aggregates[1].ValueF))
 }

@@ -207,7 +207,7 @@ func main() {
 			f[`oreo_replication_forward_queue_depth`],
 			l[`oreo_replication_epoch{table="orders"}`], f[`oreo_replication_epoch{table="orders"}`],
 			lag, l[`oreo_replication_lag_epochs{table="orders"}`])
-		if lag == 0 && f[`oreo_replication_epoch{table="orders"}`] >= float64(target) {
+		if lag <= 0 && f[`oreo_replication_epoch{table="orders"}`] >= float64(target) {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)

@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"time"
@@ -198,5 +199,6 @@ func main() {
 	ld, fd := ls.CostQuery(probe), fs.CostQuery(probe)
 	fmt.Printf("\nprobe cost: leader %.6f, follower %.6f, survivors %d vs %d — bit-identical: %v\n",
 		ld.Cost, fd.Cost, len(ld.SurvivorPartitions()), len(fd.SurvivorPartitions()),
-		ld.Cost == fd.Cost && len(ld.SurvivorPartitions()) == len(fd.SurvivorPartitions()))
+		math.Float64bits(ld.Cost) == math.Float64bits(fd.Cost) &&
+			len(ld.SurvivorPartitions()) == len(fd.SurvivorPartitions()))
 }

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicdiscipline enforces that a variable published through
+// sync/atomic is *only* touched through sync/atomic.
+//
+// Two patterns are policed:
+//
+//  1. Function-API atomics: if any code in the package does
+//     atomic.LoadUint64(&x.f) / atomic.StoreInt64(&x.f) / ..., then
+//     every other read or write of that same field or variable must
+//     also go through a sync/atomic call. A direct `x.f++` or
+//     `if x.f == 0` next to an atomic publisher is a data race the
+//     race detector only catches when the schedule cooperates; this
+//     catches it on every build.
+//
+//  2. Typed atomics (atomic.Uint64, atomic.Pointer[T], ...): the
+//     method API makes direct access impossible, but copying the
+//     value (`c := s.ctr`, passing s.ctr by value) silently forks the
+//     state. Copies in value contexts are flagged.
+//
+// Initialization before publication is the one legitimate direct
+// access; it gets an //oreovet:ignore atomicdiscipline annotation
+// stating that the object is not yet shared.
+func Atomicdiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicdiscipline",
+		Doc:  "variables published via sync/atomic must never be accessed directly",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+
+		// Pass 1: every object that appears as &obj in a sync/atomic
+		// function call, and the exact identifier uses that are part
+		// of those sanctioned calls.
+		published := make(map[types.Object]token.Pos)
+		sanctioned := make(map[token.Pos]bool)
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if obj, use := referencedObject(info, un.X); obj != nil {
+						published[obj] = call.Pos()
+						sanctioned[use] = true
+					}
+				}
+				return true
+			})
+		}
+
+		// Pass 2: any other use of a published object, and any value
+		// copy of a typed atomic.
+		for _, f := range pass.Pkg.Files {
+			walkParents(f, func(n ast.Node, parents []ast.Node) {
+				switch n := n.(type) {
+				case *ast.Ident:
+					obj := info.Uses[n]
+					if obj == nil {
+						return
+					}
+					pubPos, ok := published[obj]
+					if !ok || sanctioned[n.NamePos] || withinAtomicCall(info, parents) {
+						return
+					}
+					pass.Reportf(n.Pos(), "%s is published via sync/atomic (e.g. at %s); direct access races with the atomic users", n.Name, pass.Pkg.Fset.Position(pubPos))
+				case *ast.SelectorExpr:
+					checkTypedAtomicCopy(pass, n, parents)
+				}
+			})
+		}
+	}
+	return a
+}
+
+// referencedObject resolves the variable behind `&expr` in an atomic
+// call: `&x` yields x's object, `&s.f` the field's object. It also
+// returns the position of the identifier naming it, so pass 2 can
+// recognize this exact use as sanctioned.
+func referencedObject(info *types.Info, e ast.Expr) (types.Object, token.Pos) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj, e.NamePos
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return obj, e.Sel.NamePos
+		}
+	}
+	return nil, token.NoPos
+}
+
+// isAtomicFuncCall reports whether call invokes a function from
+// sync/atomic (Load*, Store*, Add*, Swap*, CompareAndSwap*).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// withinAtomicCall reports whether some ancestor is a sync/atomic
+// function call — covers the `&x.f` argument subtree itself.
+func withinAtomicCall(info *types.Info, parents []ast.Node) bool {
+	for _, p := range parents {
+		if call, ok := p.(*ast.CallExpr); ok && isAtomicFuncCall(info, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTypedAtomicCopy flags value copies of typed sync/atomic
+// values: assignment/argument/return/composite-literal contexts where
+// the selector is neither the receiver of a method call nor behind &.
+func checkTypedAtomicCopy(pass *Pass, sel *ast.SelectorExpr, parents []ast.Node) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[sel]
+	// Type expressions (field declarations, new(atomic.Uint64),
+	// conversions) are not copies — only value uses are.
+	if !ok || !tv.IsValue() || !isTypedAtomic(tv.Type) {
+		return
+	}
+	if len(parents) == 0 {
+		return
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.SelectorExpr:
+		// s.ctr.Load() — sel is the X of a method selector: fine.
+		if p.X == ast.Expr(sel) {
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return
+		}
+	case *ast.AssignStmt:
+		// Writing *to* it is impossible (no direct assign compiles
+		// only for whole-struct copies, which we do want to flag on
+		// the RHS); sel on the LHS is a compile error for methods-only
+		// types' fields, so only flag RHS appearances.
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(sel) {
+				pass.Reportf(sel.Pos(), "assigning over %s, an atomic-typed value, replaces it non-atomically; use its Store method", types.ExprString(sel))
+				return
+			}
+		}
+	}
+	// Any remaining value context copies the atomic's state.
+	if inValueContext(parents) {
+		pass.Reportf(sel.Pos(), "copying %s, an atomic-typed value, forks its state; share a pointer or call Load", types.ExprString(sel))
+	}
+}
+
+// inValueContext reports whether the innermost relevant parent uses
+// the expression as a value (assignment RHS, call argument, return,
+// composite literal element).
+func inValueContext(parents []ast.Node) bool {
+	switch parents[len(parents)-1].(type) {
+	case *ast.AssignStmt, *ast.CallExpr, *ast.ReturnStmt, *ast.CompositeLit, *ast.ValueSpec, *ast.KeyValueExpr:
+		return true
+	}
+	return false
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// values (Uint64, Int64, Uint32, Int32, Bool, Value, Uintptr, or the
+// generic Pointer[T]).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(obj.Name(), "Pointer"):
+		return true
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Blockingsend enforces "drop or 503, never backpressure" on the
+// serving and replication packages: a channel send on those paths
+// must be a select case in a select that has a default clause — the
+// shape that makes "queue full" an observable drop instead of a
+// stalled request goroutine.
+//
+// Any other send is flagged: a bare `ch <- v`, a send in a select
+// with no default (blocks until some case fires), and a send in the
+// *body* of a select case (the case fired, but the nested send still
+// blocks). The deliberate exceptions in the tree — acknowledged
+// writes that are *supposed* to exert backpressure, replies on
+// buffered single-use channels — carry //oreovet:ignore blockingsend
+// annotations whose reasons document exactly why blocking is safe
+// there, which is the review surface this analyzer exists to create.
+func Blockingsend(pkgs ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "blockingsend",
+		Doc:  "channel sends on serve/replica paths must be select-with-default or justified",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathMatch(pass.Pkg, pkgs) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			walkParents(f, func(n ast.Node, parents []ast.Node) {
+				send, ok := n.(*ast.SendStmt)
+				if !ok || nonBlockingSelectCase(send, parents) {
+					return
+				}
+				pass.Reportf(send.Arrow, "blocking channel send on a request path; use select with default (drop, count it) or annotate %s blockingsend <reason>", IgnorePrefix)
+			})
+		}
+	}
+	return a
+}
+
+// nonBlockingSelectCase reports whether the send is the comm
+// statement of a case in a select that also has a default clause.
+// The parent chain of such a send is ... → SelectStmt → BlockStmt →
+// CommClause → SendStmt.
+func nonBlockingSelectCase(send *ast.SendStmt, parents []ast.Node) bool {
+	if len(parents) < 3 {
+		return false
+	}
+	clause, ok := parents[len(parents)-1].(*ast.CommClause)
+	if !ok || clause.Comm != ast.Stmt(send) {
+		return false
+	}
+	sel, ok := parents[len(parents)-3].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

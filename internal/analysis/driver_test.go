@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCleanPackage runs the full production suite over a package that
+// follows every sanctioned idiom and demands silence.
+func TestCleanPackage(t *testing.T) {
+	pkgs := loadTestdata(t, "clean")
+	diags := Run(pkgs, Suite())
+	for _, d := range diags {
+		t.Errorf("clean package produced a diagnostic: %s", d)
+	}
+}
+
+// TestIgnoreDirectives pins the suppression contract: a reason-less
+// ignore is flagged and does not suppress, an ignore naming an unknown
+// analyzer is flagged and does not suppress, and a well-formed ignore
+// silences its diagnostic without producing one of its own.
+func TestIgnoreDirectives(t *testing.T) {
+	pkgs := loadTestdata(t, "ignores")
+	diags := Run(pkgs, []*Analyzer{Floatbits()})
+
+	var driver, floatbits []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case DriverName:
+			driver = append(driver, d)
+		case "floatbits":
+			floatbits = append(floatbits, d)
+		default:
+			t.Errorf("diagnostic from unexpected analyzer: %s", d)
+		}
+	}
+
+	if len(driver) != 2 {
+		t.Fatalf("got %d driver diagnostics, want 2: %v", len(driver), driver)
+	}
+	if !strings.Contains(driver[0].Message, "has no reason") {
+		t.Errorf("first driver diagnostic should flag the reason-less ignore, got: %s", driver[0])
+	}
+	if !strings.Contains(driver[1].Message, "unknown analyzer") {
+		t.Errorf("second driver diagnostic should flag the unknown analyzer name, got: %s", driver[1])
+	}
+
+	// The reason-less and unknown-name directives must NOT suppress:
+	// both float equalities under them still surface. The justified
+	// one must.
+	if len(floatbits) != 2 {
+		t.Fatalf("got %d floatbits diagnostics, want 2 (bad directives must not suppress): %v", len(floatbits), floatbits)
+	}
+	for _, d := range floatbits {
+		if !strings.Contains(d.Message, "not bitwise-deterministic") {
+			t.Errorf("unexpected floatbits diagnostic: %s", d)
+		}
+	}
+}
+
+// TestWireManifestRoundTrip checks that a generated manifest parses
+// back into the exact shapes it was generated from.
+func TestWireManifestRoundTrip(t *testing.T) {
+	pkgs := loadTestdata(t, "wirefreeze")
+	text, err := WireManifest(pkgs[0], []string{"PinnedOK"})
+	if err != nil {
+		t.Fatalf("generating manifest: %v", err)
+	}
+	shapes, err := parseManifest(text)
+	if err != nil {
+		t.Fatalf("parsing generated manifest: %v", err)
+	}
+	got, ok := shapes["PinnedOK"]
+	if !ok {
+		t.Fatalf("generated manifest lacks PinnedOK; text:\n%s", text)
+	}
+	want := []string{
+		"Name json=name required type=string",
+		"Count json=count omitempty type=int",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PinnedOK has %d fields, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("field %d: got %q, want %q", i, got[i].String(), want[i])
+		}
+	}
+}

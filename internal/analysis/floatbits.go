@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatbits enforces the bitwise-determinism discipline for floats.
+//
+// Everywhere: `==` and `!=` with a float operand are flagged. Float
+// equality is the classic determinism trap — NaN != NaN, -0 == +0 —
+// and the repo's correctness story (pruned ≡ unpruned, follower ≡
+// leader) is defined over float *bits*, so code that needs equality
+// must spell math.Float64bits(a) == math.Float64bits(b) and code that
+// means "tolerably close" must say so explicitly. Test files are not
+// analyzed (the loader only parses non-test sources), matching the
+// invariant's scope: production encode/decide paths, not assertions.
+//
+// In the designated encode packages (persist and replica in the real
+// tree — the layers whose bytes land on disk or cross the wire),
+// decimal float text is additionally banned: strconv.FormatFloat /
+// AppendFloat / ParseFloat lose the bit pattern (shortest-round-trip
+// formatting is stable, but hand-chosen precision arguments are not,
+// and parse-format round-trips through text are exactly how replicas
+// drift). Floats cross those boundaries as math.Float64bits words.
+func Floatbits(encodePkgs ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "floatbits",
+		Doc:  "float ==/!= anywhere; decimal float text at persist/replication encode boundaries",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		encodePkg := pathMatch(pass.Pkg, encodePkgs)
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if isFloat(info, n.X) || isFloat(info, n.Y) {
+						pass.Reportf(n.OpPos, "float %s is not bitwise-deterministic (NaN, ±0); compare math.Float64bits or state a tolerance", n.Op)
+					}
+				case *ast.CallExpr:
+					if !encodePkg {
+						return true
+					}
+					if name := strconvFloatCall(info, n); name != "" {
+						pass.Reportf(n.Pos(), "strconv.%s at an encode boundary loses the bit pattern; floats persist and replicate as math.Float64bits", name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// strconvFloatCall returns the function name when call is
+// strconv.{Format,Append,Parse}Float.
+func strconvFloatCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "strconv" {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "FormatFloat", "AppendFloat", "ParseFloat":
+		return sel.Sel.Name
+	}
+	return ""
+}

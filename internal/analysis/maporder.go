@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maporder flags `range` over a map whose iteration order can reach
+// an output the repo requires to be deterministic: fmt output, a JSON
+// encoder, a Write* call on a buffer/writer, or an append to a slice
+// declared outside the loop that is never sorted afterwards in the
+// same function.
+//
+// Why this is a standing invariant and not a style nit: followers
+// must be bit-identical to the leader at every epoch and /v1 is
+// frozen byte-for-byte. Go randomizes map iteration order per range
+// statement, so a map range feeding anything ordered is exactly the
+// class of nondeterminism the golden files and replication property
+// tests catch late and this analyzer catches at compile time.
+//
+// The allowed idiom — collect keys, sort, iterate the sorted slice —
+// passes untouched: an append whose slice is later named in a sort.*
+// or slices.Sort* call in the same function is not flagged.
+func Maporder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration feeding ordered output (encoder, fmt, writer, escaping append) without a sort",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			walkParents(f, func(n ast.Node, parents []ast.Node) {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.Pkg, rs) {
+					return
+				}
+				checkMapRange(pass, rs, enclosingFuncBody(parents))
+			})
+		}
+	}
+	return a
+}
+
+func isMapRange(pkg *Package, rs *ast.RangeStmt) bool {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal in the parent stack (outermost-first).
+func enclosingFuncBody(parents []ast.Node) *ast.BlockStmt {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch fn := parents[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange scans one map-range body for order-sensitive sinks.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sink := orderedSink(info, n); sink != "" {
+				pass.Reportf(n.Pos(), "map iteration order reaches %s; iterate a sorted key slice instead", sink)
+				return true
+			}
+			if obj := escapingAppend(info, n, rs); obj != nil {
+				if !sortedAfter(info, funcBody, rs, obj) {
+					pass.Reportf(n.Pos(), "append to %q inside a map range escapes in map order; sort it or iterate sorted keys", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// orderedSink classifies call expressions whose argument order is
+// observable: fmt printing, JSON encoding/marshalling, and Write*
+// methods on builders/buffers/writers.
+func orderedSink(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Package-level calls: fmt.* / json.Marshal*.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "fmt":
+				return "fmt output (" + sel.Sel.Name + ")"
+			case "encoding/json":
+				return "a JSON encoder (json." + sel.Sel.Name + ")"
+			}
+		}
+	}
+	// Method calls: Encode on a json.Encoder, Write* on anything.
+	name := sel.Sel.Name
+	if name == "Encode" || name == "Write" || name == "WriteString" ||
+		name == "WriteByte" || name == "WriteRune" {
+		return "a writer/encoder (." + name + ")"
+	}
+	return ""
+}
+
+// escapingAppend returns the object of `s` in `s = append(s, ...)`
+// when s is declared outside the range statement — an append that can
+// carry map order out of the loop.
+func escapingAppend(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[target]
+	if obj == nil {
+		return nil
+	}
+	// Declared inside the loop body → cannot escape with map order
+	// unless it, too, is appended outward (which gets its own check).
+	if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+		return nil
+	}
+	return obj
+}
+
+// sortedAfter reports whether, somewhere after the range statement in
+// the same function, obj is named inside a call into package sort or
+// slices — the collect-then-sort idiom that makes the order
+// deterministic again.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && info.Uses[aid] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Stdlibonly enforces the dependency contract of the designated leaf
+// packages (the client SDK and internal/metrics in the real tree):
+// every import must be standard library. A downstream service
+// embedding the SDK, or an operator scraping the metrics encoder,
+// must never pull OREO internals — or anything else — into its build.
+//
+// The rule is the same one the client package used to enforce with a
+// bespoke go/parser test (since retired in favor of this analyzer):
+// an import path containing a dot is a domain — not stdlib — and an
+// import path inside this module is an internal dependency; both are
+// violations. Standard-library paths never contain a dot.
+func Stdlibonly(pkgs ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "stdlibonly",
+		Doc:  "designated leaf packages (client SDK, metrics) import only the standard library",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathMatch(pass.Pkg, pkgs) {
+			return
+		}
+		mod := pass.Pkg.ModulePath
+		if mod == "" {
+			mod = "oreo"
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				switch {
+				case path == mod || strings.HasPrefix(path, mod+"/"):
+					pass.Reportf(imp.Pos(), "package %s is stdlib-only: import %q reaches back into the module", pass.Pkg.Types.Name(), path)
+				case strings.Contains(path, "."):
+					pass.Reportf(imp.Pos(), "package %s is stdlib-only: import %q is not standard library", pass.Pkg.Types.Name(), path)
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,64 @@
+// Package atomicdiscipline seeds violations for the atomicdiscipline
+// analyzer: direct access to function-API atomics, and value copies
+// of typed atomics.
+package atomicdiscipline
+
+import "sync/atomic"
+
+type counters struct {
+	// hits is published through the sync/atomic function API (see
+	// bump), so every access must go through sync/atomic.
+	hits uint64
+	// ctr and snap use the typed API, which makes direct access a
+	// compile error — but copying the value still forks the state.
+	ctr  atomic.Uint64
+	snap atomic.Pointer[int]
+}
+
+// bump is the atomic publisher that puts hits under the discipline.
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// atomicRead is the sanctioned read.
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// racyRead bypasses the atomic API.
+func (c *counters) racyRead() uint64 {
+	return c.hits // want "published via sync/atomic"
+}
+
+// racyWrite is the racing increment next to an atomic adder.
+func (c *counters) racyWrite() {
+	c.hits++ // want "published via sync/atomic"
+}
+
+// typedUse is fine: the methods are the only access path.
+func (c *counters) typedUse() uint64 {
+	c.snap.Store(new(int))
+	return c.ctr.Load()
+}
+
+// typedCopyReturn copies the atomic's state out.
+func (c *counters) typedCopyReturn() atomic.Uint64 {
+	return c.ctr // want "copying"
+}
+
+// typedCopyAssign forks the state into a local.
+func typedCopyAssign(c *counters) {
+	x := c.ctr // want "copying"
+	_ = x
+}
+
+// pointerShare is the sanctioned way to hand the atomic around.
+func pointerShare(c *counters) *atomic.Uint64 {
+	return &c.ctr
+}
+
+var _ = []any{
+	(*counters).bump, (*counters).atomicRead, (*counters).racyRead,
+	(*counters).racyWrite, (*counters).typedUse, (*counters).typedCopyReturn,
+	typedCopyAssign, pointerShare,
+}

@@ -1,0 +1,47 @@
+// Package blockingsend seeds violations for the blockingsend
+// analyzer: sends that can stall a request goroutine, next to the
+// sanctioned select-with-default shape and a justified suppression.
+package blockingsend
+
+// bare is the canonical violation: an unconditional send.
+func bare(ch chan int) {
+	ch <- 1 // want "blocking channel send"
+}
+
+// selectNoDefault still blocks: some case must fire.
+func selectNoDefault(a, b chan int) {
+	select {
+	case a <- 1: // want "blocking channel send"
+	case b <- 2: // want "blocking channel send"
+	}
+}
+
+// nestedInCaseBody: the select was non-blocking but the send in the
+// chosen case's body is not.
+func nestedInCaseBody(ch chan int, done chan struct{}) {
+	select {
+	case <-done:
+		ch <- 1 // want "blocking channel send"
+	default:
+	}
+}
+
+// nonBlocking is the sanctioned shape: queue-full is an observable
+// drop, not a stall.
+func nonBlocking(ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// justified demonstrates the suppression contract: the send is
+// exempted with a written reason, so it must NOT be reported.
+func justified(ch chan int) {
+	//oreovet:ignore blockingsend seeded justification: the channel is buffered cap-1 and owned by this call
+	ch <- 1
+}
+
+var _ = []any{bare, selectNoDefault, nestedInCaseBody, nonBlocking, justified}

@@ -1,0 +1,48 @@
+// Package clean contains code every analyzer in the suite accepts:
+// the driver test's proof that a well-behaved package yields zero
+// diagnostics.
+package clean
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+type stats struct {
+	served atomic.Uint64
+}
+
+func (s *stats) bump() { s.served.Add(1) }
+
+// render iterates a map the sanctioned way: sorted keys.
+func render(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, math.Float64bits(m[k]))
+	}
+	return out
+}
+
+// sameBits compares floats the sanctioned way.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// offer drops instead of blocking.
+func offer(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+var _ = []any{(*stats).bump, render, sameBits, offer}

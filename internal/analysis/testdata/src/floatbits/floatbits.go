@@ -1,0 +1,45 @@
+// Package floatbits seeds violations for the floatbits analyzer:
+// float equality, and decimal float text in a package configured as
+// an encode boundary.
+package floatbits
+
+import (
+	"math"
+	"strconv"
+)
+
+// eq is the classic determinism trap.
+func eq(a, b float64) bool {
+	return a == b // want "float == is not bitwise-deterministic"
+}
+
+// neq on float32 operands is flagged the same way.
+func neq(a, b float32) bool {
+	return a != b // want "float != is not bitwise-deterministic"
+}
+
+// intEq is fine: integer equality is exact.
+func intEq(a, b int) bool { return a == b }
+
+// bitsEq is the sanctioned spelling.
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// encodeText loses the bit pattern at an encode boundary.
+func encodeText(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64) // want "strconv.FormatFloat at an encode boundary"
+}
+
+// parseText is the decode half of the same hazard.
+func parseText(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64) // want "strconv.ParseFloat at an encode boundary"
+}
+
+// encodeBits is the sanctioned encode path: the float travels as its
+// bit pattern.
+func encodeBits(v float64) uint64 {
+	return math.Float64bits(v)
+}
+
+var _ = []any{eq, neq, intEq, bitsEq, encodeText, parseText, encodeBits}

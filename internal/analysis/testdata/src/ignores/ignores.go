@@ -1,0 +1,22 @@
+// Package ignores seeds suppression-directive misuse for the driver
+// test: a reason-less ignore (flagged, and it must NOT suppress), an
+// ignore naming an unknown analyzer (flagged), and a well-formed one
+// (silent).
+package ignores
+
+func reasonless(a, b float64) bool {
+	//oreovet:ignore floatbits
+	return a == b
+}
+
+func unknown(a, b float64) bool {
+	//oreovet:ignore nosuchanalyzer the analyzer name is a typo
+	return a == b
+}
+
+func justified(a, b float64) bool {
+	//oreovet:ignore floatbits seeded: this equality is the driver test's well-formed suppression
+	return a == b
+}
+
+var _ = []any{reasonless, unknown, justified}

@@ -1,0 +1,64 @@
+// Package maporder seeds violations for the maporder analyzer: map
+// iteration feeding ordered outputs, next to the sanctioned
+// collect-sort idiom.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// escapes leaks map order out of the function.
+func escapes(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to .out. inside a map range escapes in map order"
+	}
+	return out
+}
+
+// sortedAfter is the sanctioned idiom: collect, then sort.
+func sortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// prints sends map order straight to fmt.
+func prints(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map iteration order reaches fmt output"
+	}
+}
+
+// encodes streams map entries through a JSON encoder in map order.
+func encodes(m map[string]int, enc *json.Encoder) error {
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want "map iteration order reaches a writer/encoder"
+			return err
+		}
+	}
+	return nil
+}
+
+// sliceRange is not a map range; nothing to flag.
+func sliceRange(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+
+// commutative folds a map without observing order.
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+var _ = []any{escapes, sortedAfter, prints, encodes, sliceRange, commutative}

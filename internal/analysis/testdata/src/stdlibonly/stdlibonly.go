@@ -1,0 +1,15 @@
+// Package stdlibonly seeds a violation for the stdlibonly analyzer:
+// a designated leaf package reaching back into the module.
+package stdlibonly
+
+import (
+	"fmt"
+
+	"oreo/internal/zorder" // want "reaches back into the module"
+)
+
+func use() string {
+	return fmt.Sprint(zorder.MaxDims)
+}
+
+var _ = use

@@ -1,0 +1,24 @@
+// Package wirefreeze seeds violations for the wirefreeze analyzer:
+// one type matching its pinned manifest shape, one that drifted
+// (field removed + reordered), and one frozen by configuration but
+// missing from the manifest.
+package wirefreeze
+
+// PinnedOK matches the manifest exactly.
+type PinnedOK struct {
+	Name  string `json:"name"`
+	Count int    `json:"count,omitempty"`
+}
+
+// Drifted is pinned with a Cost field first and A before B; the
+// source below removed Cost and swapped the order — the seeded /v1
+// compatibility break.
+type Drifted struct { // want "drifted from its frozen shape"
+	B string `json:"b"`
+	A string `json:"a"`
+}
+
+// NotPinned is in the frozen set but absent from the manifest.
+type NotPinned struct { // want "missing from wire.manifest"
+	X int `json:"x"`
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads one seeded-violation package from testdata/src.
+// The go tool skips testdata directories when expanding wildcards but
+// resolves them fine when named explicitly, which is exactly the
+// property that keeps these packages out of `go build ./...` while
+// letting the analyzer tests type-check them for real.
+func loadTestdata(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := Load("", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading testdata/src/%s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for testdata/src/%s, want 1", len(pkgs), name)
+	}
+	return pkgs
+}
+
+// wantSeg pulls the quoted regexes out of a `// want "..." "..."`
+// comment.
+var wantSeg = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantAssertion struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses every `// want` comment in the package into
+// per-(file,line) expectations.
+func collectWants(t *testing.T, pkg *Package) map[string][]*wantAssertion {
+	t.Helper()
+	wants := make(map[string][]*wantAssertion)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantSeg.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &wantAssertion{re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata package %s has no // want assertions", pkg.ImportPath)
+	}
+	return wants
+}
+
+// runTestdata runs one analyzer over one seeded testdata package
+// (through the full driver, so suppression directives apply) and
+// checks the surviving diagnostics against the // want assertions:
+// every want must be hit on its exact line, and every diagnostic must
+// be wanted.
+func runTestdata(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkgs := loadTestdata(t, name)
+	wants := collectWants(t, pkgs[0])
+	diags := Run(pkgs, []*Analyzer{a})
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s: want match for %q", key, w.re)
+			}
+		}
+	}
+}

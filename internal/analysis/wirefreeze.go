@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WirefreezeConfig names the package whose wire types are frozen, the
+// manifest file pinning their shapes, and the frozen type set.
+type WirefreezeConfig struct {
+	// PackagePath is the import path (exact, or matched as a /suffix)
+	// of the package holding the wire types.
+	PackagePath string
+	// ManifestRel locates the manifest file relative to the package
+	// directory.
+	ManifestRel string
+	// Types are the frozen type names. The manifest must cover
+	// exactly this set; shape drift in either direction is a
+	// diagnostic.
+	Types []string
+}
+
+// Wirefreeze extracts the JSON struct-tag shape of every frozen /v1
+// wire type and diffs it against the checked-in manifest, so a /v1
+// compatibility break — a deleted tag, a reordered field, a changed
+// Go type, a new omitempty — is a compile-time diagnostic at the
+// type's declaration, not a golden-file surprise three test layers
+// later.
+//
+// The shape of a type is the ordered list of its JSON-visible fields:
+// Go name, wire name, omitempty flag, and Go type (field order
+// matters — it is encoding/json's output order, and /v1 is frozen
+// byte-for-byte). The manifest is regenerated only for an
+// intentional, reviewed change via `oreovet -update-wire-manifest`;
+// editing it by hand to silence this analyzer is the moral equivalent
+// of refreshing a golden file to hide a break.
+func Wirefreeze(cfg WirefreezeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "wirefreeze",
+		Doc:  "frozen /v1 wire-type shapes must match the checked-in manifest",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathMatch(pass.Pkg, []string{cfg.PackagePath}) {
+			return
+		}
+		pkgPos := pass.Pkg.Files[0].Name.Pos()
+		manifestPath := filepath.Join(pass.Pkg.Dir, cfg.ManifestRel)
+		data, err := os.ReadFile(manifestPath)
+		if err != nil {
+			pass.Reportf(pkgPos, "wire manifest %s unreadable (%v); run `oreovet -update-wire-manifest` and review the diff", cfg.ManifestRel, err)
+			return
+		}
+		want, err := parseManifest(string(data))
+		if err != nil {
+			pass.Reportf(pkgPos, "wire manifest %s: %v", cfg.ManifestRel, err)
+			return
+		}
+
+		// The union of configured and manifest-listed types: a type
+		// dropped from either side is drift, not silence.
+		names := append([]string(nil), cfg.Types...)
+		for name := range want {
+			if !containsString(names, name) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+
+		for _, name := range names {
+			wantShape, inManifest := want[name]
+			gotShape, pos, err := typeShape(pass.Pkg, name)
+			if !inManifest {
+				pass.Reportf(pos, "wire type %s is frozen but missing from %s; run `oreovet -update-wire-manifest` to pin it", name, cfg.ManifestRel)
+				continue
+			}
+			if err != nil {
+				pass.Reportf(pkgPos, "wire type %s is pinned in %s but %v — deleting a /v1 type is a compatibility break", name, cfg.ManifestRel, err)
+				continue
+			}
+			if diff := shapeDiff(wantShape, gotShape); diff != "" {
+				pass.Reportf(pos, "wire type %s drifted from its frozen shape (%s); /v1 is frozen byte-for-byte — revert, or regenerate the manifest only for a reviewed, intentional change", name, diff)
+			}
+		}
+	}
+	return a
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldShape is one JSON-visible struct field, in declaration order.
+type fieldShape struct {
+	GoName    string
+	JSONName  string
+	OmitEmpty bool
+	Type      string
+}
+
+func (f fieldShape) String() string {
+	opt := "required"
+	if f.OmitEmpty {
+		opt = "omitempty"
+	}
+	return fmt.Sprintf("%s json=%s %s type=%s", f.GoName, f.JSONName, opt, f.Type)
+}
+
+// typeShape extracts the current shape of a named struct type,
+// returning its declaration position for diagnostics.
+func typeShape(pkg *Package, name string) ([]fieldShape, token.Pos, error) {
+	pkgPos := pkg.Files[0].Name.Pos()
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, pkgPos, fmt.Errorf("no longer exists in package %s", pkg.ImportPath)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, obj.Pos(), fmt.Errorf("is no longer a struct")
+	}
+	qual := types.RelativeTo(pkg.Types)
+	var fields []fieldShape
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		jsonName := f.Name()
+		omit := false
+		if tag != "" {
+			parts := strings.Split(tag, ",")
+			if parts[0] == "-" && len(parts) == 1 {
+				continue
+			}
+			if parts[0] != "" {
+				jsonName = parts[0]
+			}
+			for _, p := range parts[1:] {
+				if p == "omitempty" {
+					omit = true
+				}
+			}
+		}
+		fields = append(fields, fieldShape{
+			GoName:    f.Name(),
+			JSONName:  jsonName,
+			OmitEmpty: omit,
+			Type:      types.TypeString(f.Type(), qual),
+		})
+	}
+	return fields, obj.Pos(), nil
+}
+
+// shapeDiff returns "" when the shapes match, or a one-line
+// description of the first divergence.
+func shapeDiff(want, got []fieldShape) string {
+	for i := 0; i < len(want) && i < len(got); i++ {
+		if want[i] != got[i] {
+			return fmt.Sprintf("field %d: manifest pins %q, source has %q", i+1, want[i], got[i])
+		}
+	}
+	switch {
+	case len(got) < len(want):
+		return fmt.Sprintf("field %d %q was removed", len(got)+1, want[len(got)])
+	case len(got) > len(want):
+		return fmt.Sprintf("field %d %q was added", len(want)+1, got[len(want)])
+	}
+	return ""
+}
+
+// parseManifest reads the manifest format WireManifest writes:
+// '#'-comments, "type <Name>" headers, one tab-indented field line
+// per JSON-visible field.
+func parseManifest(text string) (map[string][]fieldShape, error) {
+	out := make(map[string][]fieldShape)
+	var cur string
+	for ln, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "type "); ok {
+			cur = strings.TrimSpace(rest)
+			if _, dup := out[cur]; dup {
+				return nil, fmt.Errorf("line %d: duplicate type %s", ln+1, cur)
+			}
+			out[cur] = nil
+			continue
+		}
+		if !strings.HasPrefix(line, "\t") || cur == "" {
+			return nil, fmt.Errorf("line %d: expected 'type <Name>' or tab-indented field line", ln+1)
+		}
+		f, err := parseFieldLine(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		out[cur] = append(out[cur], f)
+	}
+	return out, nil
+}
+
+func parseFieldLine(s string) (fieldShape, error) {
+	// <GoName> json=<name> <required|omitempty> type=<go type with spaces>
+	parts := strings.SplitN(s, " ", 4)
+	if len(parts) != 4 ||
+		!strings.HasPrefix(parts[1], "json=") || !strings.HasPrefix(parts[3], "type=") ||
+		(parts[2] != "required" && parts[2] != "omitempty") {
+		return fieldShape{}, fmt.Errorf("malformed field line %q", s)
+	}
+	return fieldShape{
+		GoName:    parts[0],
+		JSONName:  strings.TrimPrefix(parts[1], "json="),
+		OmitEmpty: parts[2] == "omitempty",
+		Type:      strings.TrimPrefix(parts[3], "type="),
+	}, nil
+}
+
+// WireManifest renders the current shapes of the named types in pkg
+// as manifest text — the generator behind `oreovet
+// -update-wire-manifest` and the bootstrap for new frozen types.
+func WireManifest(pkg *Package, typeNames []string) (string, error) {
+	var b strings.Builder
+	b.WriteString("# oreovet wirefreeze manifest — the frozen /v1 wire shapes.\n")
+	b.WriteString("# A diff here IS a /v1 compatibility break. Regenerate only for an\n")
+	b.WriteString("# intentional, reviewed change:  go run ./cmd/oreovet -update-wire-manifest\n")
+	names := append([]string(nil), typeNames...)
+	sort.Strings(names)
+	for _, name := range names {
+		fields, _, err := typeShape(pkg, name)
+		if err != nil {
+			return "", fmt.Errorf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&b, "type %s\n", name)
+		for _, f := range fields {
+			fmt.Fprintf(&b, "\t%s\n", f)
+		}
+	}
+	return b.String(), nil
+}

@@ -100,6 +100,7 @@ func runMultiCopy(s *Scenario, gen layout.Generator, budget int, p RunParams) (q
 	incumbents := func() []*layout.Layout {
 		out := make([]*layout.Layout, 0, len(states))
 		for _, l := range states {
+			//oreovet:ignore maporder incumbent set is consumed as an unordered set (redundancy extremum over members); no ordered output
 			out = append(out, l)
 		}
 		return out

@@ -53,6 +53,7 @@ func Table2(s *Scenario, p RunParams) []Table2Row {
 	for _, g := range []float64{1, 0, 2, 3} {
 		pp := p
 		pp.Gamma = g
+		//oreovet:ignore floatbits compares a literal sweep constant to the config default; both are exact compile-time values
 		run("gamma", gammaLabel(g), g == p.Gamma, pp)
 	}
 

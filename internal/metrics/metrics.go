@@ -175,14 +175,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 	rank := q * float64(total)
 	var cum float64
 	for i := range h.bounds {
-		n := float64(h.counts[i].Load())
+		cnt := h.counts[i].Load()
+		n := float64(cnt)
 		if cum+n >= rank {
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
 			hi := h.bounds[i]
-			if n == 0 {
+			if cnt == 0 {
 				return hi
 			}
 			est := lo + (hi-lo)*(rank-cum)/n
@@ -324,6 +325,7 @@ func equalBounds(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//oreovet:ignore floatbits bucket bounds are operator-supplied constants compared for re-registration identity, never computed values
 		if a[i] != b[i] {
 			return false
 		}
@@ -389,6 +391,7 @@ func renderLabels(labels Labels) (sig string, pairs []labelPair) {
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
 		if !validLabelName(k) {
+			//oreovet:ignore maporder formats only the single invalid key for a panic; no ordered output survives the abort
 			panic(fmt.Sprintf("metrics: invalid label name %q", k))
 		}
 		keys = append(keys, k)

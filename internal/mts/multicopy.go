@@ -102,6 +102,7 @@ func (m *MultiCopy) Observe(cost func(StateID) float64) (serveIn StateID, materi
 		}
 		c := cost(id)
 		if c < 0 || c > 1 {
+			//oreovet:ignore maporder panic formats the one violating cost; any violating member aborts the run identically
 			panic(fmt.Sprintf("mts: cost %g outside [0,1]", c))
 		}
 		m.counter[id] += c

@@ -37,6 +37,7 @@ func OfflineOptimal(costs [][]float64, alpha float64, start int) (total float64,
 		bestPrev := inf
 		bestPrevMoves := 0
 		for s := 0; s < n; s++ {
+			//oreovet:ignore floatbits deliberate tie-break on equal DP cost; costs are finite by construction and a missed tie only biases the reported move count
 			if cur[s] < bestPrev || (cur[s] == bestPrev && curMoves[s] < bestPrevMoves) {
 				bestPrev = cur[s]
 				bestPrevMoves = curMoves[s]
@@ -59,6 +60,7 @@ func OfflineOptimal(costs [][]float64, alpha float64, start int) (total float64,
 
 	total = inf
 	for s := 0; s < n; s++ {
+		//oreovet:ignore floatbits deliberate tie-break on equal DP cost; see the identical tie-break above
 		if cur[s] < total || (cur[s] == total && curMoves[s] < moves) {
 			total = cur[s]
 			moves = curMoves[s]

@@ -187,6 +187,7 @@ func (r *Reorganizer) Observe(cost func(StateID) float64) (switched bool, serveI
 		}
 		c := cost(id)
 		if c < 0 || c > 1 || math.IsNaN(c) {
+			//oreovet:ignore maporder panic formats the one violating cost; any violating member aborts the run identically
 			panic(fmt.Sprintf("mts: service cost %g for state %d outside [0,1]", c, id))
 		}
 		r.counter[id] += c
@@ -252,6 +253,7 @@ func (r *Reorganizer) resetPhase() {
 					w = 1e-6
 				}
 				fresh[id] = w
+				//oreovet:ignore maporder median() sorts a copy of this slice; collection order cannot reach any output
 				known = append(known, w)
 			}
 		}
@@ -279,6 +281,7 @@ func (r *Reorganizer) resetPhase() {
 // pickNext draws the next state from the active set using the
 // γ-biased predictor distribution (uniform when γ = 0 or no weights).
 func (r *Reorganizer) pickNext() StateID {
+	//oreovet:ignore floatbits zero-value config sentinel; Gamma is caller-set, exact
 	if r.cfg.Gamma == 0 {
 		return r.pickUniform()
 	}
@@ -287,6 +290,7 @@ func (r *Reorganizer) pickNext() StateID {
 		panic("mts: pickNext with empty active set")
 	}
 	med := median(r.knownWeights(ids))
+	//oreovet:ignore floatbits weights are clamped to >= 1e-6, so 0 is an exact "no known weights" sentinel
 	if med == 0 {
 		med = 0.5
 	}

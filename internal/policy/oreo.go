@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 
 	"oreo/internal/layout"
 	"oreo/internal/manager"
@@ -167,6 +168,7 @@ func (o *OREO) hasName(name string) bool {
 func (o *OREO) incumbents() []*layout.Layout {
 	out := make([]*layout.Layout, 0, len(o.states))
 	for _, l := range o.states {
+		//oreovet:ignore maporder incumbent set is consumed order-insensitively by admission's redundancy scan; no ordered output
 		out = append(out, l)
 	}
 	return out
@@ -180,11 +182,7 @@ func (o *OREO) pruneVictim(sample []*prune.CompiledQuery) (mts.StateID, bool) {
 		ids = append(ids, id)
 	}
 	// Sort for deterministic pruning across map iteration orders.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	layouts := make([]*layout.Layout, len(ids))
 	for i, id := range ids {
 		layouts[i] = o.states[id]

@@ -11,6 +11,7 @@ import (
 	"oreo"
 	"oreo/internal/exec"
 	"oreo/internal/serve"
+	"oreo/internal/testleak"
 )
 
 // appendRow builds the i-th logical orders row in the append wire
@@ -116,6 +117,7 @@ func assertLiveBitIdentical(t *testing.T, leader, follower *serve.Core, rows int
 // delta segment, grown base, and executed aggregates stay bitwise equal
 // to the leader's at EVERY epoch.
 func TestFollowerLiveWritesBitIdentity(t *testing.T) {
+	testleak.Check(t)
 	const rows = 2000
 	const total = 150
 	const batch = 7

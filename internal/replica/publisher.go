@@ -264,6 +264,7 @@ func (p *Publisher) publish(table string, upd serve.DecisionUpdate) {
 	var interested []*subscriber
 	for s := range p.subs {
 		if s.tables[table] {
+			//oreovet:ignore maporder subscriber fan-out order carries no data; each subscriber's own stream stays epoch-ordered per table
 			interested = append(interested, s)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"oreo"
 	"oreo/internal/exec"
 	"oreo/internal/serve"
+	"oreo/internal/testleak"
 )
 
 // buildOrders builds the deterministic fixture table both sides of a
@@ -226,6 +227,7 @@ func assertBitIdentical(t *testing.T, leader, follower *serve.Core, dsL, dsF *or
 // including across a forced in-stream re-snapshot (publisher gap
 // repair) and a severed-connection reconnect.
 func TestFollowerBitIdentityEveryEpoch(t *testing.T) {
+	testleak.Check(t)
 	const rows = 3000
 	const total = 220
 	dsL := buildOrders(rows) // shadow copies for execution probes
@@ -301,6 +303,7 @@ func TestFollowerBitIdentityEveryEpoch(t *testing.T) {
 // follower reconnecting at the leader's exact position gets a cheap
 // resume record, not a snapshot.
 func TestSubscribeResume(t *testing.T) {
+	testleak.Check(t)
 	const rows = 1200
 	leader, pub, ts := newLeader(t, rows, 80, 0)
 	fol := newFollowerFixture(t, rows, ts.URL, false)

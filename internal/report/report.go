@@ -35,6 +35,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 // formatFloat renders floats compactly: integers without decimals,
 // otherwise two decimal places.
 func formatFloat(v float64) string {
+	//oreovet:ignore floatbits integrality probe for compact rendering; exact by construction, and NaN falls through to %.2f
 	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -53,6 +53,7 @@ func (r *RTBS) Add(q query.Query) {
 	t := float64(r.seen)
 	r.seen++
 	u := r.rng.Float64()
+	//oreovet:ignore floatbits guards log(0): rand.Float64 can return exactly 0, and 0 is the only value that must be rerolled
 	for u == 0 { // log(0) guard; Float64 can return 0
 		u = r.rng.Float64()
 	}

@@ -172,6 +172,7 @@ func decodeCell(raw any, t oreo.ColType) (oreo.Value, error) {
 			}
 			return oreo.Int(v), nil
 		case float64:
+			//oreovet:ignore floatbits Trunc-equality is the exact integrality test for rejecting fractional input to int64 columns; NaN correctly fails it
 			if n != math.Trunc(n) || math.Abs(n) > 1<<53 {
 				return oreo.Value{}, fmt.Errorf("want an int64, got %v", n)
 			}

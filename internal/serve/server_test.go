@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"oreo"
+	"oreo/internal/testleak"
 )
 
 // newFixtureServer builds a two-table server (orders, events) whose
@@ -307,6 +308,7 @@ func TestLayoutEndpoint(t *testing.T) {
 }
 
 func TestStatsEndpointAndQueueDrain(t *testing.T) {
+	testleak.Check(t)
 	s, ts := newFixtureServer(t, 64)
 
 	const n = 20
@@ -433,6 +435,7 @@ func TestServeAfterCloseDoesNotPanic(t *testing.T) {
 // safe to call any number of times, including concurrently with late
 // requests.
 func TestCloseIdempotent(t *testing.T) {
+	testleak.Check(t)
 	s, _ := newFixtureServer(t, 8)
 	s.Close()
 	s.Close()

@@ -392,8 +392,10 @@ func (s *shard) consume() {
 				Switched: switched, Snapshot: snap, DeltaRows: st.deltaRows(),
 			})
 		case evAppend:
+			//oreovet:ignore blockingsend reply on the caller-owned cap-1 ack channel; the single send cannot block
 			ev.resp <- s.handleAppend(ev.rows)
 		case evCompact:
+			//oreovet:ignore blockingsend reply on the caller-owned cap-1 ack channel; the single send cannot block
 			ev.resp <- s.handleCompact()
 		}
 		prev = s.rep.Load().snap.Serving
@@ -692,6 +694,7 @@ func (s *shard) send(ev shardEvent) (eventAck, *Error) {
 		return eventAck{}, errUnavailable("table %q is shutting down", s.table)
 	}
 	ev.resp = make(chan eventAck, 1)
+	//oreovet:ignore blockingsend append/compact writes take deliberate backpressure (see doc above); reads never reach this send and shutdown keeps draining
 	s.queue <- ev
 	s.obsMu.RUnlock()
 	return <-ev.resp, nil

@@ -96,6 +96,7 @@ func (m DiskModel) ReorgSeconds(mb float64) float64 {
 // α(size) = reorg time / full-scan time for a file of the given size.
 func (m DiskModel) Alpha(mb float64) float64 {
 	scan := m.ScanSeconds(mb)
+	//oreovet:ignore floatbits division guard; ScanSeconds returns exactly 0 only for a 0-MB file
 	if scan == 0 {
 		return 0
 	}

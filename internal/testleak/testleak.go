@@ -1,0 +1,172 @@
+// Package testleak is a dependency-free goroutine-leak checker for
+// lifecycle-heavy tests.
+//
+// Check snapshots the set of live goroutines when called and registers
+// a t.Cleanup that re-snapshots after the test body (and its earlier
+// cleanups — Server.Close, Follower.Close, Publisher.Close — have run)
+// and fails the test if any goroutine started during the test is still
+// alive. Teardown is asynchronous almost everywhere in this repo (a
+// closed channel is observed, not delivered), so the checker polls
+// over a grace window rather than asserting instantly: a goroutine
+// that is merely slow to exit passes; one that is parked forever
+// fails, with its full labeled stack in the test log.
+//
+// The comparison is by goroutine ID against the before-snapshot, so
+// long-lived runtime and testing goroutines never show up as leaks.
+// Goroutines whose stacks are outside the code under test's control —
+// net/http keep-alive readers on pooled connections, httptest
+// accept loops mid-exit — are filtered as benign.
+package testleak
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultGrace is how long Check waits for goroutines started during
+// the test to finish before declaring them leaked.
+const DefaultGrace = 2 * time.Second
+
+// benign are stack substrings identifying goroutines that legitimately
+// outlive a test body: they belong to the standard library's pooled
+// machinery, not to the code under test.
+var benign = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"runtime.goexit",
+	// Pooled HTTP keep-alive connections park a reader/writer pair per
+	// idle conn; the transport reaps them on its own schedule.
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.(*Transport).",
+	// httptest.Server.Close returns once handlers finish; the accept
+	// loop itself unwinds a beat later.
+	"net/http.(*Server).Serve",
+	"net/http/httptest.(*Server).",
+	"os/signal.signal_recv",
+}
+
+// Check arms the leak detector for the current test. Call it first in
+// the test body, before any fixture construction, so fixture cleanups
+// (registered after) run before the leak scan (cleanups run LIFO).
+func Check(t testing.TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		if t.Failed() {
+			// The test already failed; leaked goroutines are likely a
+			// symptom, and a second failure would bury the cause.
+			return
+		}
+		leaked := wait(before, DefaultGrace)
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine (still running %v after test end):\n%s", DefaultGrace, g.stack)
+		}
+	})
+}
+
+// goroutine is one parsed entry of a runtime.Stack(..., true) dump.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// snapshot returns the live goroutines keyed by ID.
+func snapshot() map[string]goroutine {
+	// runtime.Stack truncates to the buffer; grow until it fits.
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]goroutine)
+	for _, chunk := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(chunk, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id, _, ok := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		if !ok {
+			continue
+		}
+		out[id] = goroutine{id: id, stack: chunk}
+	}
+	return out
+}
+
+// leaksSince diffs the current goroutines against the before-set and
+// drops benign stacks.
+func leaksSince(before map[string]goroutine) []goroutine {
+	var leaked []goroutine
+	cur := snapshot()
+	// The scanning goroutine itself is new when Check is called from a
+	// cleanup on a different goroutine; identify it directly instead.
+	self := fmt.Sprintf("%d", curGoroutineID())
+	for id, g := range cur {
+		if _, existed := before[id]; existed || id == self {
+			continue
+		}
+		isBenign := false
+		for _, pat := range benign {
+			if strings.Contains(g.stack, pat) {
+				isBenign = true
+				break
+			}
+		}
+		if !isBenign {
+			leaked = append(leaked, g)
+		}
+	}
+	// Deterministic report order regardless of map iteration.
+	sort.Slice(leaked, func(i, j int) bool { return leakLess(leaked[i], leaked[j]) })
+	return leaked
+}
+
+// leakLess orders leaked goroutines by numeric ID (IDs are
+// monotonically assigned, so this is spawn order).
+func leakLess(a, b goroutine) bool {
+	if len(a.id) != len(b.id) {
+		return len(a.id) < len(b.id)
+	}
+	return a.id < b.id
+}
+
+// wait polls until no leaks remain or the grace window expires,
+// returning whatever is still alive at the deadline.
+func wait(before map[string]goroutine, grace time.Duration) []goroutine {
+	deadline := time.Now().Add(grace)
+	interval := time.Millisecond
+	for {
+		leaked := leaksSince(before)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(interval)
+		if interval < 50*time.Millisecond {
+			interval *= 2
+		}
+	}
+}
+
+// curGoroutineID parses this goroutine's ID out of its own stack
+// header. The runtime does not expose it; the header format
+// ("goroutine N [state]:") is stable and already relied on by snapshot.
+func curGoroutineID() uint64 {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	fields := strings.Fields(strings.TrimPrefix(string(buf), "goroutine "))
+	var id uint64
+	if len(fields) > 0 {
+		fmt.Sscanf(fields[0], "%d", &id)
+	}
+	return id
+}

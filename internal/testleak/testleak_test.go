@@ -1,0 +1,55 @@
+package testleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNoLeakPasses: a goroutine that exits within the grace window is
+// not reported.
+func TestNoLeakPasses(t *testing.T) {
+	before := snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	if leaked := wait(before, DefaultGrace); len(leaked) != 0 {
+		t.Fatalf("wait reported %d leaks for a finished goroutine: %v", len(leaked), leaked)
+	}
+}
+
+// TestLeakDetected: a goroutine parked forever is reported with its
+// stack, and the report names the parked function.
+func TestLeakDetected(t *testing.T) {
+	before := snapshot()
+	block := make(chan struct{})
+	go leakyFunc(block)
+	defer close(block) // release it so the real Check in other tests stays clean
+
+	time.Sleep(10 * time.Millisecond) // let it park
+	leaked := wait(before, 100*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("got %d leaks, want 1: %v", len(leaked), leaked)
+	}
+	if !strings.Contains(leaked[0].stack, "leakyFunc") {
+		t.Errorf("leak report does not name the parked function:\n%s", leaked[0].stack)
+	}
+}
+
+func leakyFunc(block chan struct{}) { <-block }
+
+// TestCheckIntegration arms Check the way a real test does and spawns
+// a goroutine that exits during the grace window: the cleanup must not
+// fail the test.
+func TestCheckIntegration(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+}

@@ -86,6 +86,7 @@ func Generate(templates []Template, cfg Config, rng *rand.Rand) (*Stream, error)
 			cfg.NumSegments, cfg.NumQueries)
 	}
 	minFrac := cfg.MinSegmentFrac
+	//oreovet:ignore floatbits zero-value config sentinel; MinSegmentFrac is caller-set, exact
 	if minFrac == 0 {
 		minFrac = 0.3
 	}

@@ -7,6 +7,7 @@ package zorder
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -136,7 +137,9 @@ func quantilesFloat(sorted []float64, n int) []float64 {
 	var out []float64
 	for i := 1; i < n; i++ {
 		v := sorted[i*len(sorted)/n]
-		if len(out) == 0 || out[len(out)-1] != v {
+		// Dedup by bit pattern, not !=: NaN != NaN would re-admit the
+		// same NaN cut point on every iteration.
+		if len(out) == 0 || math.Float64bits(out[len(out)-1]) != math.Float64bits(v) {
 			out = append(out, v)
 		}
 	}

@@ -282,6 +282,42 @@
 // reports in-stream replay percentiles next to QPS. See
 // examples/metrics for a leader + follower pair scraped under load.
 //
+// # Static analysis
+//
+// The invariants above are load-bearing enough to enforce at compile
+// time. cmd/oreovet is a stdlib-only analyzer driver (go/ast +
+// go/types over `go list -export`; no golang.org/x/tools) that CI runs
+// as `go run ./cmd/oreovet ./...`; the analyzers live in
+// internal/analysis, each with a seeded-violation testdata package:
+//
+//   - wirefreeze: the JSON shape of every /v1 wire type in
+//     internal/serve is diffed against the checked-in manifest
+//     internal/serve/testdata/wire.manifest — renaming a tag,
+//     reordering fields, or toggling omitempty fails the build.
+//     Deliberate (reviewed) changes regenerate it with
+//     `go run ./cmd/oreovet -update-wire-manifest`.
+//   - maporder: map iteration feeding an encoder, fmt output, or an
+//     escaping append must sort first — Go's randomized map order
+//     must never reach a wire or a report.
+//   - floatbits: `==`/`!=` on floats is flagged (bit-identity is the
+//     replication contract; compare math.Float64bits), and strconv
+//     float text formatting is banned inside the persist/replica
+//     encode boundary.
+//   - blockingsend: channel sends on serving and replication paths
+//     must be select-with-default (drop, count it) or carry a
+//     justification — the bounded-queue discipline, enforced.
+//   - atomicdiscipline: a field published via sync/atomic is never
+//     read or written directly, and typed atomics are never copied.
+//   - stdlibonly: client/ and internal/metrics import only the
+//     standard library.
+//
+// Findings are suppressed line-by-line with
+// `//oreovet:ignore <analyzer> <reason>`; the reason is mandatory — a
+// reason-less directive is itself a diagnostic and suppresses nothing.
+// internal/testleak complements the static suite at runtime: a
+// dependency-free goroutine-leak checker (snapshot-diff with a grace
+// window) armed in the lifecycle-heavy serve and replication tests.
+//
 // The subpackages under internal/ implement the substrates (columnar
 // tables, query model, the pruning engine, layout generators, the
 // D-UMTS reorganizer, the layout manager, baselines, the experiment
@@ -512,18 +548,21 @@ type Optimizer struct {
 
 // New constructs an Optimizer over the dataset.
 func New(ds *Dataset, cfg Config) (*Optimizer, error) {
+	//oreovet:ignore floatbits zero-value config sentinel; Alpha is caller-set, exact
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 80
 	}
 	if cfg.Alpha <= 1 {
 		return nil, fmt.Errorf("oreo: Alpha must be > 1, got %g", cfg.Alpha)
 	}
+	//oreovet:ignore floatbits zero-value config sentinel; Gamma is caller-set, exact
 	if cfg.Gamma == 0 && !cfg.NoPredictor {
 		cfg.Gamma = 1
 	}
 	if cfg.NoPredictor {
 		cfg.Gamma = 0
 	}
+	//oreovet:ignore floatbits zero-value config sentinel; Epsilon is caller-set, exact
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 0.08
 	}
