@@ -30,7 +30,8 @@
 //
 // Failures surface as *APIError carrying the HTTP status and server
 // message; errors.Is(err, client.ErrNotFound) (and ErrInvalid,
-// ErrTooLarge) matches without status-code arithmetic at call sites.
+// ErrTooLarge, ErrUnavailable) matches without status-code arithmetic
+// at call sites.
 package client
 
 import (
@@ -54,6 +55,12 @@ var (
 	ErrNotFound = errors.New("not found")
 	// ErrTooLarge matches any 413: request body over the server's cap.
 	ErrTooLarge = errors.New("request too large")
+	// ErrUnavailable matches any 503: a follower that has not applied
+	// its first snapshot yet, a table mid-promotion, or a server
+	// shutting down. Unlike the other sentinels it marks a transient
+	// condition — controllers and load tools retry it instead of
+	// treating it as a real failure.
+	ErrUnavailable = errors.New("temporarily unavailable")
 )
 
 // APIError is a non-2xx server answer, rebuilt from the standard error
@@ -79,6 +86,8 @@ func (e *APIError) Is(target error) bool {
 		return e.StatusCode == http.StatusNotFound
 	case ErrTooLarge:
 		return e.StatusCode == http.StatusRequestEntityTooLarge
+	case ErrUnavailable:
+		return e.StatusCode == http.StatusServiceUnavailable
 	}
 	return false
 }
@@ -189,6 +198,21 @@ func (c *Client) Trace(ctx context.Context, table string) (*Trace, error) {
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var h Health
 	if err := c.get(ctx, "/healthz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Promote asks a follower to become the fleet's leader, over
+// POST /v2/cluster/promote — the failover hand-off a cluster
+// controller drives when the leader stops answering. The follower
+// detaches from its (dead) upstream, starts its own optimizer from the
+// replicated state, and begins publishing one fencing generation above
+// the one it last applied. The answer is the server's post-promotion
+// health report; leaders and already-promoted followers answer 400.
+func (c *Client) Promote(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.post(ctx, "/v2/cluster/promote", struct{}{}, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil

@@ -414,7 +414,7 @@ func TestSubscribeAndFollowerHealth(t *testing.T) {
 	if first.Type != "snapshot" || first.Table != "orders" || first.Epoch != 0 {
 		t.Fatalf("first record = %+v, want orders snapshot at epoch 0", first)
 	}
-	if first.Generation == "" || len(first.State) == 0 {
+	if first.Generation == 0 || len(first.State) == 0 {
 		t.Fatalf("snapshot record missing generation or state: %+v", first)
 	}
 

@@ -21,10 +21,12 @@ import (
 // (oreoserve -follow), not of this dependency-free SDK. The raw
 // payloads round-trip losslessly for archival replay.
 type ReplicationRecord struct {
-	Type       string  `json:"type"`
-	Table      string  `json:"table"`
-	Epoch      uint64  `json:"epoch"`
-	Generation string  `json:"generation,omitempty"`
+	Type  string `json:"type"`
+	Table string `json:"table"`
+	Epoch uint64 `json:"epoch"`
+	// Generation is the leader's monotonic fencing term: of two
+	// processes claiming leadership, the higher term is the real one.
+	Generation uint64  `json:"generation,omitempty"`
 	Cost       float64 `json:"cost,omitempty"`
 	Switched   bool    `json:"switched,omitempty"`
 	Pending    string  `json:"pending,omitempty"`
@@ -56,8 +58,9 @@ type SubscribeOptions struct {
 	Tables []string
 	// Generation and Positions resume a previous subscription: when
 	// they match the leader's state, the leader answers resume records
-	// instead of re-sending snapshots.
-	Generation string
+	// instead of re-sending snapshots. Claiming a generation above the
+	// leader's own is rejected — it proves the leader is deposed.
+	Generation uint64
 	Positions  map[string]uint64
 }
 
@@ -78,7 +81,7 @@ func (c *Client) Subscribe(ctx context.Context, opts SubscribeOptions) (*Subscri
 	body, err := json.Marshal(struct {
 		Version    int               `json:"version"`
 		Tables     []string          `json:"tables,omitempty"`
-		Generation string            `json:"generation,omitempty"`
+		Generation uint64            `json:"generation,omitempty"`
 		Positions  map[string]uint64 `json:"positions,omitempty"`
 	}{1, opts.Tables, opts.Generation, opts.Positions})
 	if err != nil {

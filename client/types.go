@@ -214,6 +214,11 @@ type Health struct {
 	// Role is "leader" or "follower". Servers predating replication
 	// leave it empty.
 	Role string `json:"role"`
+	// Generation is the monotonic leadership fencing term: the term a
+	// leader publishes under (0 with no publisher attached), or the
+	// highest term a follower has applied. Servers predating cluster
+	// promotion omit it (reads as 0).
+	Generation uint64 `json:"generation,omitempty"`
 	// Upstream is the leader URL a follower replicates from; Advertise
 	// is the URL a leader tells operators to point followers at.
 	Upstream  string   `json:"upstream,omitempty"`

@@ -53,6 +53,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,6 +64,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -93,6 +96,7 @@ func main() {
 		// the named leader instead.
 		follow    = flag.String("follow", "", "leader URL to follow as a read replica (no local optimizer)")
 		advertise = flag.String("advertise", "", "URL followers should subscribe to, shown on /healthz (leader only)")
+		archive   = flag.String("archive", "", "decision-log archive directory: a leader archives its own stream there; a follower replays it before subscribing, so the leader answers with a resume instead of a fresh snapshot")
 
 		// Connection hygiene. Without a header timeout a client that
 		// dribbles header bytes holds a connection (and its goroutine)
@@ -130,11 +134,40 @@ func main() {
 			tabs = append(tabs, replica.TableData{Name: src.name, Dataset: src.ds})
 		}
 		var err error
-		fol, err = replica.NewFollower(replica.FollowerConfig{Upstream: *follow, Tables: tabs, ScanParallelism: *scanPar})
+		fol, err = replica.NewFollower(replica.FollowerConfig{Upstream: *follow, Tables: tabs, ScanParallelism: *scanPar, ArchiveDir: *archive})
 		if err != nil {
 			log.Fatalf("oreoserve: %v", err)
 		}
 		srv = serve.NewServer(fol.Core(), serve.Config{})
+		// A follower can be promoted to leader at runtime, so its mux
+		// carries the leader-only endpoints from boot: promotion itself,
+		// and the replication endpoints answering 503 until a promotion
+		// installs a publisher behind them (ServeMux registration is not
+		// safe once serving has started; an atomic handler swap is).
+		promo := &promoteServer{fol: fol}
+		for _, src := range sources {
+			if promo.cfg.Tables == nil {
+				promo.cfg = serve.PromoteConfig{
+					QueueSize:        *queue,
+					CompactThreshold: *compact,
+					Advertise:        *advertise,
+					Tables:           make(map[string]serve.PromoteTable, len(sources)),
+				}
+			}
+			promo.cfg.Tables[src.name] = serve.PromoteTable{
+				Config: oreo.Config{
+					Alpha:         *alpha,
+					WindowSize:    *window,
+					Partitions:    *parts,
+					Seed:          *seed,
+					TraceCapacity: *traceN,
+				},
+				SeedRows: src.ds.NumRows(),
+			}
+		}
+		srv.Mount("POST /v2/cluster/promote", http.HandlerFunc(promo.handlePromote))
+		srv.Mount("POST /v2/replication/subscribe", promo.delegate((*replica.Publisher).SubscribeHandler))
+		srv.Mount("POST /v2/replication/observe", promo.delegate((*replica.Publisher).ObserveHandler))
 		go func() {
 			// Don't block boot on catch-up: /healthz honestly reports
 			// "initializing" until the first snapshots land.
@@ -209,6 +242,20 @@ func main() {
 		pub.Mount(srv)
 	}
 
+	// A leader with -archive tails its own decision stream to disk: the
+	// archiver is an ordinary replication subscriber pointed at this
+	// process, so it needs no privileged hooks and archives exactly what
+	// any follower would have seen. It starts before the listener is up
+	// and simply retries until the subscribe endpoint answers.
+	var arch *replica.Archiver
+	if *archive != "" && *follow == "" {
+		var err error
+		arch, err = replica.NewArchiver(replica.ArchiverConfig{Upstream: selfURL(*addr), Dir: *archive})
+		if err != nil {
+			log.Fatalf("oreoserve: %v", err)
+		}
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -244,6 +291,9 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("oreoserve: http shutdown: %v", err)
 	}
+	if arch != nil {
+		arch.Close()
+	}
 	if fol != nil {
 		fol.Close()
 	}
@@ -269,6 +319,64 @@ func main() {
 			}
 		}
 	}
+}
+
+// selfURL derives the URL this process is reachable at from its listen
+// address, for the self-subscribing archiver.
+func selfURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// promoteServer wires the runtime role flip into a follower's mux:
+// POST /v2/cluster/promote detaches replication, promotes the core,
+// and installs a publisher behind the pre-mounted replication
+// endpoints, which answer 503 until then.
+type promoteServer struct {
+	mu  sync.Mutex
+	fol *replica.Follower
+	cfg serve.PromoteConfig
+	pub atomic.Pointer[replica.Publisher]
+}
+
+func (p *promoteServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pub.Load() != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Error: "already promoted"})
+		return
+	}
+	pub, err := replica.Promote(p.fol, p.cfg, replica.PublisherConfig{})
+	if err != nil {
+		log.Printf("oreoserve: promotion failed: %v", err)
+		writeJSONStatus(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	p.pub.Store(pub)
+	h := p.fol.Core().Health()
+	log.Printf("oreoserve: promoted to leader at generation %d (epochs %v)", h.Generation, h.LayoutEpochs)
+	writeJSONStatus(w, http.StatusOK, h)
+}
+
+// delegate adapts a Publisher handler method into a handler that
+// answers 503 until a promotion has installed the publisher.
+func (p *promoteServer) delegate(method func(*replica.Publisher) http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pub := p.pub.Load()
+		if pub == nil {
+			writeJSONStatus(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "this node is a follower; replication endpoints activate on promotion"})
+			return
+		}
+		method(pub).ServeHTTP(w, r)
+	})
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
 }
 
 func statePath(dir, table string) string {

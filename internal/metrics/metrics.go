@@ -363,6 +363,33 @@ func (r *Registry) register(name, help string, kind Kind, labels Labels, fn func
 	return s
 }
 
+// Unregister removes the series for (name, labels) from the registry
+// and reports whether it existed. When the last series of a family is
+// removed, the family goes with it, so a scrape shows no orphaned
+// # TYPE header. This is the lifecycle counterpart to per-connection
+// instruments — a subscriber that registers
+// oreo_replication_subscriber_queue_depth{subscriber="7"} on attach
+// must remove it on drop, or a churning fleet grows the scrape without
+// bound. A handle obtained before Unregister stays safe to record on;
+// it just no longer appears in the exposition.
+func (r *Registry) Unregister(name string, labels Labels) bool {
+	sig, _ := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return false
+	}
+	if _, ok := f.series[sig]; !ok {
+		return false
+	}
+	delete(f.series, sig)
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+	return true
+}
+
 // family gets or creates the named family, enforcing name validity and
 // kind/help consistency.
 func (r *Registry) family(name, help string, kind Kind) *family {

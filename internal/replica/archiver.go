@@ -1,0 +1,484 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Archiver is the third kind of replication subscriber (after serving
+// followers and debugging taps): it subscribes to a leader's decision
+// stream and persists every record to disk, verbatim, as NDJSON
+// segment files. The archive is a durable copy of the stream itself —
+// snapshot, decision, append, and compact records in arrival order —
+// which buys two things:
+//
+//   - New followers bootstrap from it: FollowerConfig.ArchiveDir
+//     replays the archive through the normal apply path, so a fresh
+//     follower reaches the archive's tail epoch entirely offline and
+//     its first subscription resumes from there instead of forcing the
+//     leader to cut and ship a full snapshot per new replica.
+//   - Point-in-time replay: ReplayArchiveUpTo rebuilds the fleet's
+//     exact state at any archived epoch, for debugging — the stream is
+//     deterministic, so the replayed state is bit-identical to what
+//     the fleet served at that epoch.
+//
+// # Segment format
+//
+// A segment is a plain NDJSON file named segment-NNNNNNNN.ndjson; each
+// line is one stream Record exactly as the leader sent it (the
+// archiver never re-encodes). The archiver starts one new segment per
+// subscription session, numbered above every existing segment, so an
+// archive directory is an append-only sequence of sessions and replay
+// order is lexical file order. A crash can truncate only the final
+// line of the newest segment; replay detects and skips exactly that
+// (an unparseable line with nothing after it), while garbage earlier
+// in a segment still fails loudly.
+//
+// On (re)start the archiver scans the existing segments to recover its
+// positions and fencing term, and resubscribes with them — when
+// nothing was missed the leader answers with a cheap resume record and
+// the archive continues seamlessly across archiver restarts.
+type Archiver struct {
+	cfg  ArchiverConfig
+	hc   *http.Client
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	gen       uint64
+	positions map[string]uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	stats struct {
+		records, segments, reconnects, resumes atomicUint64
+	}
+}
+
+// ArchiverConfig parameterizes an Archiver.
+type ArchiverConfig struct {
+	// Upstream is the leader's base URL.
+	Upstream string
+	// Dir is the archive directory; created if missing.
+	Dir string
+	// Tables restricts the subscription; empty archives every table the
+	// leader serves.
+	Tables []string
+	// HTTPClient substitutes the transport; the default is a dedicated
+	// client with no global timeout (the stream is long-lived).
+	HTTPClient *http.Client
+	// ReconnectMin/Max bound the backoff between subscription attempts;
+	// zeros select the follower defaults.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Logf receives operational messages; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// ArchiverStats is a point-in-time view of the archiver's counters.
+type ArchiverStats struct {
+	// Records is stream records written this run; Segments is segment
+	// files started this run; Reconnects counts subscription attempts
+	// after the first; Resumes counts cheap resume acknowledgements.
+	Records    uint64
+	Segments   uint64
+	Reconnects uint64
+	Resumes    uint64
+}
+
+// recordMeta is the cheap projection of a stream record that position
+// recovery and archival bookkeeping decode — skipping State and Rows,
+// which dominate snapshot and append record sizes.
+type recordMeta struct {
+	Type       string `json:"type"`
+	Table      string `json:"table"`
+	Epoch      uint64 `json:"epoch"`
+	Generation uint64 `json:"generation"`
+}
+
+// NewArchiver builds an archiver and starts its subscription loop. The
+// directory is created if missing; existing segments are scanned to
+// recover the resume position.
+func NewArchiver(cfg ArchiverConfig) (*Archiver, error) {
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("replica: archiver needs an upstream URL")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("replica: archiver needs a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: creating archive directory: %w", err)
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = DefaultReconnectMin
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = DefaultReconnectMax
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	cfg.Upstream = strings.TrimRight(cfg.Upstream, "/")
+
+	a := &Archiver{
+		cfg:       cfg,
+		hc:        cfg.HTTPClient,
+		logf:      cfg.Logf,
+		positions: make(map[string]uint64),
+	}
+	if err := a.recover(); err != nil {
+		return nil, err
+	}
+	a.ctx, a.cancel = context.WithCancel(context.Background())
+	a.wg.Add(1)
+	go a.run()
+	return a, nil
+}
+
+// Close stops the subscription loop and waits for the current segment
+// to be fully flushed (every record is written and synced before its
+// position is advanced, so Close never loses an acknowledged record).
+func (a *Archiver) Close() {
+	a.cancel()
+	a.wg.Wait()
+}
+
+// Stats returns the archiver's counters for this run.
+func (a *Archiver) Stats() ArchiverStats {
+	return ArchiverStats{
+		Records:    a.stats.records.Load(),
+		Segments:   a.stats.segments.Load(),
+		Reconnects: a.stats.reconnects.Load(),
+		Resumes:    a.stats.resumes.Load(),
+	}
+}
+
+// Position returns the newest archived epoch for the table.
+func (a *Archiver) Position(table string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.positions[table]
+}
+
+// Generation returns the highest fencing term seen in the archive.
+func (a *Archiver) Generation() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gen
+}
+
+// segments lists the archive's segment files in replay (lexical)
+// order.
+func segments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading archive directory: %w", err)
+	}
+	var segs []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "segment-") && strings.HasSuffix(name, ".ndjson") {
+			segs = append(segs, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// recover scans the existing archive and rebuilds the per-table
+// positions and fencing term, so a restarted archiver resumes instead
+// of re-snapshotting. Only the cheap record header is decoded.
+func (a *Archiver) recover() error {
+	segs, err := segments(a.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	for _, seg := range segs {
+		err := scanSegment(seg, func(line []byte) error {
+			var m recordMeta
+			if err := json.Unmarshal(line, &m); err != nil {
+				return err
+			}
+			a.note(&m)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("replica: recovering archive positions from %s: %w", seg, err)
+		}
+	}
+	if len(segs) > 0 {
+		a.logf("replica: archive %s: recovered positions %v at generation %d from %d segments",
+			a.cfg.Dir, a.positions, a.gen, len(segs))
+	}
+	return nil
+}
+
+// note folds one record header into the recovered positions. A
+// snapshot resets the table's position (it may regress after a leader
+// restart); everything else advances it monotonically.
+func (a *Archiver) note(m *recordMeta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m.Table != "" {
+		if m.Type == RecordSnapshot {
+			a.positions[m.Table] = m.Epoch
+		} else if m.Epoch > a.positions[m.Table] {
+			a.positions[m.Table] = m.Epoch
+		}
+	}
+	if m.Generation > a.gen {
+		a.gen = m.Generation
+	}
+}
+
+// run is the subscription loop: subscribe, archive until the stream
+// breaks, back off, repeat. Unlike a serving follower nothing here is
+// terminal — an archiver pointed at a deposed leader archives nothing
+// new once the real leader fences it, and repointing it is an
+// operator action; meanwhile retrying is harmless because the archive
+// only ever appends records the leader actually sent.
+func (a *Archiver) run() {
+	defer a.wg.Done()
+	backoff := a.cfg.ReconnectMin
+	first := true
+	for {
+		if a.ctx.Err() != nil {
+			return
+		}
+		if !first {
+			a.stats.reconnects.Add(1)
+		}
+		n, err := a.subscribeOnce()
+		if a.ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			a.logf("replica: archiver stream from %s ended: %v (retrying in %v)", a.cfg.Upstream, err, backoff)
+		}
+		if n > 0 {
+			backoff = a.cfg.ReconnectMin
+		} else if backoff *= 2; backoff > a.cfg.ReconnectMax {
+			backoff = a.cfg.ReconnectMax
+		}
+		first = false
+		select {
+		case <-a.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// subscribeOnce opens one subscription session and archives its
+// records into one fresh segment (created lazily on the first record,
+// so failed connects do not litter the directory with empty files).
+func (a *Archiver) subscribeOnce() (archived int, err error) {
+	a.mu.Lock()
+	req := SubscribeRequest{
+		Version:    ProtocolVersion,
+		Tables:     append([]string(nil), a.cfg.Tables...),
+		Generation: a.gen,
+		Positions:  make(map[string]uint64, len(a.positions)),
+	}
+	for t, e := range a.positions {
+		req.Positions[t] = e
+	}
+	a.mu.Unlock()
+
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 0, fmt.Errorf("encoding subscribe request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(a.ctx, http.MethodPost,
+		a.cfg.Upstream+"/v2/replication/subscribe", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, fmt.Errorf("building subscribe request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := a.hc.Do(hreq)
+	if err != nil {
+		return 0, fmt.Errorf("subscribing: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+		return 0, fmt.Errorf("subscribe answered %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+
+	var seg *os.File
+	defer func() {
+		if seg != nil {
+			seg.Close()
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m recordMeta
+		if err := json.Unmarshal(line, &m); err != nil {
+			return archived, fmt.Errorf("decoding stream record: %w", err)
+		}
+		if seg == nil {
+			if seg, err = a.newSegment(); err != nil {
+				return archived, err
+			}
+		}
+		if _, err := seg.Write(append(line, '\n')); err != nil {
+			return archived, fmt.Errorf("writing archive segment: %w", err)
+		}
+		a.note(&m)
+		a.stats.records.Add(1)
+		if m.Type == RecordResume {
+			a.stats.resumes.Add(1)
+		}
+		archived++
+	}
+	if err := sc.Err(); err != nil {
+		return archived, fmt.Errorf("reading stream: %w", err)
+	}
+	return archived, nil
+}
+
+// newSegment creates the next segment file, numbered above everything
+// already in the directory.
+func (a *Archiver) newSegment() (*os.File, error) {
+	segs, err := segments(a.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %w", err)
+	}
+	next := 1
+	if len(segs) > 0 {
+		last := filepath.Base(segs[len(segs)-1])
+		var n int
+		if _, err := fmt.Sscanf(last, "segment-%d.ndjson", &n); err == nil {
+			next = n + 1
+		}
+	}
+	path := filepath.Join(a.cfg.Dir, fmt.Sprintf("segment-%08d.ndjson", next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("replica: creating archive segment: %w", err)
+	}
+	a.stats.segments.Add(1)
+	a.logf("replica: archiving to %s", path)
+	return f, nil
+}
+
+// scanSegment streams one segment's lines through fn. A final line
+// that fn rejects AND that nothing follows is treated as a
+// crash-truncated tail and skipped silently; a rejected line with more
+// data after it is real corruption and fails.
+func scanSegment(path string, fn func(line []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	var pending []byte
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return fmt.Errorf("line before segment end: %w", pendingErr)
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		pending = append(pending[:0], line...)
+		pendingErr = fn(pending)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if pendingErr != nil {
+		var abort *replayAbort
+		if errors.As(pendingErr, &abort) {
+			// The callback itself failed on the last line — a real apply
+			// error, not a torn write. Surface it.
+			return pendingErr
+		}
+		// The very last line failed to decode: a torn write from a crash
+		// mid-append. Everything before it is intact, so the archive
+		// remains usable.
+		return nil
+	}
+	return nil
+}
+
+// ReplayArchive streams every record of the archive, in order, through
+// fn — the full replay a bootstrapping follower performs. It returns
+// the number of records delivered. fn errors abort the replay.
+func ReplayArchive(dir string, fn func(*Record) error) (int, error) {
+	return ReplayArchiveUpTo(dir, 0, fn)
+}
+
+// ReplayArchiveUpTo is ReplayArchive bounded to a point in time:
+// records with an epoch above maxEpoch are skipped (0 means
+// unbounded). Because every table's records carry that table's own
+// monotonic epoch, replaying up to E rebuilds exactly the state the
+// fleet served when each table was at min(E, its tail) — the
+// debugging time machine the archive exists for.
+func ReplayArchiveUpTo(dir string, maxEpoch uint64, fn func(*Record) error) (int, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return 0, fmt.Errorf("replica: %w", err)
+	}
+	n := 0
+	for _, seg := range segs {
+		err := scanSegment(seg, func(line []byte) error {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return err
+			}
+			if maxEpoch != 0 && rec.Epoch > maxEpoch {
+				return nil
+			}
+			if err := fn(&rec); err != nil {
+				// fn errors must abort, not be mistaken for a torn tail:
+				// wrap distinctively and unwrap below.
+				return &replayAbort{err}
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			var abort *replayAbort
+			if errors.As(err, &abort) {
+				return n, abort.err
+			}
+			return n, fmt.Errorf("replica: replaying archive segment %s: %w", seg, err)
+		}
+	}
+	return n, nil
+}
+
+// replayAbort distinguishes a replay callback's own error from a
+// decode failure, so scanSegment's torn-tail tolerance never swallows
+// an apply failure on the archive's last line.
+type replayAbort struct{ err error }
+
+func (a *replayAbort) Error() string { return a.err.Error() }
+func (a *replayAbort) Unwrap() error { return a.err }

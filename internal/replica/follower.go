@@ -76,6 +76,13 @@ type FollowerConfig struct {
 	// replica core; zero selects runtime.NumCPU() (see
 	// serve.CoreConfig.ScanParallelism).
 	ScanParallelism int
+	// ArchiveDir, when set, bootstraps the follower from a local
+	// decision-log archive (written by an Archiver) before the first
+	// subscription: every archived record is replayed through the normal
+	// apply path, so the follower reaches the archive's tail epoch
+	// offline and then resubscribes with those positions — the leader
+	// answers with a cheap resume instead of a full re-snapshot.
+	ArchiveDir string
 }
 
 // FollowerStats is a point-in-time view of a follower's replication
@@ -118,8 +125,12 @@ type Follower struct {
 	datasets map[string]*oreo.Dataset
 	names    []string
 
-	mu        sync.Mutex
-	gen       string
+	mu sync.Mutex
+	// gen is the highest leadership fencing term this follower has
+	// applied (0 before the first stream record). It is echoed on
+	// resubscription and mirrored into the core for /healthz; a stream
+	// regressing below it is a deposed leader and is fenced terminally.
+	gen       uint64
 	positions map[string]uint64
 	layouts   map[string]*oreo.Layout
 	applied   map[string]bool
@@ -209,7 +220,7 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 
 	if cfg.ForwardQueue > 0 {
-		f.fwd = newForwarder(f.ctx, cfg.Upstream, f.hc, cfg.ForwardQueue, cfg.ForwardBatch, cfg.ForwardInterval, cfg.Logf, &f.wg)
+		f.fwd = newForwarder(f.ctx, cfg.Upstream, f.hc, cfg.ForwardQueue, cfg.ForwardBatch, cfg.ForwardInterval, cfg.Logf, f.Generation, &f.wg)
 	}
 
 	replicaTables := make([]serve.ReplicaTable, 0, len(cfg.Tables))
@@ -237,9 +248,56 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	f.core = core
 	f.registerMetrics()
 
+	if cfg.ArchiveDir != "" {
+		if err := f.bootstrapFromArchive(cfg.ArchiveDir); err != nil {
+			f.cancel()
+			core.Close()
+			return nil, fmt.Errorf("replica: bootstrapping from archive %s: %w", cfg.ArchiveDir, err)
+		}
+	}
+
 	f.wg.Add(1)
 	go f.run()
 	return f, nil
+}
+
+// bootstrapFromArchive replays an on-disk decision-log archive through
+// the normal apply path, before the subscription loop starts (so no
+// locking against it is needed). Records for tables this follower does
+// not serve are skipped; everything else goes through the same epoch
+// and fencing discipline as live stream records, so a corrupt or
+// divergent archive fails construction loudly rather than seeding bad
+// state.
+func (f *Follower) bootstrapFromArchive(dir string) error {
+	n, err := ReplayArchive(dir, func(rec *Record) error {
+		if _, ok := f.datasets[rec.Table]; !ok && rec.Table != "" {
+			return nil
+		}
+		if rec.Epoch > 0 && rec.Table != "" {
+			f.mu.Lock()
+			if rec.Epoch > f.seen[rec.Table] {
+				f.seen[rec.Table] = rec.Epoch
+			}
+			f.mu.Unlock()
+		}
+		return f.apply(rec)
+	})
+	if err != nil {
+		return err
+	}
+	f.logf("replica: bootstrapped from archive %s: %d records, positions %v", dir, n, f.snapshotPositions())
+	return nil
+}
+
+// snapshotPositions returns a copy of the applied positions, for logs.
+func (f *Follower) snapshotPositions() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.positions))
+	for t, e := range f.positions {
+		out[t] = e
+	}
+	return out
 }
 
 // Core returns the replica serving core, for mounting behind a
@@ -345,6 +403,14 @@ func (f *Follower) Position(table string) uint64 {
 	return f.positions[table]
 }
 
+// Generation returns the highest leadership fencing term this follower
+// has applied from the stream (0 before the first record).
+func (f *Follower) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+
 // Stats returns the follower's replication and forwarding counters.
 func (f *Follower) Stats() FollowerStats {
 	st := FollowerStats{
@@ -373,6 +439,17 @@ func (f *Follower) Close() {
 	f.core.Close()
 }
 
+// Detach stops the replication and forwarding loops but leaves the
+// replica core open and serving — the promotion hand-off. After Detach
+// returns, nothing writes the core's replicated state anymore, so
+// Core().Promote can take ownership of it; Close afterwards remains
+// safe (the second cancel and wait are no-ops and the core close is
+// what actually tears serving down).
+func (f *Follower) Detach() {
+	f.cancel()
+	f.wg.Wait()
+}
+
 // fail records a terminal replication failure.
 func (f *Follower) fail(err error) {
 	f.failOnce.Do(func() {
@@ -392,6 +469,13 @@ var errDiverged = errors.New("replica: follower data diverges from leader")
 // connections, 5xx from a booting proxy) stays retryable.
 var errRejected = errors.New("replica: subscription rejected by leader")
 
+// errFenced marks a stream whose leadership term regressed below what
+// this follower has already applied: the upstream is a deposed leader
+// (typically a revived process that lost a promotion race). Applying
+// its records would silently fork the fleet's history, so fencing is
+// terminal — the follower must be repointed at the real leader.
+var errFenced = errors.New("replica: stream fenced (upstream generation is older than applied state)")
+
 // run is the subscription loop: subscribe, apply until the stream
 // breaks, back off, repeat. Only a divergence failure is terminal.
 func (f *Follower) run() {
@@ -409,7 +493,7 @@ func (f *Follower) run() {
 		if f.ctx.Err() != nil {
 			return
 		}
-		if err != nil && (errors.Is(err, errDiverged) || errors.Is(err, errRejected)) {
+		if err != nil && (errors.Is(err, errDiverged) || errors.Is(err, errRejected) || errors.Is(err, errFenced)) {
 			f.fail(err)
 			return
 		}
@@ -519,11 +603,27 @@ func (f *Follower) apply(rec *Record) error {
 	if !ok {
 		return fmt.Errorf("stream record for unsubscribed table %q", rec.Table)
 	}
+	// Fence before applying anything: a record claiming a leadership
+	// term below what this follower has already applied comes from a
+	// deposed leader, and nothing it says may touch local state. Equal
+	// terms are the normal case; higher terms (a promotion happened
+	// upstream) are adopted by the per-record bookkeeping below.
+	if rec.Generation != 0 {
+		f.mu.Lock()
+		cur := f.gen
+		f.mu.Unlock()
+		if rec.Generation < cur {
+			return fmt.Errorf("%w: record claims generation %d, follower has applied %d", errFenced, rec.Generation, cur)
+		}
+	}
 	switch rec.Type {
 	case RecordResume:
-		f.mu.Lock()
-		f.gen = rec.Generation
-		f.mu.Unlock()
+		if rec.Generation != 0 {
+			f.mu.Lock()
+			f.gen = rec.Generation
+			f.mu.Unlock()
+			f.core.SetGeneration(rec.Generation)
+		}
 		f.stats.resumes.Add(1)
 		return nil
 
@@ -705,12 +805,15 @@ func (f *Follower) publish(rec *Record, lay *oreo.Layout, base, delta *oreo.Data
 	f.layouts[rec.Table] = lay
 	f.bases[rec.Table] = base
 	f.deltas[rec.Table] = delta
-	if rec.Generation != "" {
+	if rec.Generation != 0 && rec.Generation > f.gen {
 		f.gen = rec.Generation
 	}
 	f.applied[rec.Table] = true
 	allApplied := len(f.applied) == len(f.names)
 	f.mu.Unlock()
+	if rec.Generation != 0 {
+		f.core.SetGeneration(rec.Generation)
+	}
 	if allApplied {
 		f.readyOnce.Do(func() { close(f.ready) })
 	}

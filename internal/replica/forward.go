@@ -30,13 +30,17 @@ type forwarder struct {
 	interval time.Duration
 	logf     func(format string, args ...any)
 	ctx      context.Context
+	// gen reports the sender's current leadership fencing term at post
+	// time (nil ≡ unfenced), so a leader can 409 batches from followers
+	// still living in a deposed leader's worldview.
+	gen func() uint64
 
 	forwarded atomic.Uint64 // accepted into a leader decision queue
 	dropped   atomic.Uint64 // local overflow, failed posts, leader queue-full
 	rejected  atomic.Uint64 // leader-side validation failures (schema skew)
 }
 
-func newForwarder(ctx context.Context, upstream string, hc *http.Client, queue, batch int, interval time.Duration, logf func(string, ...any), wg *sync.WaitGroup) *forwarder {
+func newForwarder(ctx context.Context, upstream string, hc *http.Client, queue, batch int, interval time.Duration, logf func(string, ...any), gen func() uint64, wg *sync.WaitGroup) *forwarder {
 	fw := &forwarder{
 		upstream: upstream,
 		hc:       hc,
@@ -45,6 +49,7 @@ func newForwarder(ctx context.Context, upstream string, hc *http.Client, queue, 
 		interval: interval,
 		logf:     logf,
 		ctx:      ctx,
+		gen:      gen,
 	}
 	wg.Add(1)
 	go func() {
@@ -115,7 +120,11 @@ func (fw *forwarder) run() {
 // retry — the leader samples under overload anyway, and a retry queue
 // is exactly the unbounded buffer this design forbids.
 func (fw *forwarder) post(ctx context.Context, obs []Observation) {
-	body, err := json.Marshal(&ObserveRequest{Observations: obs})
+	req0 := ObserveRequest{Observations: obs}
+	if fw.gen != nil {
+		req0.Generation = fw.gen()
+	}
+	body, err := json.Marshal(&req0)
 	if err != nil {
 		fw.dropped.Add(uint64(len(obs)))
 		fw.logf("replica: encoding observation batch: %v", err)

@@ -1,0 +1,40 @@
+package replica
+
+import (
+	"fmt"
+
+	"oreo/internal/serve"
+)
+
+// Promote turns a serving follower into the fleet's new leader — the
+// failover hand-off. The follower already holds everything a leader
+// needs via the stream: the serving layout, the optimizer's cumulative
+// counters, the grown base, and the uncompacted delta, all proven
+// bit-identical to the old leader's at its applied epoch. Promotion is
+// therefore local: detach the replication loop (nothing may write the
+// replicated state while ownership changes), flip the core to leader
+// role (serve.Core.Promote rebuilds a decision engine per table from
+// the applied state), and attach a fresh Publisher one fencing term
+// above the highest term the follower applied — so the moment the new
+// leader speaks, every correct follower adopts the higher term and the
+// old leader, should it revive, is rejected on sight by both the
+// subscribe and observe paths.
+//
+// cfg.Tables must name every replicated table; PublisherConfig's
+// Generation is overridden with the incremented term. On error the
+// follower's replication loop is already stopped (promotion is a
+// one-way door — the caller decides whether to rebuild a follower or
+// retry), but the core's serving surface is unchanged.
+func Promote(f *Follower, cfg serve.PromoteConfig, pubCfg PublisherConfig) (*Publisher, error) {
+	f.Detach()
+	term := f.Generation() + 1
+	if err := f.Core().Promote(cfg); err != nil {
+		return nil, fmt.Errorf("replica: promoting follower core: %w", err)
+	}
+	pubCfg.Generation = term
+	pub, err := NewPublisher(f.Core(), pubCfg)
+	if err != nil {
+		return nil, fmt.Errorf("replica: attaching publisher to promoted leader: %w", err)
+	}
+	return pub, nil
+}

@@ -33,6 +33,11 @@ type PublisherConfig struct {
 	// QueueSize bounds each subscriber's pending-record buffer; zero
 	// selects DefaultSubscriberQueue.
 	QueueSize int
+	// Generation is the leader's monotonic fencing term. Zero selects 1,
+	// the term of a fresh (never-promoted) leader; a promotion passes
+	// the deposed leader's term + 1 so followers can tell the new
+	// lineage from a revival of the old one.
+	Generation uint64
 	// Logf receives operational messages (subscriber churn, forced
 	// re-snapshots); nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -50,12 +55,13 @@ type PublisherConfig struct {
 // by discarding the backlog and re-snapshotting in-stream.
 type Publisher struct {
 	core      *serve.Core
-	gen       string
+	gen       uint64
 	queueSize int
 	logf      func(format string, args ...any)
 
-	mu   sync.Mutex
-	subs map[*subscriber]struct{}
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	subSeq uint64 // subscriber label allocator; under mu
 
 	published   atomic.Uint64 // decision records offered to subscribers
 	resnapshots atomic.Uint64 // in-stream gap repairs
@@ -65,6 +71,7 @@ type Publisher struct {
 	obsObserved *metrics.Counter
 	obsDropped  *metrics.Counter
 	obsRejected *metrics.Counter
+	obsFenced   *metrics.Counter
 }
 
 // NewPublisher attaches a publisher to a leader core's decision hook.
@@ -86,14 +93,18 @@ func NewPublisher(core *serve.Core, cfg PublisherConfig) (*Publisher, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Generation == 0 {
+		cfg.Generation = 1
+	}
 	p := &Publisher{
 		core:      core,
-		gen:       newGeneration(),
+		gen:       cfg.Generation,
 		queueSize: cfg.QueueSize,
 		logf:      cfg.Logf,
 		subs:      make(map[*subscriber]struct{}),
 	}
 	p.registerMetrics()
+	core.SetGeneration(p.gen)
 	core.SetDecisionHook(p.publish)
 	return p, nil
 }
@@ -114,23 +125,14 @@ func (p *Publisher) registerMetrics() {
 	reg.CounterFunc("oreo_replication_resnapshots_total",
 		"In-stream gap repairs: a lagging subscriber's backlog was discarded and its tables re-snapshotted.", nil,
 		func() float64 { return float64(p.resnapshots.Load()) })
-	reg.GaugeFunc("oreo_replication_subscriber_queue_depth",
-		"Encoded decision records buffered across all subscriber queues, waiting for their stream writers.", nil,
-		func() float64 {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			var n int
-			for s := range p.subs {
-				n += len(s.ch)
-			}
-			return float64(n)
-		})
 	p.obsObserved = reg.Counter("oreo_replication_observations_received_total",
 		obsReceivedHelp, metrics.Labels{"result": "observed"})
 	p.obsDropped = reg.Counter("oreo_replication_observations_received_total",
 		obsReceivedHelp, metrics.Labels{"result": "dropped"})
 	p.obsRejected = reg.Counter("oreo_replication_observations_received_total",
 		obsReceivedHelp, metrics.Labels{"result": "rejected"})
+	p.obsFenced = reg.Counter("oreo_replication_observations_received_total",
+		obsReceivedHelp, metrics.Labels{"result": "fenced"})
 	for _, table := range p.core.Tables() {
 		t := table
 		reg.GaugeFunc("oreo_replication_lag_epochs",
@@ -139,7 +141,7 @@ func (p *Publisher) registerMetrics() {
 	}
 }
 
-const obsReceivedHelp = "Observations forwarded by followers, by outcome: observed (enqueued for a decision loop), dropped (queue full), rejected (invalid)."
+const obsReceivedHelp = "Observations forwarded by followers, by outcome: observed (enqueued for a decision loop), dropped (queue full), rejected (invalid), fenced (stale leader term — whole batch refused)."
 
 // lagEpochs computes the named table's leader-side lag in epochs: how
 // far the slowest connected subscriber's stream position trails the
@@ -166,8 +168,8 @@ func (p *Publisher) lagEpochs(table string) uint64 {
 	return lag
 }
 
-// Generation returns the leader's boot-unique stream identity.
-func (p *Publisher) Generation() string { return p.gen }
+// Generation returns the leader's monotonic fencing term.
+func (p *Publisher) Generation() uint64 { return p.gen }
 
 // Subscribers reports the current subscriber count.
 func (p *Publisher) Subscribers() int {
@@ -391,6 +393,16 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("protocol version %d not supported (max %d)", req.Version, ProtocolVersion))
 		return
 	}
+	if req.Generation > p.gen {
+		// The follower has applied a higher term than ours: a newer
+		// leader exists and this process is deposed. Refusing (terminal
+		// on the follower side) is the fence — feeding it our stream
+		// would roll its state back to a dead lineage.
+		p.logf("replica: refusing subscriber at generation %d (own generation %d is stale)", req.Generation, p.gen)
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("subscriber generation %d exceeds leader generation %d: this leader is deposed", req.Generation, p.gen))
+		return
+	}
 	served := p.core.Tables()
 	servedSet := make(map[string]bool, len(served))
 	for _, t := range served {
@@ -426,15 +438,26 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// the first byte.
 	p.mu.Lock()
 	p.subs[sub] = struct{}{}
+	p.subSeq++
+	id := p.subSeq
 	n := len(p.subs)
 	p.mu.Unlock()
-	p.logf("replica: subscriber connected (%d active, tables %v)", n, tables)
+	// Each connection gets its own queue-depth series, torn down with
+	// the connection: a churning fleet must not accrete dead label
+	// series scrape over scrape.
+	reg := p.core.Metrics()
+	queueLabels := metrics.Labels{"subscriber": fmt.Sprintf("%d", id)}
+	reg.GaugeFunc("oreo_replication_subscriber_queue_depth",
+		"Encoded decision records buffered in this subscriber's queue, waiting for its stream writer. One series per connected subscriber; unregistered on disconnect.",
+		queueLabels, func() float64 { return float64(len(sub.ch)) })
+	p.logf("replica: subscriber %d connected (%d active, tables %v)", id, n, tables)
 	defer func() {
 		p.mu.Lock()
 		delete(p.subs, sub)
 		n := len(p.subs)
 		p.mu.Unlock()
-		p.logf("replica: subscriber disconnected (%d active)", n)
+		reg.Unregister("oreo_replication_subscriber_queue_depth", queueLabels)
+		p.logf("replica: subscriber %d disconnected (%d active)", id, n)
 	}()
 
 	rc := http.NewResponseController(w)
@@ -579,6 +602,19 @@ func (p *Publisher) handleObserve(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxObserveBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding observe request: %v", err))
+		return
+	}
+	if req.Generation != 0 && req.Generation != p.gen {
+		// Fenced: the sender's worldview is pinned to a different leader
+		// term. Stale terms (a follower still feeding a deposed leader's
+		// lineage) must not teach this optimizer; a NEWER term tells this
+		// leader it has itself been superseded. Either way the whole
+		// batch is refused with a status the forwarder counts as
+		// rejected, and loudly enough to show up in logs and /metrics.
+		p.obsFenced.Inc()
+		p.logf("replica: fenced observation batch at generation %d (leader at %d)", req.Generation, p.gen)
+		writeJSONError(w, http.StatusConflict,
+			fmt.Sprintf("observation batch fenced: generation %d, leader at %d", req.Generation, p.gen))
 		return
 	}
 	var resp ObserveResponse

@@ -67,9 +67,6 @@
 package replica
 
 import (
-	"crypto/rand"
-	"encoding/hex"
-
 	"oreo"
 	"oreo/internal/persist"
 	"oreo/internal/serve"
@@ -116,10 +113,15 @@ type Record struct {
 	// Epoch is the table's monotonic decision sequence number as of
 	// this record.
 	Epoch uint64 `json:"epoch"`
-	// Generation identifies the leader boot this stream comes from
-	// (snapshot and resume records); a follower echoes it when
-	// resubscribing so the leader can tell a blip from a restart.
-	Generation string `json:"generation,omitempty"`
+	// Generation is the monotonic fencing term of the leader this stream
+	// comes from (snapshot and resume records). A fresh leader is term 1;
+	// every promotion increments the term, so of two processes claiming
+	// leadership the higher term is always the real one. A follower
+	// tracks the highest term it has applied, echoes it when
+	// resubscribing (leader tells a blip from a restart), and terminally
+	// rejects any stream regressing to a lower term — a revived old
+	// leader is fenced out loudly, never applied.
+	Generation uint64 `json:"generation,omitempty"`
 	// State is the full table state (snapshot records only), in the
 	// persist warm-start framing.
 	State *persist.StateDoc `json:"state,omitempty"`
@@ -156,11 +158,13 @@ type SubscribeRequest struct {
 	// served tables. Unknown names are a client error.
 	Tables []string `json:"tables,omitempty"`
 	// Generation + Positions are the resubscribe-with-resume hint: the
-	// leader generation the follower last applied and its per-table
-	// epochs. When the generation matches and a table's position equals
-	// the leader's, the leader answers with a resume record instead of
-	// re-sending a snapshot.
-	Generation string            `json:"generation,omitempty"`
+	// leader term the follower last applied and its per-table epochs.
+	// When the term matches and a table's position equals the leader's,
+	// the leader answers with a resume record instead of re-sending a
+	// snapshot. A request claiming a term HIGHER than the leader's own is
+	// rejected outright — it proves this leader has been superseded and
+	// must not feed anyone state.
+	Generation uint64            `json:"generation,omitempty"`
 	Positions  map[string]uint64 `json:"positions,omitempty"`
 }
 
@@ -174,8 +178,14 @@ type Observation struct {
 }
 
 // ObserveRequest is the body of POST /v2/replication/observe: one
-// batch of forwarded observations.
+// batch of forwarded observations. Generation is the sender's leader
+// term; a leader rejects batches fenced to an older term (a follower
+// still pointed at a deposed leader's worldview) so stale observations
+// never teach the optimizer, and a batch claiming a newer term tells
+// this leader it has been superseded. Zero means "unfenced" for
+// compatibility with direct tooling.
 type ObserveRequest struct {
+	Generation   uint64        `json:"generation,omitempty"`
 	Observations []Observation `json:"observations"`
 }
 
@@ -187,18 +197,6 @@ type ObserveResponse struct {
 	Observed int `json:"observed"`
 	Dropped  int `json:"dropped"`
 	Rejected int `json:"rejected"`
-}
-
-// newGeneration mints a boot-unique leader identity for resume
-// negotiation.
-func newGeneration() string {
-	b := make([]byte, 8)
-	if _, err := rand.Read(b); err != nil {
-		// crypto/rand failing is a broken platform; a constant would
-		// silently disable restart detection, so fail loudly.
-		panic("replica: reading random generation: " + err.Error())
-	}
-	return hex.EncodeToString(b)
 }
 
 // predToWire converts a predicate to the query-log wire encoding.

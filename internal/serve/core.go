@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"oreo"
 	"oreo/internal/exec"
@@ -91,10 +92,16 @@ func resolveScanParallelism(p int) (int, error) {
 type Core struct {
 	names  []string
 	shards map[string]*shard
-	role   string // "leader" or "follower"
-	// advertise / upstream are the healthz topology hints; see CoreConfig.
-	advertise string
-	upstream  string
+	// topo is the core's role and topology hints, published atomically
+	// because Promote flips a running follower to leader while /healthz
+	// readers race the flip; see CoreConfig for the field meanings.
+	topo atomic.Pointer[coreTopology]
+	// gen is the replication fencing term this core last learned: a
+	// leader's own term (set by its publisher), or the newest term a
+	// follower applied from the stream. Zero means "no replication
+	// attached yet" — a standalone core. Surfaced on /healthz so fencing
+	// state is observable with a curl.
+	gen atomic.Uint64
 	// scanPar is the resolved execute-scan worker count; see
 	// CoreConfig.ScanParallelism.
 	scanPar int
@@ -103,6 +110,14 @@ type Core struct {
 	// here, and GET /metrics scrapes it. One registry per core, so the
 	// leader and each follower expose their own truth.
 	reg *metrics.Registry
+}
+
+// coreTopology is the atomically published (role, advertise, upstream)
+// triple; see Core.topo.
+type coreTopology struct {
+	role      string
+	advertise string
+	upstream  string
 }
 
 // Metrics returns the core's metrics registry — the registration point
@@ -114,7 +129,10 @@ func (c *Core) Metrics() *metrics.Registry { return c.reg }
 func (c *Core) registerCoreMetrics() {
 	c.reg.GaugeFunc("oreo_role",
 		"Serving role, as a 1-valued gauge labeled with the role name.",
-		metrics.Labels{"role": c.role}, func() float64 { return 1 })
+		metrics.Labels{"role": c.Role()}, func() float64 { return 1 })
+	c.reg.GaugeFunc("oreo_generation",
+		"Replication fencing term: the leader's own term, or the newest term a follower applied. 0 with no replication attached.",
+		nil, func() float64 { return float64(c.gen.Load()) })
 	c.reg.GaugeFunc("oreo_scan_parallelism",
 		"Worker count execute-path scans run with (CoreConfig.ScanParallelism after defaulting).",
 		nil, func() float64 { return float64(c.scanPar) })
@@ -142,13 +160,12 @@ func NewCore(m *oreo.MultiOptimizer, cfg CoreConfig) (*Core, error) {
 		cfg.CompactThreshold = DefaultCompactThreshold
 	}
 	c := &Core{
-		names:     names,
-		shards:    make(map[string]*shard, len(names)),
-		role:      RoleLeader,
-		advertise: cfg.Advertise,
-		scanPar:   scanPar,
-		reg:       metrics.NewRegistry(),
+		names:   names,
+		shards:  make(map[string]*shard, len(names)),
+		scanPar: scanPar,
+		reg:     metrics.NewRegistry(),
 	}
+	c.topo.Store(&coreTopology{role: RoleLeader, advertise: cfg.Advertise})
 	c.registerCoreMetrics()
 	for _, name := range names {
 		ds := m.Dataset(name)
@@ -188,12 +205,11 @@ func NewReplicaCore(tables []ReplicaTable, cfg CoreConfig) (*Core, error) {
 		return nil, err
 	}
 	c := &Core{
-		shards:   make(map[string]*shard, len(tables)),
-		role:     RoleFollower,
-		upstream: cfg.Upstream,
-		scanPar:  scanPar,
-		reg:      metrics.NewRegistry(),
+		shards:  make(map[string]*shard, len(tables)),
+		scanPar: scanPar,
+		reg:     metrics.NewRegistry(),
 	}
+	c.topo.Store(&coreTopology{role: RoleFollower, upstream: cfg.Upstream})
 	c.registerCoreMetrics()
 	for _, t := range tables {
 		if t.Name == "" {
@@ -221,7 +237,16 @@ const (
 func (c *Core) Tables() []string { return append([]string(nil), c.names...) }
 
 // Role reports whether this core is a leader or a replica follower.
-func (c *Core) Role() string { return c.role }
+func (c *Core) Role() string { return c.topo.Load().role }
+
+// SetGeneration records the replication fencing term this core serves
+// under: a publisher sets the leader's own term, a replication follower
+// the newest term it applied from the stream. Surfaced on /healthz.
+func (c *Core) SetGeneration(gen uint64) { c.gen.Store(gen) }
+
+// Generation returns the last recorded fencing term (0 when no
+// replication component has attached).
+func (c *Core) Generation() uint64 { return c.gen.Load() }
 
 // Close shuts the shards down gracefully: observation queues stop
 // accepting, their consumers drain what was already queued, and the
@@ -283,7 +308,7 @@ func (c *Core) ReplicaPosition(table string) (Position, bool) {
 	if err != nil {
 		return Position{}, false
 	}
-	return Position{Epoch: st.epoch, Snapshot: st.snap, Dataset: st.ds, Delta: st.delta, SeedRows: sh.seedRows}, true
+	return Position{Epoch: st.epoch, Snapshot: st.snap, Dataset: st.ds, Delta: st.delta, SeedRows: sh.bootRows()}, true
 }
 
 // ReplicaState is one externally decoded state a follower applies: the
@@ -316,7 +341,7 @@ func (c *Core) ApplyReplica(table string, st ReplicaState) error {
 	if !ok {
 		return errNotFound("unknown table %q", table)
 	}
-	if !sh.replica {
+	if !sh.isReplica() {
 		return errInvalid("table %q is not a replica", table)
 	}
 	if st.Snapshot.Serving == nil {
@@ -336,6 +361,87 @@ func (c *Core) ApplyReplica(table string, st ReplicaState) error {
 		return errInvalid("replica delta for %q was built over a different schema instance", table)
 	}
 	sh.applyReplica(st)
+	return nil
+}
+
+// PromoteTable parameterizes one table's promotion: the optimizer
+// configuration the new leader rebuilds its decision engine with
+// (Initial and InitialSort are overridden — the replicated serving
+// layout IS the initial state), and the row count of the table's boot
+// source for persistence framing (0 selects the boot dataset's full
+// row count; see CoreConfig.SeedRows).
+type PromoteTable struct {
+	Config   oreo.Config
+	SeedRows int
+}
+
+// PromoteConfig parameterizes Core.Promote. QueueSize and
+// CompactThreshold follow CoreConfig's defaulting rules; Advertise
+// replaces the healthz topology hint (a promoted leader is the URL
+// followers should now point at).
+type PromoteConfig struct {
+	QueueSize        int
+	CompactThreshold int
+	Advertise        string
+	// Tables maps each served table to its promotion parameters. Every
+	// table must be present — a leader cannot run half its tables
+	// without a decision path.
+	Tables map[string]PromoteTable
+}
+
+// Promote flips a replica core to leader role in place: per table, a
+// fresh optimizer is built over the replicated base with the replicated
+// serving layout as its initial state, the replicated cumulative
+// counters become the stats base (published stats stay monotone across
+// the role flip, exactly as they do across a compaction's engine
+// rebuild), the replicated delta reseeds a mutable write tail, and an
+// event consumer starts — the epoch counter continues from the applied
+// position, so the promoted leader's stream extends the old leader's
+// log rather than restarting it.
+//
+// The caller must have detached the replication follower first
+// (replica.Follower.Detach): promotion and a concurrent ApplyReplica
+// would both own the published state. Every table must have applied a
+// snapshot; promotion is all-or-nothing and an error leaves the core a
+// follower. After a successful promotion the core accepts writes,
+// observations, and a replication publisher exactly like a NewCore
+// leader.
+func (c *Core) Promote(cfg PromoteConfig) error {
+	if c.Role() != RoleFollower {
+		return errInvalid("serve: promote requires a follower core, got role %q", c.Role())
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.QueueSize < 0 {
+		return errInvalid("serve: QueueSize must be positive, got %d", cfg.QueueSize)
+	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
+	// Validate everything before touching any shard: a half-promoted
+	// core would serve some tables as leader and some as follower.
+	for _, name := range c.names {
+		if c.shards[name].rep.Load() == nil {
+			return errUnavailable("serve: cannot promote: table %q has not applied a snapshot yet", name)
+		}
+		if _, ok := cfg.Tables[name]; !ok {
+			return errInvalid("serve: promote config missing table %q", name)
+		}
+	}
+	for _, name := range c.names {
+		pt := cfg.Tables[name]
+		if err := c.shards[name].promote(pt.Config, pt.SeedRows, cfg.QueueSize, cfg.CompactThreshold); err != nil {
+			return err
+		}
+	}
+	c.topo.Store(&coreTopology{role: RoleLeader, advertise: cfg.Advertise})
+	// The role gauge follows the flip: retire the follower-labeled
+	// series, register the leader-labeled one.
+	c.reg.Unregister("oreo_role", metrics.Labels{"role": RoleFollower})
+	c.reg.GaugeFunc("oreo_role",
+		"Serving role, as a 1-valued gauge labeled with the role name.",
+		metrics.Labels{"role": RoleLeader}, func() float64 { return 1 })
 	return nil
 }
 
@@ -367,7 +473,7 @@ func (c *Core) Observe(table string, q oreo.Query) (bool, error) {
 	if !ok {
 		return false, errNotFound("unknown table %q", table)
 	}
-	if sh.replica {
+	if sh.isReplica() {
 		return false, errInvalid("table %q is a replica; observations belong on the leader", table)
 	}
 	if len(q.Preds) == 0 {
@@ -555,11 +661,13 @@ func (c *Core) Trace(table string) (TraceResponse, error) {
 func (c *Core) Health() HealthResponse {
 	names := append([]string(nil), c.names...)
 	sort.Strings(names)
+	topo := c.topo.Load()
 	resp := HealthResponse{
 		Status:          "ok",
-		Role:            c.role,
-		Upstream:        c.upstream,
-		Advertise:       c.advertise,
+		Role:            topo.role,
+		Generation:      c.gen.Load(),
+		Upstream:        topo.upstream,
+		Advertise:       topo.advertise,
 		Tables:          names,
 		LayoutEpochs:    make(map[string]uint64, len(names)),
 		DeltaRows:       make(map[string]int, len(names)),
@@ -580,7 +688,7 @@ func (c *Core) Health() HealthResponse {
 		// counter families: Observed = Queries + QueueDepth at any
 		// instant (observations enqueued = processed + still waiting), so
 		// a reader can tell "decision loop behind" from "counter drift".
-		resp.QueueDepth += len(sh.queue)
+		resp.QueueDepth += sh.queueDepth()
 		st, err := sh.view()
 		if err != nil {
 			// A replica table still waiting for its first snapshot: the

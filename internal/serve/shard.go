@@ -316,10 +316,10 @@ func (s *shard) registerMetrics(reg *metrics.Registry) {
 		func() float64 { return math.Float64frombits(s.costBits.Load()) })
 	reg.GaugeFunc("oreo_observation_queue_depth",
 		"Observations waiting for the decision loop (always 0 on a follower).", lbl,
-		func() float64 { return float64(len(s.queue)) })
+		func() float64 { return float64(s.queueDepth()) })
 	reg.GaugeFunc("oreo_observation_queue_capacity",
 		"Capacity of the decision-observation queue.", lbl,
-		func() float64 { return float64(cap(s.queue)) })
+		func() float64 { return float64(s.queueCap()) })
 
 	// Decision-loop and replication series read the published (epoch,
 	// snapshot) pair — nil on a replica before its first snapshot, which
@@ -659,6 +659,112 @@ func (s *shard) close() {
 	s.wg.Wait()
 }
 
+// The role-dependent fields (replica, forward, queue, and the
+// leader-only decision machinery) are written exactly twice in a
+// shard's life: at construction, and under the obsMu write lock by
+// promote. Every reader that can race a promotion goes through these
+// accessors, which take the read side — the same lock discipline the
+// observation handoff already uses against close.
+
+// isReplica reports whether the shard's state is externally applied.
+func (s *shard) isReplica() bool {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	return s.replica
+}
+
+// queueDepth returns the decision queue's current depth (0 on a
+// replica, which has no queue).
+func (s *shard) queueDepth() int {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	return len(s.queue)
+}
+
+// queueCap returns the decision queue's capacity (0 on a replica).
+func (s *shard) queueCap() int {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	return cap(s.queue)
+}
+
+// bootRows returns the row count of the table's boot source; see
+// CoreConfig.SeedRows.
+func (s *shard) bootRows() int {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	return s.seedRows
+}
+
+// promote flips a replica shard to leader mode in place, continuing
+// from the applied replication state exactly the way a compaction
+// continues from a retired engine: a fresh optimizer is built over the
+// replicated base with the replicated serving layout as its initial
+// state (so the first post-promotion decision costs queries against
+// the very layout the old leader was serving), the replicated
+// cumulative counters become the stats base, the replicated delta
+// reseeds a consumer-owned write tail, and the compaction sequence
+// resumes from the serving layout's name so post-promotion folds never
+// reuse a layout name the stream has already carried. The event queue
+// and consumer goroutine start last; the epoch counter continues from
+// the applied position because consume derives each epoch from the
+// published state.
+func (s *shard) promote(cfg oreo.Config, seedRows, queueSize, compactThreshold int) error {
+	st := s.rep.Load()
+	if st == nil {
+		return errUnavailable("table %q is replicating and has no snapshot yet", s.table)
+	}
+	// Build the new engine before taking the write lock: construction
+	// walks the whole base, and reads only ever hold obsMu for an
+	// enqueue. The inputs are stable — the caller has detached the
+	// replication stream, so nothing republishes rep underneath us.
+	cfg.Initial = st.snap.Serving
+	cfg.InitialSort = nil
+	opt, err := oreo.New(st.ds, cfg)
+	if err != nil {
+		return fmt.Errorf("serve: rebuilding optimizer for promotion of table %q: %w", s.table, err)
+	}
+	copt := oreo.NewConcurrent(opt)
+	delta := table.NewDelta(s.ds.Schema())
+	if st.delta != nil {
+		delta.AppendDataset(st.delta)
+	}
+
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if !s.replica {
+		return errInvalid("table %q is already a leader", s.table)
+	}
+	if s.obsClosed {
+		return errUnavailable("table %q is shutting down", s.table)
+	}
+	s.copt.Store(copt)
+	s.optCfg = copt.Config()
+	s.seedRows = seedRows
+	s.statsBase = st.snap.Stats
+	s.delta = delta
+	s.compactThreshold = compactThreshold
+	s.compactSeq = compactSeqFromName(st.snap.Serving.Name)
+	s.queue = make(chan shardEvent, queueSize)
+	s.replica = false
+	s.forward = nil
+	s.wg.Add(1)
+	go s.consume()
+	return nil
+}
+
+// compactSeqFromName recovers the compaction sequence from a layout
+// name: "compact-N" yields N, anything else 0. A promoted leader
+// resumes the old leader's sequence so stream-visible layout names
+// stay unique across the role change.
+func compactSeqFromName(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "compact-%d", &n); err == nil && n > 0 {
+		return n
+	}
+	return 0
+}
+
 // observe hands the query to the decision loop — or, on a replica,
 // to the upstream forwarder — without blocking: false when the queue
 // (or forward buffer) is full or the shard is closing.
@@ -892,8 +998,8 @@ func (s *shard) stats() (StatsResponse, error) {
 		SnapshotCompiles:  s.compiles.Load(),
 		Executions:        s.executions.Load(),
 		ExecutionRowsRead: s.execRows.Load(),
-		QueueDepth:        len(s.queue),
-		QueueCapacity:     cap(s.queue),
+		QueueDepth:        s.queueDepth(),
+		QueueCapacity:     s.queueCap(),
 
 		DeltaRows:    rst.deltaRows(),
 		RowsAppended: s.rowsAppended.Load(),
@@ -937,7 +1043,7 @@ func (s *shard) layoutInfo() (LayoutResponse, error) {
 // compaction the trace is the fresh engine's: compaction retires the
 // old optimizer, trace and all.
 func (s *shard) traceEvents() []TraceEventJSON {
-	if s.replica {
+	if s.isReplica() {
 		return []TraceEventJSON{}
 	}
 	events := s.copt.Load().Events()

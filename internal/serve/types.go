@@ -283,6 +283,13 @@ type HealthResponse struct {
 	// Role is "leader" (owns decision loops) or "follower" (replica
 	// applying the leader's decision stream).
 	Role string `json:"role"`
+	// Generation is the monotonic leadership fencing term: on a leader,
+	// the term it publishes its decision stream under (0 when no
+	// publisher is attached); on a follower, the highest term it has
+	// applied. Two curls tell an operator whether a follower is still
+	// tracking a deposed leader. Arrived with cluster promotion,
+	// additively (see the doc comment above).
+	Generation uint64 `json:"generation"`
 	// Upstream is the leader URL a follower replicates from; Advertise
 	// is the URL a leader told operators to point followers at. Both
 	// informational.

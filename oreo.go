@@ -229,6 +229,74 @@
 // shippers. See examples/replication for a leader + two followers in
 // miniature.
 //
+// # Cluster
+//
+// internal/cluster closes the loop around the fleet itself: a control
+// plane that sizes the follower set to the observed load and survives
+// the loss of the leader — built entirely on the public surfaces
+// above (/healthz, /metrics, the replication stream, the client SDK);
+// the controller holds no privileged channel into any member.
+//
+// The control loop follows the collector → decision → actuator split.
+// cluster.Controller polls every member each tick and derives Signals:
+// achieved QPS (request-counter deltas summed fleet-wide), the worst
+// member's interval p99 (histogram-bucket deltas between scrapes), and
+// the worst oreo_replication_lag_epochs reading. A pluggable Policy
+// turns signals into a follower target: ThresholdPolicy scales up when
+// any ceiling (QPS/node, p99, lag) is crossed and down only when the
+// smaller fleet would sit comfortably inside a guard fraction of every
+// ceiling — the hysteresis band is what prevents flapping;
+// QueueingPolicy instead sizes the fleet as an M/M/c system, picking
+// the smallest server count whose Erlang-C mean queueing delay meets a
+// target wait. cluster.ProcessActuator turns targets into oreoserve
+// -follow OS processes: at most one spawn or retire per tick, bounded
+// to [min, max], rate-limited by a cool-down, crashed followers reaped
+// and their slots reused, and every action logged and counted
+// (oreo_cluster_spawns_total / _retires_total / _reaps_total, plus the
+// controller's own qps/p99/lag/target gauges). cmd/oreoctl is the
+// operational wrapper: point it at a leader and a binary and it runs
+// the loop, serving its own /metrics.
+//
+// Failover is the same loop's other output. When the leader fails its
+// health poll FailThreshold ticks in a row, the controller promotes
+// the most caught-up healthy follower (highest layout epochs — the
+// most replicated state preserved): POST /v2/cluster/promote asks the
+// follower to rebuild a live optimizer per table from its replicated
+// layout and counters, flip its serve.Core to the leader role, and
+// activate the replication endpoints it pre-mounted at boot. The
+// actuator releases the promoted process from management — a new
+// leader must never be "scaled down" — and the loop repoints at it.
+//
+// Promotion is safe against the failure that motivates it: the old
+// leader coming back. The replication Generation is a monotonic
+// fencing term — a fresh leader publishes generation 1, a promoted one
+// applied+1 — carried on every stream record, subscribe request, and
+// forwarded-observation batch. A subscriber claiming a newer term than
+// its upstream is refused outright; an observation batch with a stale
+// term is rejected with 409 and counted
+// (oreo_replication_observations_received_total{result="fenced"}); a
+// follower that sees a record with a term older than what it has
+// already applied stops replicating with a terminal error rather than
+// apply a deposed leader's decisions. Both roles expose their term as
+// generation on /healthz. And because a promoted follower rebuilds
+// from the same replicated state the old leader published, the fleet's
+// answers stay bit-identical across the failover — property-tested at
+// every epoch against a never-failed control run.
+//
+// replica.Archiver decouples follower bootstrap from leader liveness:
+// an ordinary subscriber that persists the decision stream verbatim to
+// append-only NDJSON segments (one per subscription session; torn
+// tails from crashes are tolerated, mid-segment corruption fails
+// loudly). A follower started with -archive DIR replays the archive
+// offline before touching the network, so its first live subscription
+// is a cheap resume instead of a full leader snapshot — new capacity
+// does not tax the leader it is meant to relieve. The same archive
+// gives point-in-time replay (ReplayArchiveUpTo) for debugging a
+// decision sequence, and oreoserve -archive on a leader keeps the
+// fleet's own log. See examples/cluster for the whole arc — scale-up
+// under load, leader kill, promotion, fenced old leader — in one
+// script.
+//
 // # Observability
 //
 // Every serving role — leader and follower alike — mounts GET /metrics,
