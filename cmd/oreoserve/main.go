@@ -125,9 +125,12 @@ func main() {
 	)
 	if *follow != "" {
 		// Follower: same data, no optimizer — state is replicated from
-		// the leader, so warm-start snapshots have nothing to add.
+		// the leader, so warm-start snapshots have nothing to add. The
+		// directory still matters for one thing: a promotion records its
+		// fencing term there, so a later reboot as a leader (-state, no
+		// -follow) resumes the adopted term instead of regressing to 1.
 		if *stateIn != "" {
-			log.Print("oreoserve: -state ignored in follower mode (state replicates from the leader)")
+			log.Print("oreoserve: follower mode uses -state only to persist the fencing term on promotion (serving state replicates from the leader)")
 		}
 		var tabs []replica.TableData
 		for _, src := range sources {
@@ -144,7 +147,7 @@ func main() {
 		// and the replication endpoints answering 503 until a promotion
 		// installs a publisher behind them (ServeMux registration is not
 		// safe once serving has started; an atomic handler swap is).
-		promo := &promoteServer{fol: fol}
+		promo := &promoteServer{fol: fol, stateDir: *stateIn}
 		for _, src := range sources {
 			if promo.cfg.Tables == nil {
 				promo.cfg = serve.PromoteConfig{
@@ -235,11 +238,42 @@ func main() {
 			}
 			log.Printf("table %s: restored %d delta rows (delta now %d)", src.name, delta.NumRows(), ack.DeltaRows)
 		}
-		pub, err := replica.NewPublisher(srv.Core(), replica.PublisherConfig{})
+		// The fencing term survives restarts: a leader that was ever at
+		// term 2+ (it was promoted, or restored a promoted predecessor's
+		// state) must republish at that term, or every follower that
+		// applied the higher term would fence it out on sight. Recover
+		// the highest term any persisted source proves, then re-persist
+		// the adopted one immediately — not just at graceful shutdown.
+		var pubGen uint64
+		if *stateIn != "" {
+			g, err := replica.LoadTerm(*stateIn)
+			if err != nil {
+				log.Fatalf("oreoserve: %v", err)
+			}
+			pubGen = g
+		}
+		if *archive != "" {
+			g, err := replica.ArchiveGeneration(*archive)
+			if err != nil {
+				log.Fatalf("oreoserve: %v", err)
+			}
+			if g > pubGen {
+				pubGen = g
+			}
+		}
+		pub, err := replica.NewPublisher(srv.Core(), replica.PublisherConfig{Generation: pubGen})
 		if err != nil {
 			log.Fatalf("oreoserve: %v", err)
 		}
 		pub.Mount(srv)
+		if pubGen > 1 {
+			log.Printf("oreoserve: restored fencing term %d", pub.Generation())
+		}
+		if *stateIn != "" {
+			if err := replica.SaveTerm(*stateIn, pub.Generation()); err != nil {
+				log.Fatalf("oreoserve: %v", err)
+			}
+		}
 	}
 
 	// A leader with -archive tails its own decision stream to disk: the
@@ -335,10 +369,11 @@ func selfURL(addr string) string {
 // and installs a publisher behind the pre-mounted replication
 // endpoints, which answer 503 until then.
 type promoteServer struct {
-	mu  sync.Mutex
-	fol *replica.Follower
-	cfg serve.PromoteConfig
-	pub atomic.Pointer[replica.Publisher]
+	mu       sync.Mutex
+	fol      *replica.Follower
+	cfg      serve.PromoteConfig
+	stateDir string
+	pub      atomic.Pointer[replica.Publisher]
 }
 
 func (p *promoteServer) handlePromote(w http.ResponseWriter, r *http.Request) {
@@ -355,6 +390,14 @@ func (p *promoteServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.pub.Store(pub)
+	// Persist the adopted term before announcing it: once followers have
+	// seen the higher term, a restart of this process at a lower one is
+	// terminally fenced, so the term file must exist first.
+	if p.stateDir != "" {
+		if err := replica.SaveTerm(p.stateDir, pub.Generation()); err != nil {
+			log.Printf("oreoserve: persisting fencing term: %v", err)
+		}
+	}
 	h := p.fol.Core().Health()
 	log.Printf("oreoserve: promoted to leader at generation %d (epochs %v)", h.Generation, h.LayoutEpochs)
 	writeJSONStatus(w, http.StatusOK, h)

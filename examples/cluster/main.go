@@ -188,6 +188,27 @@ func (f *fleet) Release(url string) bool {
 	return false
 }
 
+// Retarget implements cluster.Actuator: the survivors were booted
+// against the deposed leader and a follower's upstream is fixed for
+// life, so each is torn down and rebuilt tracking the new leader —
+// the in-process mirror of ProcessActuator's rolling replacement.
+func (f *fleet) Retarget(leader string) int {
+	old := f.members
+	f.members = f.members[:0]
+	for _, m := range old {
+		m.fol.Close()
+		m.stop()
+		nm, err := newMember(leader)
+		if err != nil {
+			fmt.Printf("actuator: retarget respawn failed: %v\n", err)
+			continue
+		}
+		f.members = append(f.members, nm)
+		fmt.Printf("actuator: replaced follower %s with %s tracking the new leader\n", m.url, nm.url)
+	}
+	return len(f.members)
+}
+
 func (f *fleet) stopAll() {
 	for _, m := range append(append([]*member(nil), f.members...), f.released...) {
 		m.fol.Close()

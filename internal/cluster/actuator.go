@@ -26,6 +26,12 @@ type Actuator interface {
 	// process — the promotion hand-off: a follower that just became
 	// the leader must never be "scaled down".
 	Release(url string) bool
+	// Retarget moves every managed follower onto a new leader and
+	// returns how many were moved. Followers learn their upstream at
+	// boot, so this is a replacement, not a reconfiguration; the
+	// promotion path uses it because survivors of a failover would
+	// otherwise retry the dead leader forever with frozen lag gauges.
+	Retarget(leader string) int
 }
 
 // ProcessActuatorConfig parameterizes a ProcessActuator.
@@ -83,6 +89,7 @@ type ProcessActuator struct {
 	mu         sync.Mutex
 	procs      []*followerProc
 	released   []*followerProc
+	retiring   []*followerProc // being stopped outside the lock; slots still reserved
 	lastAction time.Time
 
 	spawns  *metrics.Counter
@@ -142,7 +149,6 @@ func NewProcessActuator(cfg ProcessActuatorConfig) (*ProcessActuator, error) {
 // Ensure implements Actuator.
 func (a *ProcessActuator) Ensure(target int, leader string) (int, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.reapLocked()
 	if target < a.cfg.Min {
 		target = a.cfg.Min
@@ -152,22 +158,32 @@ func (a *ProcessActuator) Ensure(target int, leader string) (int, error) {
 	}
 	n := len(a.procs)
 	if n == target {
+		a.mu.Unlock()
 		return n, nil
 	}
 	if !a.lastAction.IsZero() && time.Since(a.lastAction) < a.cfg.Cooldown {
+		a.mu.Unlock()
 		return n, nil // in cool-down; the next tick gets another chance
 	}
+	var victim *followerProc
 	var err error
 	if n < target {
 		err = a.spawnLocked(leader)
 	} else {
-		err = a.retireLocked()
+		victim = a.retireLocked()
 	}
 	if err != nil {
-		return len(a.procs), err
+		n = len(a.procs)
+		a.mu.Unlock()
+		return n, err
 	}
 	a.lastAction = time.Now()
-	return len(a.procs), nil
+	n = len(a.procs)
+	a.mu.Unlock()
+	if victim != nil {
+		a.stopRetiring(victim)
+	}
+	return n, nil
 }
 
 // Followers implements Actuator.
@@ -194,6 +210,56 @@ func (a *ProcessActuator) Release(url string) bool {
 		}
 	}
 	return false
+}
+
+// Retarget implements Actuator: a rolling replacement of the whole
+// managed fleet onto a new leader. oreoserve followers learn their
+// upstream from the -follow boot flag, so after a promotion the
+// survivors cannot be re-pointed in place — left alone they would
+// retry the dead leader's address forever while their lag gauges
+// freeze at the last pre-failure reading. Retarget drains every
+// managed process, stops them concurrently (each stop is bounded by
+// RetireGrace, and none of it holds a.mu), then respawns the same
+// count against the new leader. It deliberately ignores the cool-down:
+// a stranded follower serves stale data and converges to nothing, so
+// replacing it immediately beats damping; lastAction is stamped
+// afterward so ordinary scaling resumes damped.
+func (a *ProcessActuator) Retarget(leader string) int {
+	a.mu.Lock()
+	a.reapLocked()
+	drained := append([]*followerProc(nil), a.procs...)
+	a.procs = nil
+	a.retiring = append(a.retiring, drained...)
+	if a.retires != nil {
+		a.retires.Add(uint64(len(drained)))
+	}
+	for _, p := range drained {
+		a.logf("cluster: retiring follower %s (pid %d) for retarget onto %s", p.url, p.cmd.Process.Pid, leader)
+	}
+	a.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range drained {
+		wg.Add(1)
+		go func(p *followerProc) {
+			defer wg.Done()
+			a.stopRetiring(p)
+		}(p)
+	}
+	wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for range drained {
+		if err := a.spawnLocked(leader); err != nil {
+			a.logf("cluster: retarget spawn: %v", err)
+			break
+		}
+		n++
+	}
+	if len(drained) > 0 {
+		a.lastAction = time.Now()
+	}
+	return n
 }
 
 // StopAll stops every managed process — followers and released ones —
@@ -232,6 +298,9 @@ func (a *ProcessActuator) spawnLocked(leader string) error {
 		used[p.slot] = true
 	}
 	for _, p := range a.released {
+		used[p.slot] = true
+	}
+	for _, p := range a.retiring {
 		used[p.slot] = true
 	}
 	slot := 0
@@ -275,23 +344,40 @@ func (a *ProcessActuator) spawnLocked(leader string) error {
 	return nil
 }
 
-// retireLocked stops the newest follower — the slot that has served
-// the least and whose loss disturbs the fleet least.
-func (a *ProcessActuator) retireLocked() error {
+// retireLocked drains the newest follower — the slot that has served
+// the least and whose loss disturbs the fleet least — into the
+// retiring list and returns it (nil if there is nothing to retire).
+// The caller must finish the job with stopRetiring after releasing
+// a.mu: the stop can block for the full RetireGrace, and holding the
+// lock through it would stall every /metrics scrape and control tick
+// behind one slow exit. The retiring entry keeps the slot reserved
+// until the process is actually gone.
+func (a *ProcessActuator) retireLocked() *followerProc {
 	if len(a.procs) == 0 {
 		return nil
 	}
 	p := a.procs[len(a.procs)-1]
 	a.procs = a.procs[:len(a.procs)-1]
+	a.retiring = append(a.retiring, p)
 	if a.retires != nil {
 		a.retires.Add(1)
 	}
 	a.logf("cluster: retiring follower %s (pid %d)", p.url, p.cmd.Process.Pid)
-	// Stop outside the lock would be nicer, but retire is rare and the
-	// grace period is bounded; holding the lock keeps slot accounting
-	// trivially consistent.
+	return p
+}
+
+// stopRetiring terminates a follower previously drained by
+// retireLocked, then frees its slot. Must be called without a.mu held.
+func (a *ProcessActuator) stopRetiring(p *followerProc) {
 	a.stop(p)
-	return nil
+	a.mu.Lock()
+	for i, q := range a.retiring {
+		if q == p {
+			a.retiring = append(a.retiring[:i], a.retiring[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
 }
 
 // stop terminates one process: SIGTERM, a bounded grace wait, SIGKILL.

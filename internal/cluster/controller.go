@@ -388,4 +388,10 @@ func (c *Controller) promote(ctx context.Context, oldLeader string) {
 	c.setLeaderGauge(oldLeader, best.url)
 	c.logf("cluster: promoted %s to leader (generation %d, epochs %v); deposed %s",
 		best.url, h.Generation, h.LayoutEpochs, oldLeader)
+	// The surviving followers still point at the deposed leader — their
+	// upstream is fixed at boot — so without this they retry a dead
+	// address forever and the fleet never re-replicates. Move them now.
+	if moved := c.actuator.Retarget(best.url); moved > 0 {
+		c.logf("cluster: retargeted %d surviving follower(s) onto %s", moved, best.url)
+	}
 }

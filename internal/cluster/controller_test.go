@@ -79,6 +79,7 @@ type fakeActuator struct {
 	followers []string
 	targets   []int
 	released  []string
+	retargets []string
 }
 
 func (a *fakeActuator) Ensure(target int, leader string) (int, error) {
@@ -105,6 +106,13 @@ func (a *fakeActuator) Release(url string) bool {
 		}
 	}
 	return false
+}
+
+func (a *fakeActuator) Retarget(leader string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.retargets = append(a.retargets, leader)
+	return len(a.followers)
 }
 
 func (a *fakeActuator) lastTarget() (int, bool) {
@@ -237,6 +245,14 @@ func TestControllerPromotesOnLeaderFailure(t *testing.T) {
 	act.mu.Unlock()
 	if len(released) != 1 || released[0] != ahead.srv.URL {
 		t.Fatalf("released = %v, want exactly the promoted follower", released)
+	}
+	// The survivors must be repointed at the new leader — their boot-time
+	// upstream is the deposed one, and nothing else ever fixes that.
+	act.mu.Lock()
+	retargets := append([]string(nil), act.retargets...)
+	act.mu.Unlock()
+	if len(retargets) != 1 || retargets[0] != ahead.srv.URL {
+		t.Fatalf("retargets = %v, want the surviving fleet moved onto the promoted leader once", retargets)
 	}
 
 	// The controller's own metrics must tell the story: failures
@@ -387,5 +403,57 @@ func TestProcessActuatorLifecycle(t *testing.T) {
 	}
 	if v, _ := sc.Value("oreo_cluster_followers", nil); v != 2 {
 		t.Fatalf("followers gauge = %v, want 2", v)
+	}
+}
+
+// TestProcessActuatorRetarget pins the post-promotion convergence path:
+// Retarget replaces every managed follower with a fresh process aimed
+// at the new leader — immediately, ignoring the cool-down — while the
+// released (promoted) follower's process and slot stay untouched.
+func TestProcessActuatorRetarget(t *testing.T) {
+	const cooldown = 100 * time.Millisecond
+	reg := metrics.NewRegistry()
+	a, err := NewProcessActuator(ProcessActuatorConfig{
+		Binary:      "/bin/sh",
+		BaseArgs:    []string{"-c", "sleep 60", "follower"},
+		PortBase:    43000,
+		Max:         3,
+		Cooldown:    cooldown,
+		RetireGrace: 2 * time.Second,
+		Logf:        t.Logf,
+		Reg:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.StopAll)
+
+	if n, err := a.Ensure(2, "http://oldleader"); err != nil || n != 1 {
+		t.Fatalf("first Ensure = %d,%v; want 1", n, err)
+	}
+	time.Sleep(cooldown + 50*time.Millisecond)
+	if n, err := a.Ensure(2, "http://oldleader"); err != nil || n != 2 {
+		t.Fatalf("second Ensure = %d,%v; want 2", n, err)
+	}
+
+	// Promote slot 0's follower out of management, then converge the
+	// survivor onto it. No cool-down sleep before Retarget: a stranded
+	// follower serves stale data, so convergence must not wait.
+	if !a.Release("http://127.0.0.1:43000") {
+		t.Fatal("Release did not find the follower")
+	}
+	if n := a.Retarget("http://127.0.0.1:43000"); n != 1 {
+		t.Fatalf("Retarget moved %d follower(s), want 1", n)
+	}
+	urls := a.Followers()
+	if len(urls) != 1 || urls[0] != "http://127.0.0.1:43001" {
+		t.Fatalf("followers after retarget = %v; want a fresh process on slot 43001 only (slot 43000 belongs to the promoted leader)", urls)
+	}
+	sc := scrapeRegistry(t, reg)
+	if v, _ := sc.Value("oreo_cluster_retires_total", nil); v != 1 {
+		t.Fatalf("retires_total = %v, want 1 (the replaced survivor)", v)
+	}
+	if v, _ := sc.Value("oreo_cluster_spawns_total", nil); v != 3 {
+		t.Fatalf("spawns_total = %v, want 3 (two scale-ups plus the retarget respawn)", v)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -57,6 +58,7 @@ type Archiver struct {
 
 	mu        sync.Mutex
 	gen       uint64
+	boot      string
 	positions map[string]uint64
 
 	ctx    context.Context
@@ -99,6 +101,12 @@ type ArchiverStats struct {
 	Resumes    uint64
 }
 
+// archiveSyncEvery is how many archived records may accumulate between
+// segment fsyncs: small enough that a power loss costs at most a
+// moment of stream tail, large enough that syncing never paces a bulk
+// replay.
+const archiveSyncEvery = 256
+
 // recordMeta is the cheap projection of a stream record that position
 // recovery and archival bookkeeping decode — skipping State and Rows,
 // which dominate snapshot and append record sizes.
@@ -107,6 +115,7 @@ type recordMeta struct {
 	Table      string `json:"table"`
 	Epoch      uint64 `json:"epoch"`
 	Generation uint64 `json:"generation"`
+	Boot       string `json:"boot"`
 }
 
 // NewArchiver builds an archiver and starts its subscription loop. The
@@ -152,8 +161,12 @@ func NewArchiver(cfg ArchiverConfig) (*Archiver, error) {
 }
 
 // Close stops the subscription loop and waits for the current segment
-// to be fully flushed (every record is written and synced before its
-// position is advanced, so Close never loses an acknowledged record).
+// to be written out and fsynced, so a clean Close never loses an
+// acknowledged record. Between the periodic syncs of a live session an
+// OS crash or power loss can still drop the unsynced tail; recovery
+// then sees only what reached the disk, so the recovered positions are
+// always consistent with the archive's durable contents and the next
+// subscription simply re-fetches what was lost.
 func (a *Archiver) Close() {
 	a.cancel()
 	a.wg.Wait()
@@ -181,6 +194,41 @@ func (a *Archiver) Generation() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.gen
+}
+
+// ArchiveGeneration scans an archive directory's record headers and
+// returns the highest fencing term recorded in it. A missing or empty
+// archive is term 0, not an error — the caller is asking "what term
+// has this fleet provably reached?", and an absent archive proves
+// nothing. A leader that archives its own stream restores its term
+// from here at boot (oreoserve -archive does), so a restart after a
+// promotion never republishes at a term its followers have already
+// moved past.
+func ArchiveGeneration(dir string) (uint64, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("replica: %w", err)
+	}
+	var gen uint64
+	for _, seg := range segs {
+		err := scanSegment(seg, func(line []byte) error {
+			var m recordMeta
+			if err := json.Unmarshal(line, &m); err != nil {
+				return err
+			}
+			if m.Generation > gen {
+				gen = m.Generation
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("replica: recovering generation from %s: %w", seg, err)
+		}
+	}
+	return gen, nil
 }
 
 // segments lists the archive's segment files in replay (lexical)
@@ -245,6 +293,9 @@ func (a *Archiver) note(m *recordMeta) {
 	if m.Generation > a.gen {
 		a.gen = m.Generation
 	}
+	if m.Boot != "" {
+		a.boot = m.Boot
+	}
 }
 
 // run is the subscription loop: subscribe, archive until the stream
@@ -294,6 +345,7 @@ func (a *Archiver) subscribeOnce() (archived int, err error) {
 		Version:    ProtocolVersion,
 		Tables:     append([]string(nil), a.cfg.Tables...),
 		Generation: a.gen,
+		Boot:       a.boot,
 		Positions:  make(map[string]uint64, len(a.positions)),
 	}
 	for t, e := range a.positions {
@@ -324,6 +376,9 @@ func (a *Archiver) subscribeOnce() (archived int, err error) {
 	var seg *os.File
 	defer func() {
 		if seg != nil {
+			// Fsync before close: the session's tail must be durable by
+			// the time Close (which joins this loop) returns.
+			seg.Sync()
 			seg.Close()
 		}
 	}()
@@ -353,6 +408,13 @@ func (a *Archiver) subscribeOnce() (archived int, err error) {
 			a.stats.resumes.Add(1)
 		}
 		archived++
+		// Periodic fsync bounds how much a power loss can take with it;
+		// a torn or missing tail is exactly what recovery tolerates.
+		if archived%archiveSyncEvery == 0 {
+			if err := seg.Sync(); err != nil {
+				return archived, fmt.Errorf("syncing archive segment: %w", err)
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return archived, fmt.Errorf("reading stream: %w", err)

@@ -130,7 +130,12 @@ type Follower struct {
 	// applied (0 before the first stream record). It is echoed on
 	// resubscription and mirrored into the core for /healthz; a stream
 	// regressing below it is a deposed leader and is fenced terminally.
-	gen       uint64
+	gen uint64
+	// boot is the boot ID of the publisher the applied state came from
+	// ("" before the first snapshot or resume). Echoed on
+	// resubscription: resume is only offered when the upstream is the
+	// same process life the positions were applied from.
+	boot      string
 	positions map[string]uint64
 	layouts   map[string]*oreo.Layout
 	applied   map[string]bool
@@ -527,6 +532,7 @@ func (f *Follower) subscribeOnce() (applied int, err error) {
 		Version:    ProtocolVersion,
 		Tables:     append([]string(nil), f.names...),
 		Generation: f.gen,
+		Boot:       f.boot,
 		Positions:  make(map[string]uint64, len(f.positions)),
 	}
 	for t, e := range f.positions {
@@ -618,10 +624,15 @@ func (f *Follower) apply(rec *Record) error {
 	}
 	switch rec.Type {
 	case RecordResume:
+		f.mu.Lock()
 		if rec.Generation != 0 {
-			f.mu.Lock()
 			f.gen = rec.Generation
-			f.mu.Unlock()
+		}
+		if rec.Boot != "" {
+			f.boot = rec.Boot
+		}
+		f.mu.Unlock()
+		if rec.Generation != 0 {
 			f.core.SetGeneration(rec.Generation)
 		}
 		f.stats.resumes.Add(1)
@@ -807,6 +818,9 @@ func (f *Follower) publish(rec *Record, lay *oreo.Layout, base, delta *oreo.Data
 	f.deltas[rec.Table] = delta
 	if rec.Generation != 0 && rec.Generation > f.gen {
 		f.gen = rec.Generation
+	}
+	if rec.Boot != "" {
+		f.boot = rec.Boot
 	}
 	f.applied[rec.Table] = true
 	allApplied := len(f.applied) == len(f.names)

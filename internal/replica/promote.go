@@ -21,10 +21,15 @@ import (
 // subscribe and observe paths.
 //
 // cfg.Tables must name every replicated table; PublisherConfig's
-// Generation is overridden with the incremented term. On error the
-// follower's replication loop is already stopped (promotion is a
-// one-way door — the caller decides whether to rebuild a follower or
-// retry), but the core's serving surface is unchanged.
+// Generation is overridden with the incremented term. The adopted term
+// must outlive this process: callers that can persist state should
+// record it (SaveTerm on a state directory, or a self-archive) so a
+// restart republishes at the same term instead of regressing to 1 and
+// being fenced out by the very followers this promotion won over —
+// oreoserve persists it through -state. On error the follower's
+// replication loop is already stopped (promotion is a one-way door —
+// the caller decides whether to rebuild a follower or retry), but the
+// core's serving surface is unchanged.
 func Promote(f *Follower, cfg serve.PromoteConfig, pubCfg PublisherConfig) (*Publisher, error) {
 	f.Detach()
 	term := f.Generation() + 1

@@ -2,6 +2,8 @@ package replica
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -36,7 +38,11 @@ type PublisherConfig struct {
 	// Generation is the leader's monotonic fencing term. Zero selects 1,
 	// the term of a fresh (never-promoted) leader; a promotion passes
 	// the deposed leader's term + 1 so followers can tell the new
-	// lineage from a revival of the old one.
+	// lineage from a revival of the old one. The term must outlive the
+	// process: a caller that can persist state should record the
+	// adopted term (SaveTerm, or an archive) and pass it back at the
+	// next boot — a restarted leader republishing at term 1 after a
+	// failover to 2+ would be fenced out by its own fleet.
 	Generation uint64
 	// Logf receives operational messages (subscriber churn, forced
 	// re-snapshots); nil selects log.Printf.
@@ -56,6 +62,7 @@ type PublisherConfig struct {
 type Publisher struct {
 	core      *serve.Core
 	gen       uint64
+	boot      string
 	queueSize int
 	logf      func(format string, args ...any)
 
@@ -99,6 +106,7 @@ func NewPublisher(core *serve.Core, cfg PublisherConfig) (*Publisher, error) {
 	p := &Publisher{
 		core:      core,
 		gen:       cfg.Generation,
+		boot:      newBootID(),
 		queueSize: cfg.QueueSize,
 		logf:      cfg.Logf,
 		subs:      make(map[*subscriber]struct{}),
@@ -168,8 +176,23 @@ func (p *Publisher) lagEpochs(table string) uint64 {
 	return lag
 }
 
+// newBootID mints a publisher's boot-unique identity. Randomness — not
+// a counter or a timestamp — is the point: no state needs persisting
+// for two boots of the same process to be distinguishable.
+func newBootID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("replica: reading boot ID entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Generation returns the leader's monotonic fencing term.
 func (p *Publisher) Generation() uint64 { return p.gen }
+
+// BootID returns the publisher's boot-unique identity, as carried on
+// snapshot and resume records.
+func (p *Publisher) BootID() string { return p.boot }
 
 // Subscribers reports the current subscriber count.
 func (p *Publisher) Subscribers() int {
@@ -362,6 +385,7 @@ func (p *Publisher) snapshotRecord(table string) (*Record, error) {
 		Table:      table,
 		Epoch:      pos.Epoch,
 		Generation: p.gen,
+		Boot:       p.boot,
 		State:      state,
 		Stats:      &pos.Snapshot.Stats,
 	}
@@ -513,9 +537,15 @@ func (p *Publisher) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		// position: a missing key must not read as "epoch 0" and match
 		// an idle table, or a follower that never applied the table's
 		// snapshot would be resumed into permanent unavailability.
+		// And the claim must name THIS boot of the leader, not just its
+		// term: a restarted leader re-reaches old epochs along a new
+		// history, so a (generation, epoch) match from a previous boot —
+		// easy for an archiver whose positions persist across arbitrary
+		// downtime — must cost a snapshot, never a silent resume onto a
+		// forked stream.
 		claim, claimed := req.Positions[t]
-		if ok && req.Generation == p.gen && claimed && claim == epoch {
-			data, err := json.Marshal(&Record{Type: RecordResume, Table: t, Epoch: epoch, Generation: p.gen})
+		if ok && req.Generation == p.gen && req.Boot == p.boot && claimed && claim == epoch {
+			data, err := json.Marshal(&Record{Type: RecordResume, Table: t, Epoch: epoch, Generation: p.gen, Boot: p.boot})
 			if err != nil || !writeRec(data) {
 				return
 			}

@@ -52,10 +52,13 @@
 // backlog and transparently re-snapshots every subscribed table in the
 // same stream. On the follower side, any out-of-order epoch (a gap the
 // publisher could not repair, a proxy hiccup) abandons the connection;
-// the follower resubscribes with its current generation + positions,
-// and the leader answers with a cheap resume record when nothing was
-// missed or a fresh snapshot otherwise — which is also how a leader
-// restart (new generation, reset epochs) is survived.
+// the follower resubscribes with its current generation + boot ID +
+// positions, and the leader answers with a cheap resume record when
+// nothing was missed or a fresh snapshot otherwise — which is also how
+// a leader restart is survived: the restarted process mints a new boot
+// ID, so even if it re-reaches the claimed epochs under the same
+// fencing term, subscribers are re-snapshotted instead of silently
+// resumed onto a forked history.
 //
 // # Observations flow upstream
 //
@@ -118,10 +121,20 @@ type Record struct {
 	// every promotion increments the term, so of two processes claiming
 	// leadership the higher term is always the real one. A follower
 	// tracks the highest term it has applied, echoes it when
-	// resubscribing (leader tells a blip from a restart), and terminally
-	// rejects any stream regressing to a lower term — a revived old
-	// leader is fenced out loudly, never applied.
+	// resubscribing, and terminally rejects any stream regressing to a
+	// lower term — a revived old leader is fenced out loudly, never
+	// applied.
 	Generation uint64 `json:"generation,omitempty"`
+	// Boot identifies the publishing process instance (snapshot and
+	// resume records): a random ID minted when the publisher is built,
+	// unique per boot. Generation orders leaderships; Boot tells two
+	// lives of the SAME term apart — a restarted leader resumes its
+	// persisted term, and once its epochs re-reach a subscriber's old
+	// position the (generation, epoch) pair alone would look resumable
+	// even though the histories behind the two positions differ.
+	// Subscribers echo the boot they applied from and the leader resumes
+	// only on a three-way match; a boot mismatch costs one snapshot.
+	Boot string `json:"boot,omitempty"`
 	// State is the full table state (snapshot records only), in the
 	// persist warm-start framing.
 	State *persist.StateDoc `json:"state,omitempty"`
@@ -157,14 +170,16 @@ type SubscribeRequest struct {
 	// Tables restricts the subscription; empty subscribes to all
 	// served tables. Unknown names are a client error.
 	Tables []string `json:"tables,omitempty"`
-	// Generation + Positions are the resubscribe-with-resume hint: the
-	// leader term the follower last applied and its per-table epochs.
-	// When the term matches and a table's position equals the leader's,
-	// the leader answers with a resume record instead of re-sending a
-	// snapshot. A request claiming a term HIGHER than the leader's own is
-	// rejected outright — it proves this leader has been superseded and
-	// must not feed anyone state.
+	// Generation + Boot + Positions are the resubscribe-with-resume
+	// hint: the leader term the follower last applied, the boot ID of
+	// the publisher it applied from (see Record.Boot), and its per-table
+	// epochs. Only when term AND boot match and a table's position
+	// equals the leader's does the leader answer with a resume record
+	// instead of re-sending a snapshot. A request claiming a term HIGHER
+	// than the leader's own is rejected outright — it proves this leader
+	// has been superseded and must not feed anyone state.
 	Generation uint64            `json:"generation,omitempty"`
+	Boot       string            `json:"boot,omitempty"`
 	Positions  map[string]uint64 `json:"positions,omitempty"`
 }
 

@@ -1,9 +1,13 @@
 package replica
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -330,6 +334,90 @@ func TestSubscribeResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, "post-resume decision", func() bool { return fol.Position("orders") == 11 })
+}
+
+// subscribeFirstRecord opens one raw subscription against a leader URL
+// and returns the first record of the stream — the leader's
+// resume-or-snapshot verdict on the request's claimed position.
+func subscribeFirstRecord(t *testing.T, url string, req SubscribeRequest) *Record {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v2/replication/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	if !sc.Scan() {
+		t.Fatalf("subscribe stream ended before the first record: %v", sc.Err())
+	}
+	var rec Record
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("decoding first stream record: %v", err)
+	}
+	return &rec
+}
+
+// TestResumeRequiresBootIdentity pins the resume gate to the boot ID:
+// a matching term and position alone must NOT earn a resume, because a
+// restarted leader re-reaching old epochs under the same term is a
+// forked history — only the exact publisher instance that produced the
+// claimed position (same boot ID) may resume a subscriber onto it.
+func TestResumeRequiresBootIdentity(t *testing.T) {
+	const rows = 1200
+	leader, pub, ts := newLeader(t, rows, 80, 0)
+	defer pub.DropSubscribers()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := leader.Answer(ctx, workloadQuery(i, rows)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The decision loop is asynchronous; let every answer's decision
+	// land so the claimed position can't drift mid-test.
+	waitFor(t, "decisions applied", func() bool {
+		pos, _ := leader.ReplicaPosition("orders")
+		return pos.Epoch == 5
+	})
+	pos, _ := leader.ReplicaPosition("orders")
+	base := SubscribeRequest{
+		Version:   ProtocolVersion,
+		Tables:    []string{"orders"},
+		Positions: map[string]uint64{"orders": pos.Epoch},
+	}
+
+	// The exact publisher instance at the exact position: resume, and
+	// the resume record carries the identity for the next reconnect.
+	match := base
+	match.Generation, match.Boot = pub.Generation(), pub.BootID()
+	if rec := subscribeFirstRecord(t, ts.URL, match); rec.Type != RecordResume {
+		t.Fatalf("matching term+boot+position got %q, want resume", rec.Type)
+	} else if rec.Boot != pub.BootID() {
+		t.Fatalf("resume record boot = %q, want the publisher's %q", rec.Boot, pub.BootID())
+	}
+
+	// Same term and position but another process's boot ID — the
+	// restarted-leader case: must re-snapshot, not resume onto a fork.
+	forked := base
+	forked.Generation, forked.Boot = pub.Generation(), "0000000000000000"
+	if rec := subscribeFirstRecord(t, ts.URL, forked); rec.Type != RecordSnapshot {
+		t.Fatalf("matching term+position with a foreign boot got %q, want snapshot", rec.Type)
+	}
+
+	// A subscriber that never learned a boot ID (fresh, or replaying a
+	// pre-boot-ID archive) is re-snapshotted too, never trusted blind.
+	legacy := base
+	legacy.Generation = pub.Generation()
+	if rec := subscribeFirstRecord(t, ts.URL, legacy); rec.Type != RecordSnapshot {
+		t.Fatalf("matching term+position with no boot got %q, want snapshot", rec.Type)
+	}
 }
 
 // TestObservationForwarding closes the upstream loop: queries answered

@@ -1,0 +1,71 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// termFile is the name of the fencing-term file inside a state
+// directory. The file holds one decimal number: the highest leadership
+// term this process has published at.
+const termFile = "leader.term"
+
+// LoadTerm reads the persisted fencing term from a state directory. A
+// missing file (or directory) is term 0, not an error — a fleet that
+// has never failed over has nothing to restore. Anything else
+// unreadable or unparseable is an error: silently booting at term 1 on
+// a corrupt file is exactly the self-fencing accident the persisted
+// term exists to prevent.
+func LoadTerm(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, termFile))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("replica: reading fencing term: %w", err)
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: parsing fencing term file %s: %w", filepath.Join(dir, termFile), err)
+	}
+	return gen, nil
+}
+
+// SaveTerm durably records the fencing term in a state directory
+// (created if missing): write-to-temp, fsync, rename, so a crash never
+// leaves a torn file, and a reboot restores the exact term the process
+// last published at instead of regressing to 1 and being fenced out by
+// its own followers.
+func SaveTerm(dir string, gen uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("replica: creating state directory: %w", err)
+	}
+	path := filepath.Join(dir, termFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("replica: writing fencing term: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", gen); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("replica: writing fencing term: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: writing fencing term: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: writing fencing term: %w", err)
+	}
+	return nil
+}

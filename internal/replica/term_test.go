@@ -1,0 +1,90 @@
+package replica
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTermRoundTrip pins the persisted-term contract oreoserve leans
+// on: a never-written directory is term 0 (a fresh fleet has nothing
+// to restore), SaveTerm/LoadTerm round-trip and overwrite, and a
+// corrupt file is an error — booting at term 1 on garbage is exactly
+// the self-fencing accident persistence exists to prevent.
+func TestTermRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	if gen, err := LoadTerm(dir); err != nil || gen != 0 {
+		t.Fatalf("LoadTerm(empty dir) = %d, %v; want 0, nil", gen, err)
+	}
+	if gen, err := LoadTerm(filepath.Join(dir, "never-created")); err != nil || gen != 0 {
+		t.Fatalf("LoadTerm(missing dir) = %d, %v; want 0, nil", gen, err)
+	}
+
+	if err := SaveTerm(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := LoadTerm(dir); err != nil || gen != 3 {
+		t.Fatalf("LoadTerm after SaveTerm(3) = %d, %v; want 3, nil", gen, err)
+	}
+	if err := SaveTerm(dir, 7); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := LoadTerm(dir); err != nil || gen != 7 {
+		t.Fatalf("LoadTerm after overwrite = %d, %v; want 7, nil", gen, err)
+	}
+
+	// SaveTerm creates the state directory if needed, like the rest of
+	// oreoserve's -state handling.
+	nested := filepath.Join(dir, "a", "b")
+	if err := SaveTerm(nested, 2); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := LoadTerm(nested); err != nil || gen != 2 {
+		t.Fatalf("LoadTerm(nested) = %d, %v; want 2, nil", gen, err)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, termFile), []byte("not a number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTerm(dir); err == nil {
+		t.Fatal("LoadTerm accepted a corrupt term file")
+	}
+}
+
+// TestArchiveGeneration pins term recovery from a self-archive: the
+// highest generation across all segment record headers wins, a missing
+// or empty archive is term 0, and garbage fails loudly.
+func TestArchiveGeneration(t *testing.T) {
+	if gen, err := ArchiveGeneration(filepath.Join(t.TempDir(), "nope")); err != nil || gen != 0 {
+		t.Fatalf("ArchiveGeneration(missing dir) = %d, %v; want 0, nil", gen, err)
+	}
+	dir := t.TempDir()
+	if gen, err := ArchiveGeneration(dir); err != nil || gen != 0 {
+		t.Fatalf("ArchiveGeneration(empty dir) = %d, %v; want 0, nil", gen, err)
+	}
+
+	// Two sessions: the first at term 1, the second spanning a failover
+	// to term 3. Recovery must scan every segment, not just the last
+	// record of the last one.
+	seg1 := "{\"type\":\"snapshot\",\"table\":\"orders\",\"epoch\":1,\"generation\":1}\n" +
+		"{\"type\":\"decision\",\"table\":\"orders\",\"epoch\":2,\"generation\":1}\n"
+	seg2 := "{\"type\":\"resume\",\"table\":\"orders\",\"epoch\":2,\"generation\":3}\n" +
+		"{\"type\":\"decision\",\"table\":\"orders\",\"epoch\":3,\"generation\":1}\n"
+	if err := os.WriteFile(filepath.Join(dir, "segment-00000001.ndjson"), []byte(seg1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "segment-00000002.ndjson"), []byte(seg2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := ArchiveGeneration(dir); err != nil || gen != 3 {
+		t.Fatalf("ArchiveGeneration = %d, %v; want 3, nil", gen, err)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "segment-00000003.ndjson"), []byte("{garbage\n{\"generation\":9}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ArchiveGeneration(dir); err == nil {
+		t.Fatal("ArchiveGeneration accepted mid-segment garbage")
+	}
+}

@@ -265,7 +265,10 @@
 // layout and counters, flip its serve.Core to the leader role, and
 // activate the replication endpoints it pre-mounted at boot. The
 // actuator releases the promoted process from management — a new
-// leader must never be "scaled down" — and the loop repoints at it.
+// leader must never be "scaled down" — the loop repoints at it, and
+// the surviving followers, whose upstream was fixed at boot, are
+// retargeted: each is replaced by a fresh process tracking the new
+// leader, since left alone they would retry the dead address forever.
 //
 // Promotion is safe against the failure that motivates it: the old
 // leader coming back. The replication Generation is a monotonic
@@ -278,7 +281,15 @@
 // follower that sees a record with a term older than what it has
 // already applied stops replicating with a terminal error rather than
 // apply a deposed leader's decisions. Both roles expose their term as
-// generation on /healthz. And because a promoted follower rebuilds
+// generation on /healthz. The term outlives the process that adopted
+// it: oreoserve persists it in the -state directory (and recovers it
+// from a -archive's record headers), so a restarted leader republishes
+// at its old term instead of regressing to 1 and fencing itself out.
+// Within a term, a random per-process boot ID distinguishes two lives
+// of the same leader: a subscriber resumes only when term, boot, and
+// position all match, so a restarted leader that re-reaches old epochs
+// re-snapshots its subscribers rather than silently resuming them onto
+// a forked history. And because a promoted follower rebuilds
 // from the same replicated state the old leader published, the fleet's
 // answers stay bit-identical across the failover — property-tested at
 // every epoch against a never-failed control run.
